@@ -1,0 +1,79 @@
+"""E11 — The grand comparison: every scheduler on identical workloads.
+
+One table per workload family (mixed, packets, hard instance): length,
+pre-computation, competitive ratio against max(C, D), and correctness for
+sequential / round-robin / greedy-offline / Theorem 1.1 / sparse-phase /
+doubling / Theorem 4.1 (both variants).
+"""
+
+import pytest
+
+from repro.congest import topology
+from repro.core import (
+    DoublingScheduler,
+    GreedyPatternScheduler,
+    PrivateScheduler,
+    RandomDelayScheduler,
+    RoundRobinScheduler,
+    SequentialScheduler,
+    SparsePhaseScheduler,
+)
+from repro.experiments import compare_schedulers, mixed_workload, packet_workload
+from repro.lowerbound import sample_hard_instance
+
+from conftest import emit
+
+
+def _schedulers():
+    return [
+        SequentialScheduler(),
+        RoundRobinScheduler(),
+        GreedyPatternScheduler(),
+        RandomDelayScheduler(),
+        SparsePhaseScheduler(),
+        DoublingScheduler(),
+        PrivateScheduler(dedup=False),
+        PrivateScheduler(dedup=True),
+    ]
+
+
+WORKLOADS = {
+    "mixed(grid 8x8, k=16)": lambda: mixed_workload(
+        topology.grid_graph(8, 8), 16, seed=42
+    ),
+    "packets(grid 8x8, 24)": lambda: packet_workload(
+        topology.grid_graph(8, 8), 24, seed=7, min_distance=3
+    ),
+    "hard(L=6, w=18, k=18)": lambda: sample_hard_instance(
+        6, 18, 18, 0.25, seed=9
+    ).workload(),
+}
+
+
+@pytest.mark.benchmark(group="e11")
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_e11_baseline_table(benchmark, results_dir, workload_name):
+    work = WORKLOADS[workload_name]()
+    params = work.params()
+    rows = compare_schedulers(work, _schedulers(), seed=5)
+    assert all(row.correct for row in rows)
+
+    table = [
+        [
+            row.scheduler,
+            row.length_rounds,
+            row.precomputation_rounds,
+            row.competitive_ratio,
+            row.max_phase_load if row.max_phase_load is not None else "-",
+        ]
+        for row in rows
+    ]
+    emit(
+        results_dir,
+        f"e11_baselines_{workload_name.split('(')[0]}",
+        ["scheduler", "length", "pre", "ratio", "max load"],
+        table,
+        notes=f"{workload_name}: C={params.congestion} D={params.dilation} k={params.num_algorithms}",
+    )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,105 @@
+"""E13 — black-box generality: scheduling *randomized* algorithms.
+
+The paper's framing demands schedulers treat algorithms as black boxes
+whose communication patterns "cannot be known a priori" — randomized
+algorithms are the extreme case: their patterns depend on private coins.
+Because the package fixes each node's random tape as part of its input
+(Section 2), the schedulers handle Luby-MIS and push-gossip workloads
+exactly like deterministic ones: outputs verified equal to solo runs.
+
+Also measured: the non-Bellagio behaviour of MIS (Appendix A's remark) —
+across seeds, nodes do NOT have canonical outputs, unlike the distinct-
+elements algorithm of E9.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.algorithms import LubyMIS, PushGossip, is_independent_set, is_maximal
+from repro.congest import solo_run, topology
+from repro.core import RandomDelayScheduler, SequentialScheduler, Workload
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_randomized_workloads_schedule(benchmark, results_dir):
+    net = topology.grid_graph(6, 6)
+    rows = []
+    for name, algorithms in (
+        ("2xMIS", [LubyMIS(net.num_nodes), LubyMIS(net.num_nodes)]),
+        (
+            "4x gossip",
+            [PushGossip(s, rounds=10, rumor=s) for s in (0, 14, 21, 35)],
+        ),
+        (
+            "MIS+gossip mix",
+            [LubyMIS(net.num_nodes), PushGossip(0, rounds=10), PushGossip(35, rounds=10)],
+        ),
+    ):
+        work = Workload(net, algorithms, master_seed=11)
+        params = work.params()
+        scheduled = RandomDelayScheduler().run(work, seed=2)
+        sequential = SequentialScheduler().run(work)
+        assert scheduled.correct and sequential.correct
+        rows.append(
+            [
+                name,
+                params.congestion,
+                params.dilation,
+                scheduled.report.length_rounds,
+                sequential.report.length_rounds,
+                "yes",
+            ]
+        )
+
+    emit(
+        results_dir,
+        "e13_randomized",
+        ["workload", "C", "D", "scheduled", "sequential", "outputs = solo"],
+        rows,
+        notes="randomness-as-input: randomized black boxes schedule exactly",
+    )
+
+    work = Workload(net, [LubyMIS(net.num_nodes), LubyMIS(net.num_nodes)], master_seed=11)
+    benchmark.pedantic(
+        RandomDelayScheduler().run, args=(work,), kwargs={"seed": 2},
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_mis_is_not_bellagio(benchmark, results_dir):
+    """Appendix A's remark, quantified: MIS node outputs have no 2/3
+    majority across seeds, unlike the Bellagio distinct-elements."""
+    net = topology.grid_graph(6, 6)
+    seeds = range(12)
+    per_node = {v: Counter() for v in net.nodes}
+    for seed in seeds:
+        run = solo_run(net, LubyMIS(net.num_nodes), seed=seed)
+        members = {v for v, out in run.outputs.items() if out}
+        assert is_independent_set(net, members) and is_maximal(net, members)
+        for v in net.nodes:
+            per_node[v][run.outputs[v]] += 1
+    majority = [
+        counter.most_common(1)[0][1] / len(seeds) for counter in per_node.values()
+    ]
+    unstable = sum(1 for m in majority if m < 2 / 3)
+    rows = [
+        [
+            len(list(seeds)),
+            round(sum(majority) / len(majority), 2),
+            f"{unstable}/{net.num_nodes}",
+        ]
+    ]
+    emit(
+        results_dir,
+        "e13_mis_not_bellagio",
+        ["seeds", "avg per-node majority", "nodes below 2/3"],
+        rows,
+        notes="every run is a valid MIS, but outputs are seed-dependent: not Bellagio",
+    )
+    assert unstable > net.num_nodes / 4
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

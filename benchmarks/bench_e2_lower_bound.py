@@ -1,0 +1,261 @@
+"""E2 — Theorem 3.1 (+ the remark): the hard-instance lower bound.
+
+Three measurements:
+
+1. **Separation.** On sampled hard instances, the best schedule found by
+   an omniscient offline search (greedy packing + random-delay search)
+   stays a growing factor above the trivial bound max(C, D), while
+   packet-routing workloads of comparable parameters stay near C + D —
+   the hard instances genuinely resist scheduling.
+2. **Sparse phases (remark after Thm 3.1).** Phases of Θ(log n/log log n)
+   rounds schedule the hard instance in O((C + D)·log n/log log n).
+3. **Analytics.** The proof's quantities at paper scale: the averaging
+   load, the binomial anti-concentration probability, and the
+   union-bound exponent, reproducing the inequality chain
+   e^{-n^0.7}·e^{Θ(n^0.3)} ≪ 1.
+"""
+
+import math
+
+import pytest
+
+from repro.congest import topology
+from repro.core import GreedyPatternScheduler, SparsePhaseScheduler, greedy_schedule
+from repro.experiments import packet_workload
+from repro.lowerbound import (
+    average_layer_phase_load,
+    edge_overload_probability,
+    empirical_min_schedule,
+    log_crossing_pattern_count,
+    sample_hard_instance,
+)
+
+from conftest import emit
+
+# (layers, width, k, q): congestion ~ k*q stays ~ dilation = 2*layers
+HARD_SWEEP = [
+    (4, 12, 12, 0.25),
+    (6, 18, 18, 0.25),
+    (8, 24, 24, 0.25),
+    (10, 32, 32, 0.25),
+    (12, 40, 40, 0.25),
+]
+
+
+def _best_found(instance, seed=0):
+    """Best schedule length found: greedy packing vs delay search."""
+    patterns = instance.patterns()
+    greedy = greedy_schedule(patterns).makespan
+    searched = empirical_min_schedule(
+        patterns, max_delay=instance.dilation, trials=20, seed=seed
+    ).best_length
+    return min(greedy, searched)
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_hard_instances_resist_scheduling(benchmark, results_dir):
+    rows = []
+    hard_ratios = []
+    packet_ratios = []
+    for layers, width, k, q in HARD_SWEEP:
+        inst = sample_hard_instance(layers, width, k, q, seed=layers)
+        params = inst.params()
+        best = _best_found(inst)
+        hard_ratio = best / params.trivial_lower_bound
+        hard_ratios.append(hard_ratio)
+
+        # a packet workload with similar C, D on a cycle of similar size
+        net = topology.cycle_graph(max(8, 2 * layers * 2))
+        packets = packet_workload(net, k, seed=layers, min_distance=min(2 * layers, 6))
+        pkt_params = packets.params()
+        pkt_best = GreedyPatternScheduler().run(packets).report.length_rounds
+        pkt_ratio = pkt_best / pkt_params.trivial_lower_bound
+        packet_ratios.append(pkt_ratio)
+
+        rows.append(
+            [
+                inst.network.num_nodes,
+                params.congestion,
+                params.dilation,
+                best,
+                round(hard_ratio, 2),
+                round(pkt_ratio, 2),
+            ]
+        )
+
+    emit(
+        results_dir,
+        "e2_lower_bound_separation",
+        ["n", "C", "D", "best found", "hard ratio", "packet ratio"],
+        rows,
+        notes=(
+            "hard ratio = best-found/max(C,D) on hard instances; packet "
+            "ratio = same search on LMR packets. The gap is Thm 3.1."
+        ),
+    )
+    # hard instances resist; packets pack near-optimally
+    assert all(h > 1.5 * p for h, p in zip(hard_ratios, packet_ratios))
+    # and the resistance does not vanish as instances grow
+    assert hard_ratios[-1] >= 0.8 * hard_ratios[0]
+
+    inst = sample_hard_instance(6, 18, 18, 0.25, seed=6)
+    benchmark.pedantic(_best_found, args=(inst,), rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_sparse_phase_matches_remark(results_dir, benchmark):
+    rows = []
+    for layers, width, k, q in HARD_SWEEP[:3]:
+        inst = sample_hard_instance(layers, width, k, q, seed=layers)
+        work = inst.workload()
+        params = work.params()
+        n = inst.network.num_nodes
+        result = SparsePhaseScheduler().run(work, seed=1)
+        assert result.correct
+        log_n = math.log2(max(n, 4))
+        bound = (params.congestion + params.dilation) * log_n / math.log2(log_n)
+        rows.append(
+            [
+                n,
+                params.congestion,
+                params.dilation,
+                result.report.length_rounds,
+                round(bound),
+                round(result.report.length_rounds / bound, 2),
+            ]
+        )
+    emit(
+        results_dir,
+        "e2_sparse_phase",
+        ["n", "C", "D", "len", "(C+D)·logn/loglogn", "ratio"],
+        rows,
+        notes="Remark after Thm 3.1: the matching upper bound on C=Θ(D) instances",
+    )
+    assert all(float(row[-1]) <= 2.0 for row in rows)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_proof_analytics_at_paper_scale(results_dir, benchmark):
+    """Reproduce the proof's inequality chain symbolically at n = 10^10."""
+    n = 10**10
+    L = round(n**0.1)  # 10 layers
+    k = round(n**0.2)  # 100 algorithms
+    phases = max(1, round(0.1 * n**0.1))
+    q = n**-0.1
+    capacity = max(1, round(math.log(n) / (100 * math.log(math.log(n)))))
+
+    avg_load = average_layer_phase_load(k, L, phases)
+    heavy = max(1, round(0.9 * n**0.1))
+    p_edge = edge_overload_probability(heavy, q, capacity)
+    log_patterns = log_crossing_pattern_count(k, L, phases)
+    width = round(n**0.9)
+    # log P[no heavy edge in the layer] = width * log(1 - p_edge)
+    log_survive = width * math.log1p(-min(p_edge, 1 - 1e-12))
+
+    rows = [
+        ["avg layer-phase load (≥0.9·k/phases)", round(avg_load, 1)],
+        ["edge overload probability p", f"{p_edge:.3e}"],
+        ["paper's claim p ≥ n^-0.2", f"{n**-0.2:.3e}"],
+        ["ln(#crossing patterns)", f"{log_patterns:.3e}"],
+        ["ln Pr[one pattern survives]", f"{log_survive:.3e}"],
+        ["union bound exponent (must be ≪ 0)", f"{log_patterns + log_survive:.3e}"],
+    ]
+    emit(
+        results_dir,
+        "e2_proof_analytics",
+        ["quantity", "value"],
+        rows,
+        notes="Theorem 3.1 proof arithmetic at nominal n = 10^10",
+    )
+    assert avg_load >= 0.9 * k / phases - 1
+    assert p_edge >= n**-0.2
+    assert log_patterns + log_survive < -(n**0.5)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_certified_small_bounds(results_dir, benchmark):
+    """Exact (exhaustive) crossing-pattern search on tiny instances:
+    machine-checked instantiations of the proof's counting argument.
+    Every infeasible (phases, capacity) cell is a certificate that no
+    within-phase schedule of that size exists."""
+    from repro.lowerbound import certified_min_phases, sample_hard_instance
+
+    rows = []
+    for seed in (3, 7, 11):
+        inst = sample_hard_instance(3, 6, 5, 0.4, seed=seed)
+        params = inst.params()
+        for capacity in (2, 4):
+            p_star, results = certified_min_phases(inst, capacity=capacity)
+            certified = p_star * capacity
+            rows.append(
+                [
+                    seed,
+                    params.congestion,
+                    params.dilation,
+                    capacity,
+                    p_star,
+                    certified,
+                    round(certified / params.trivial_lower_bound, 2),
+                    sum(r.nodes_explored for r in results),
+                ]
+            )
+            # sound: never below the trivial bound (with the sequencing
+            # constraint modelled)
+            assert certified >= params.trivial_lower_bound - 1
+
+    emit(
+        results_dir,
+        "e2_certified",
+        ["seed", "C", "D", "capacity f", "P*", "certified P*·f", "/max(C,D)", "nodes"],
+        rows,
+        notes=(
+            "exhaustive search over crossing patterns (the proof's object) "
+            "on tiny hard instances; P* is exact within the model"
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_exact_opt_on_micro_instances(results_dir, benchmark):
+    """Unconditional OPT via exhaustive search on micro hard instances:
+    OPT strictly exceeds max(C, D) on every sample — the separation of
+    Theorem 3.1 is visible, exactly, at n = 7."""
+    from repro.core import exact_makespan, greedy_schedule
+    from repro.lowerbound import sample_hard_instance
+
+    rows = []
+    for seed in range(6):
+        inst = sample_hard_instance(2, 2, 2, 0.5, seed=seed)
+        patterns = inst.patterns()
+        if sum(len(p) for p in patterns) > 16:
+            continue
+        params = inst.params()
+        exact = exact_makespan(patterns)
+        greedy = greedy_schedule(patterns).makespan
+        rows.append(
+            [
+                seed,
+                params.congestion,
+                params.dilation,
+                exact.makespan,
+                greedy,
+                round(exact.makespan / params.trivial_lower_bound, 2),
+                exact.states_explored,
+            ]
+        )
+        assert exact.makespan > params.trivial_lower_bound
+        assert exact.makespan <= greedy
+
+    emit(
+        results_dir,
+        "e2_exact_opt",
+        ["seed", "C", "D", "OPT (exact)", "greedy", "OPT/max(C,D)", "states"],
+        rows,
+        notes="exhaustive-search OPT on micro hard instances: unconditional gaps",
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,104 @@
+"""E3 — Theorems 1.3 / 4.1: the private-randomness scheduler.
+
+Claims measured:
+
+* schedule length O(congestion + dilation·log n), outputs correct;
+* pre-computation O(dilation·log² n) rounds (clustering + sharing);
+* the uniform-delay variant (no dedup) is never shorter than the
+  non-uniform + dedup variant — the Lemma 4.4 upgrade.
+"""
+
+import math
+
+import pytest
+
+from repro.congest import topology
+from repro.core import PrivateScheduler
+from repro.experiments import mixed_workload
+
+from conftest import emit
+
+SIZES = [(5, 5), (7, 7), (9, 9), (11, 11)]
+K = 10
+
+
+def _run(net, dedup, seed=0):
+    work = mixed_workload(net, K, hops=3, seed=seed)
+    scheduler = PrivateScheduler(dedup=dedup)
+    return work, scheduler.run(work, seed=seed)
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_private_scheduler_bounds(benchmark, results_dir):
+    rows = []
+    length_ratios = []
+    pre_ratios = []
+    for size in SIZES:
+        net = topology.grid_graph(*size)
+        n = net.num_nodes
+        log_n = math.log2(n)
+        work, result = _run(net, dedup=True)
+        assert result.correct
+        params = work.params()
+        length_bound = params.congestion + params.dilation * log_n
+        pre_bound = params.dilation * log_n**2
+        length_ratios.append(result.report.length_rounds / length_bound)
+        pre_ratios.append(result.report.precomputation_rounds / pre_bound)
+        rows.append(
+            [
+                n,
+                params.congestion,
+                params.dilation,
+                result.report.length_rounds,
+                round(result.report.length_rounds / length_bound, 2),
+                result.report.precomputation_rounds,
+                round(result.report.precomputation_rounds / pre_bound, 1),
+                result.report.max_phase_load,
+                result.report.notes["num_layers"],
+            ]
+        )
+
+    emit(
+        results_dir,
+        "e3_private_scheduler",
+        ["n", "C", "D", "len", "len/(C+DlogN)", "pre", "pre/(Dlog²N)", "load", "layers"],
+        rows,
+        notes="T4.1: both ratios must stay O(1) as n grows",
+    )
+    assert max(length_ratios) <= 6.0
+    assert length_ratios[-1] <= 2.0 * length_ratios[0] + 0.5
+    assert pre_ratios[-1] <= 2.0 * pre_ratios[0] + 0.5
+
+    net = topology.grid_graph(6, 6)
+    benchmark.pedantic(_run, args=(net, True), rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_uniform_vs_dedup_variants(benchmark, results_dir):
+    rows = []
+    for size in SIZES[:2]:
+        net = topology.grid_graph(*size)
+        _, uniform = _run(net, dedup=False)
+        work, dedup = _run(net, dedup=True)
+        assert uniform.correct and dedup.correct
+        rows.append(
+            [
+                net.num_nodes,
+                uniform.report.length_rounds,
+                dedup.report.length_rounds,
+                uniform.report.messages_sent,
+                dedup.report.messages_sent,
+                dedup.report.messages_deduplicated,
+            ]
+        )
+        assert dedup.report.length_rounds <= uniform.report.length_rounds
+        assert dedup.report.messages_sent < uniform.report.messages_sent
+
+    emit(
+        results_dir,
+        "e3_variants",
+        ["n", "len uniform", "len dedup", "msgs uniform", "msgs dedup", "suppressed"],
+        rows,
+        notes="Lemma 4.4: the non-uniform delays + dedup upgrade",
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,155 @@
+"""E4 — Lemma 4.2: the ball-carving clustering.
+
+Measured properties, per layer and per node:
+
+(1) node-disjoint clusters (asserted),
+(2) weak diameter O(radius·log n),
+(3) each node's R-ball covered in Θ(log n) layers w.h.p. — we report the
+    per-layer coverage probability and the resulting multi-layer counts,
+(4) contained radii h' known (used everywhere downstream),
+plus the construction's round cost O(radius·log² n).
+"""
+
+import math
+
+import pytest
+
+from repro.clustering import build_clustering
+from repro.congest import topology
+
+from conftest import emit
+
+NETWORKS = [
+    ("grid8", topology.grid_graph(8, 8)),
+    ("grid11", topology.grid_graph(11, 11)),
+    ("rr64", topology.random_regular(64, 4, seed=1)),
+]
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_clustering_properties(benchmark, results_dir):
+    rows = []
+    radius = 3
+    for name, net in NETWORKS:
+        n = net.num_nodes
+        log_n = math.log(n)
+        num_layers = max(2, math.ceil(3 * math.log2(n)))
+        clustering = build_clustering(net, radius_scale=radius, num_layers=num_layers, seed=7)
+
+        # (1) partitions
+        for layer in clustering.layers:
+            assert sorted(
+                v for members in layer.clusters().values() for v in members
+            ) == list(net.nodes)
+
+        # (2) weak diameter vs radius·log n
+        weak = clustering.max_weak_diameter()
+        weak_ratio = weak / (radius * log_n)
+
+        # (3) coverage of the R-ball
+        counts = clustering.coverage_counts(radius)
+        covered_frac_per_layer = sum(counts) / (n * num_layers)
+        min_layers = min(counts)
+
+        rows.append(
+            [
+                name,
+                n,
+                num_layers,
+                weak,
+                round(weak_ratio, 2),
+                round(covered_frac_per_layer, 2),
+                min_layers,
+                clustering.precomputation_rounds,
+            ]
+        )
+        # per-layer coverage probability is a constant bounded away from 0
+        assert covered_frac_per_layer >= 0.15
+        # every node is covered somewhere (w.h.p.; fixed seed here)
+        assert min_layers >= 1
+        # weak diameter within the O(R log n) horizon regime
+        assert weak <= 2 * clustering.horizon
+
+    emit(
+        results_dir,
+        "e4_clustering",
+        ["net", "n", "layers", "weakD", "weakD/(R·ln n)", "cover p", "min layers", "rounds"],
+        rows,
+        notes=f"L4.2 at radius_scale={radius}: coverage prob ~ e^(-d/R) per layer",
+    )
+
+    benchmark.pedantic(
+        build_clustering,
+        args=(NETWORKS[0][1], radius),
+        kwargs={"num_layers": 8, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_coverage_vs_radius_factor(benchmark, results_dir):
+    """The memoryless-tail prediction: per-layer coverage probability of a
+    d-ball rises as e^{-d/R} when the radius scale R grows."""
+    net = topology.grid_graph(9, 9)
+    d = 3
+    rows = []
+    previous = 0.0
+    for factor in (1, 2, 4):
+        clustering = build_clustering(
+            net, radius_scale=factor * d, num_layers=24, seed=3
+        )
+        counts = clustering.coverage_counts(d)
+        p = sum(counts) / (net.num_nodes * 24)
+        rows.append([factor, factor * d, round(p, 3), round(math.exp(-1 / factor), 3)])
+        assert p >= previous - 0.02
+        previous = p
+    emit(
+        results_dir,
+        "e4_coverage_vs_radius",
+        ["R/d", "R", "measured p", "e^{-d/R}"],
+        rows,
+        notes="coverage probability grows with the radius scale",
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_whp_coverage_failure_rate(benchmark, results_dir):
+    """Lemma 4.2's w.h.p. statement, measured: the probability that some
+    node's ball is covered in NO layer decays rapidly with the number of
+    layers (each layer covers independently with constant probability)."""
+    net = topology.grid_graph(7, 7)
+    d = 3
+    radius = 2 * d
+    trials = 30
+    rows = []
+    failure_rates = []
+    for num_layers in (2, 4, 8, 16):
+        failures = 0
+        for seed in range(trials):
+            clustering = build_clustering(
+                net, radius_scale=radius, num_layers=num_layers, seed=1000 + seed
+            )
+            counts = clustering.coverage_counts(d)
+            if min(counts) == 0:
+                failures += 1
+        rate = failures / trials
+        failure_rates.append(rate)
+        rows.append([num_layers, failures, trials, f"{rate:.2f}"])
+
+    emit(
+        results_dir,
+        "e4_coverage_failure",
+        ["layers", "failed trials", "trials", "failure rate"],
+        rows,
+        notes=(
+            "fraction of clusterings leaving some node's d-ball uncovered; "
+            "decays geometrically in the layer count (the w.h.p. argument)"
+        ),
+    )
+    # monotone decay to (near) zero at Θ(log n) layers
+    assert failure_rates[-1] <= 0.1
+    assert failure_rates[-1] <= failure_rates[0]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

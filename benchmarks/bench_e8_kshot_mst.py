@@ -1,0 +1,164 @@
+"""E8 — Section 5: the k-shot MST case study.
+
+Two experiments:
+
+1. **Single-shot tradeoff.** Sweeping the fragment-size knob ``L`` of
+   :class:`TradeoffMST` trades congestion (upcast volume ~ n/L) against
+   dilation (fragment growth) — the curve the paper's discussion of
+   Borůvka vs Kutten–Peleg describes.
+2. **k-shot scheduling.** Running ``k`` independently-weighted MSTs with
+   the knob set near ``L* = √(n/k)`` and scheduling them (offline greedy
+   packing, the sharpest packer available) yields total rounds growing
+   *sublinearly* in ``k`` — the ``Θ̃(D + √(kn))`` effect: doubling k
+   costs ~√2, not 2. We fit the growth exponent.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.mst import TradeoffMST, random_weights
+from repro.congest import solo_run, topology
+from repro.core import GreedyPatternScheduler, SequentialScheduler, Workload
+from repro.experiments import fit_power_law
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_single_shot_tradeoff(benchmark, results_dir):
+    net = topology.grid_graph(7, 7)
+    weights = random_weights(net, seed=2)
+    rows = []
+    congestions = []
+    dilations = []
+    for L in (1, 2, 4, 8, 16):
+        alg = TradeoffMST(net, weights, size_target=L)
+        run = solo_run(net, alg)
+        assert run.outputs == alg.expected_outputs(net)
+        congestion = run.trace.max_edge_rounds()
+        rows.append([L, run.rounds, congestion, run.trace.num_messages])
+        congestions.append(congestion)
+        dilations.append(run.rounds)
+
+    emit(
+        results_dir,
+        "e8_tradeoff_curve",
+        ["L", "dilation (rounds)", "congestion (max c(e))", "messages"],
+        rows,
+        notes="§5: congestion falls and dilation rises with the knob L",
+    )
+    # the tradeoff's two monotone ends
+    assert congestions[-1] < congestions[0]
+    assert dilations[-1] > dilations[0]
+
+    benchmark.pedantic(
+        solo_run, args=(net, TradeoffMST(net, weights, size_target=4)),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_kshot_scaling(benchmark, results_dir):
+    net = topology.grid_graph(6, 6)
+    n = net.num_nodes
+    rows = []
+    ks = (1, 2, 4, 8)
+    greedy_lengths = []
+    for k in ks:
+        L = max(1, round(math.sqrt(n / k)))
+        algs = [
+            TradeoffMST(net, random_weights(net, seed=s), size_target=L, salt=s)
+            for s in range(k)
+        ]
+        work = Workload(net, algs)
+        params = work.params()
+        greedy = GreedyPatternScheduler().run(work)
+        sequential = SequentialScheduler().run(work)
+        assert greedy.correct
+        greedy_lengths.append(greedy.report.length_rounds)
+        rows.append(
+            [
+                k,
+                L,
+                params.congestion,
+                params.dilation,
+                greedy.report.length_rounds,
+                sequential.report.length_rounds,
+                round(math.sqrt(k * n), 1),
+            ]
+        )
+
+    exponent, _, r2 = fit_power_law(ks, greedy_lengths)
+    emit(
+        results_dir,
+        "e8_kshot_scaling",
+        ["k", "L*", "C", "D", "scheduled", "sequential", "√(kn)"],
+        rows,
+        notes=(
+            f"scheduled-rounds growth exponent in k: {exponent:.2f} "
+            f"(r²={r2:.2f}); the Θ̃(√(kn)) claim predicts ~0.5, "
+            "sequential execution is exponent 1.0"
+        ),
+    )
+    # sublinear growth in k — the heart of the k-shot result (measured
+    # ~0.83 at this scale; assert with margin against seed drift)
+    assert exponent < 0.92
+    # and scheduling beats back-to-back execution at the largest k
+    seq_final = int(rows[-1][5])
+    assert greedy_lengths[-1] < seq_final
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_kshot_with_black_box_scheduler(benchmark, results_dir):
+    """The paper's actual recipe: run k tradeoff-MST copies through the
+    black-box random-delay scheduler (not the omniscient packer). The
+    log n phase overhead costs a constant; growth in k stays sublinear."""
+    from repro.core import RandomDelayScheduler
+
+    net = topology.grid_graph(6, 6)
+    n = net.num_nodes
+    rows = []
+    ks = (2, 4, 8)
+    lengths = []
+    for k in ks:
+        L = max(1, round(math.sqrt(n / k)))
+        algs = [
+            TradeoffMST(net, random_weights(net, seed=s), size_target=L, salt=s)
+            for s in range(k)
+        ]
+        work = Workload(net, algs)
+        result = RandomDelayScheduler().run(work, seed=4)
+        assert result.correct
+        lengths.append(result.report.length_rounds)
+        params = work.params()
+        rows.append(
+            [
+                k,
+                L,
+                params.congestion,
+                params.dilation,
+                result.report.length_rounds,
+                k * params.dilation,
+            ]
+        )
+
+    exponent, _, r2 = fit_power_law(ks, lengths)
+    emit(
+        results_dir,
+        "e8_kshot_blackbox",
+        ["k", "L*", "C", "D", "T1.1 scheduled", "k·D (naive)"],
+        rows,
+        notes=(
+            f"black-box scheduling of k MSTs: growth exponent {exponent:.2f} "
+            f"(r²={r2:.2f}) — the schedule is dominated by D·log n, so extra "
+            "shots are nearly free until congestion catches up"
+        ),
+    )
+    # marginal cost of extra shots stays far below linear
+    assert exponent < 0.5
+    assert max(lengths) <= 1.6 * min(lengths)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

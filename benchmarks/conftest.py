@@ -1,0 +1,40 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark prints a plain-text table of the experiment's rows
+(visible with ``pytest benchmarks/ --benchmark-only -s``) and stores the
+raw rows as JSON under ``benchmarks/results/`` so EXPERIMENTS.md can be
+regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, headers, rows, notes=None) -> None:
+    """Print a table and persist it as JSON."""
+    from repro.experiments import format_table
+
+    print()
+    print(f"=== {name} ===")
+    if notes:
+        print(notes)
+    print(format_table(headers, rows))
+    payload = {
+        "name": name,
+        "headers": list(headers),
+        "rows": [list(map(str, row)) for row in rows],
+        "notes": notes or "",
+    }
+    (results_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,94 @@
+"""The paper's opening scenario: a network running many applications.
+
+"Computer networks are constantly running many applications at the same
+time and because of the bandwidth limitations, each application gets
+slowed down due to the activities of the others."
+
+This example assembles a realistic mixed workload on a torus fabric —
+routing-table BFS builds, service-discovery broadcasts, a leader
+election, telemetry aggregation, and gossip — measures the contention
+profile, and runs everything concurrently through the paper's
+schedulers, verified output-for-output against solo executions.
+
+Run:  python examples/datacenter_mix.py
+"""
+
+from repro.algorithms import (
+    BFS,
+    Aggregation,
+    HopBroadcast,
+    LeaderElection,
+    PushGossip,
+    SUM,
+)
+from repro.congest import topology
+from repro.core import (
+    EagerScheduler,
+    PrivateScheduler,
+    RandomDelayScheduler,
+    SequentialScheduler,
+    Workload,
+)
+from repro.experiments import format_table
+from repro.metrics import profile_patterns
+
+
+def main() -> None:
+    net = topology.torus_graph(6, 6)
+    diameter = net.diameter()
+    print(f"fabric: 6x6 torus, n={net.num_nodes}, diameter={diameter}\n")
+
+    applications = [
+        # routing-table builds from four gateways
+        BFS(source=0),
+        BFS(source=21),
+        BFS(source=14),
+        BFS(source=33),
+        # service-discovery broadcasts, one per service
+        *[
+            HopBroadcast(source=(5 * i + 7) % 36, token=f"svc-{i}", hops=diameter)
+            for i in range(12)
+        ],
+        # control plane: elect a coordinator
+        LeaderElection(deadline=diameter),
+        # telemetry: aggregate load counters at the monitor node
+        Aggregation(0, {v: (v * 13) % 7 for v in net.nodes}, height=diameter, op=SUM),
+        # epidemic cache invalidation
+        PushGossip(source=17, rounds=2 * diameter, rumor="inval"),
+    ]
+    work = Workload(net, applications, master_seed=99)
+    params = work.params()
+    print(f"{len(applications)} applications: {params}")
+
+    profile = profile_patterns(net, work.patterns())
+    print(
+        f"contention: {profile.message_complexity} messages, peak edge "
+        f"congestion {profile.congestion} ({profile.concentration:.1f}x mean)\n"
+    )
+
+    rows = []
+    for scheduler in (
+        SequentialScheduler(),
+        EagerScheduler(),
+        RandomDelayScheduler(),
+        PrivateScheduler(dedup=True),
+    ):
+        result = scheduler.run(work, seed=1)
+        rows.append(
+            [
+                result.report.scheduler,
+                result.report.length_rounds,
+                result.report.precomputation_rounds,
+                "all verified" if result.correct else
+                f"{len(result.mismatches)} CORRUPTED",
+            ]
+        )
+    print(format_table(["scheduler", "rounds", "pre", "outputs vs solo"], rows))
+    print(
+        "\nthe eager row is the paper's cautionary tale; the delay-based "
+        "schedulers run every application correctly, concurrently."
+    )
+
+
+if __name__ == "__main__":
+    main()

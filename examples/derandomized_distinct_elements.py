@@ -1,0 +1,61 @@
+"""Appendix A end to end: distinct elements without shared randomness.
+
+Every node holds a value; each must estimate the number of distinct
+values within d hops up to (1+ε). The classic algorithm assumes a shared
+hash seed; the paper's Meta-Theorem A.1 removes that assumption via
+cluster-local seeds at an O(log² n) slowdown. This example runs both and
+compares accuracy and cost.
+
+Run:  python examples/derandomized_distinct_elements.py
+"""
+
+import math
+
+from repro.congest import solo_run, topology
+from repro.derandomize import (
+    DistinctElements,
+    run_with_private_randomness,
+    true_distinct_counts,
+)
+from repro.experiments import format_table
+
+
+def main() -> None:
+    net = topology.grid_graph(6, 6)
+    values = {v: (v % 8) * 65537 + 11 for v in net.nodes}
+    d, eps = 2, 0.5
+    truth = true_distinct_counts(net, values, d)
+    print(f"n={net.num_nodes}, d={d}, eps={eps}; true counts range "
+          f"{min(truth.values())}..{max(truth.values())}")
+
+    make = lambda seed: DistinctElements(seed, values, d, eps, net.num_nodes)
+    T = make(0).rounds
+    print(f"base algorithm: T = {T} rounds (OR-flooded hash experiments)")
+
+    shared = solo_run(net, make(2024))
+    shared_err = max(abs(math.log(shared.outputs[v] / truth[v])) for v in net.nodes)
+
+    result = run_with_private_randomness(net, make, locality=T, seed=5)
+    private_err = max(abs(math.log(result.outputs[v] / truth[v])) for v in net.nodes)
+
+    rows = [
+        ["shared randomness", T, f"{shared_err:.2f}"],
+        [
+            "private randomness (Meta-Thm A.1)",
+            result.total_rounds,
+            f"{private_err:.2f}",
+        ],
+    ]
+    print(format_table(["variant", "total rounds", "worst log-error"], rows))
+    print(
+        f"\nslowdown {result.total_rounds / T:.0f}x "
+        f"(= {result.total_rounds / T / math.log2(net.num_nodes) ** 2:.1f} "
+        f"x log²n), accuracy band log(1+eps)^2 = {2 * math.log(1 + eps):.2f}"
+    )
+    print(f"clustering: {result.num_layers} layers, "
+          f"{result.precomputation_rounds} pre-computation rounds, "
+          f"{result.simulation_rounds} simulation rounds")
+
+
+if __name__ == "__main__":
+    main()

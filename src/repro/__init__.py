@@ -1,0 +1,40 @@
+"""repro — reproduction of *Near-Optimal Scheduling of Distributed
+Algorithms* (Mohsen Ghaffari, PODC 2015).
+
+The package provides:
+
+* :mod:`repro.congest` — a synchronous CONGEST-model simulator (networks,
+  node programs, traces, communication patterns, topologies);
+* :mod:`repro.algorithms` — a library of distributed algorithms to be
+  scheduled (broadcast, BFS, aggregation, MST, packet routing, ...);
+* :mod:`repro.core` — the paper's contribution: schedulers that run many
+  algorithms together in ``O(congestion + dilation·log n)`` rounds, with
+  shared (Theorem 1.1) or only private (Theorem 1.3/4.1) randomness, plus
+  baselines;
+* :mod:`repro.clustering` — the ball-carving graph partitioning and
+  cluster-local randomness sharing of Lemmas 4.2–4.3;
+* :mod:`repro.randomness` — ``Θ(log n)``-wise independent pseudo-randomness
+  and the paper's delay distributions;
+* :mod:`repro.lowerbound` — the hard instances of Theorem 3.1;
+* :mod:`repro.derandomize` — Appendix A: removing shared randomness from
+  Bellagio (pseudo-deterministic) distributed algorithms.
+
+Quickstart::
+
+    from repro.congest import topology
+    from repro.algorithms import BFS, HopBroadcast
+    from repro.core import Workload, RandomDelayScheduler
+
+    net = topology.grid_graph(8, 8)
+    work = Workload(net, [BFS(source=0), HopBroadcast(5, "tok", hops=6)])
+    result = RandomDelayScheduler().run(work, seed=1)
+    print(result.report.summary())
+"""
+
+from . import congest, metrics
+from .congest import Network, solo_run
+from .core import Workload
+
+__version__ = "1.0.0"
+
+__all__ = ["Network", "Workload", "congest", "metrics", "solo_run"]

@@ -1,0 +1,157 @@
+"""Command-line demos: ``python -m repro <scenario>``.
+
+Scenarios:
+
+* ``quickstart``  — schedule a mixed workload three ways (default)
+* ``figure1``     — render an algorithm's communication pattern
+* ``schedulers``  — the full baseline comparison table
+* ``lowerbound``  — sample and attack a Theorem 3.1 hard instance
+* ``mst``         — the Section 5 congestion/dilation tradeoff
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _quickstart() -> None:
+    from repro.algorithms import BFS, HopBroadcast
+    from repro.congest import topology
+    from repro.core import (
+        PrivateScheduler,
+        RandomDelayScheduler,
+        SequentialScheduler,
+        Workload,
+    )
+
+    net = topology.grid_graph(8, 8)
+    work = Workload(
+        net,
+        [
+            BFS(0, hops=6),
+            BFS(63, hops=6),
+            HopBroadcast(27, "hello", 6),
+            HopBroadcast(36, "world", 6),
+        ],
+    )
+    print(f"8x8 grid; workload {work.params()}")
+    for scheduler in (
+        SequentialScheduler(),
+        RandomDelayScheduler(),
+        PrivateScheduler(),
+    ):
+        result = scheduler.run(work, seed=1)
+        result.raise_on_mismatch()
+        print(result.report.summary())
+
+
+def _figure1() -> None:
+    from repro.algorithms import BFS
+    from repro.congest import solo_run, topology
+    from repro.congest.render import render_pattern, render_schedule_timeline
+
+    net = topology.path_graph(6)
+    run = solo_run(net, BFS(0))
+    print("communication pattern of BFS(0) on a 6-path (paper Figure 1):\n")
+    print(render_pattern(net, run.pattern))
+    print("\na delayed schedule of three copies (timeline):\n")
+    print(render_schedule_timeline([5, 5, 5], [0, 2, 4], labels=["BFS-a", "BFS-b", "BFS-c"]))
+
+
+def _schedulers() -> None:
+    from repro.congest import topology
+    from repro.core import (
+        DoublingScheduler,
+        EagerScheduler,
+        GreedyPatternScheduler,
+        PrivateScheduler,
+        RandomDelayScheduler,
+        RoundRobinScheduler,
+        SequentialScheduler,
+        SparsePhaseScheduler,
+    )
+    from repro.experiments import compare_schedulers, format_table, mixed_workload
+
+    work = mixed_workload(topology.grid_graph(8, 8), 16, seed=42)
+    print(f"mixed workload on 8x8 grid: {work.params()}\n")
+    rows = compare_schedulers(
+        work,
+        [
+            SequentialScheduler(),
+            RoundRobinScheduler(),
+            EagerScheduler(),
+            GreedyPatternScheduler(),
+            RandomDelayScheduler(),
+            SparsePhaseScheduler(),
+            DoublingScheduler(),
+            PrivateScheduler(),
+        ],
+        seed=5,
+    )
+    print(
+        format_table(
+            ["scheduler", "rounds", "pre", "ratio", "correct"],
+            [r.as_tuple() for r in rows],
+        )
+    )
+
+
+def _run_example(name: str) -> None:
+    import runpy
+    from pathlib import Path
+
+    candidates = [
+        Path("examples") / name,
+        Path(__file__).resolve().parents[2] / "examples" / name,
+    ]
+    for path in candidates:
+        if path.exists():
+            runpy.run_path(str(path), run_name="__main__")
+            return
+    raise SystemExit(
+        f"example {name} not found; run from the repository root"
+    )
+
+
+def _lowerbound() -> None:
+    _run_example("lower_bound_instance.py")
+
+
+def _mst() -> None:
+    _run_example("kshot_mst.py")
+
+
+def _derandomize() -> None:
+    _run_example("derandomized_distinct_elements.py")
+
+
+SCENARIOS = {
+    "quickstart": _quickstart,
+    "figure1": _figure1,
+    "schedulers": _schedulers,
+    "lowerbound": _lowerbound,
+    "mst": _mst,
+    "derandomize": _derandomize,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Demos for the Ghaffari PODC'15 scheduling reproduction.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="quickstart",
+        choices=sorted(SCENARIOS),
+        help="which demo to run",
+    )
+    args = parser.parse_args(argv)
+    SCENARIOS[args.scenario]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

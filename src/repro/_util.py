@@ -1,0 +1,45 @@
+"""Small internal utilities shared across the package."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+__all__ = [
+    "derive_seed",
+    "stable_digest",
+    "ceil_log2",
+]
+
+
+def stable_digest(*parts: Any) -> bytes:
+    """Return a stable 32-byte digest of the given parts.
+
+    Parts are rendered with ``repr`` so that ints, strings and tuples of
+    them hash identically across processes (unlike built-in ``hash``).
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf8"))
+        h.update(b"\x00")
+    return h.digest()
+
+
+def derive_seed(master_seed: int, *parts: Any) -> int:
+    """Derive a deterministic child seed from a master seed and a context.
+
+    Used to give every (algorithm, node) pair its own fixed random tape:
+    the paper treats each node's randomness as part of its input, sampled
+    once before execution (Section 2), which is what makes independent
+    copies of the same algorithm behave identically.
+    """
+    return int.from_bytes(stable_digest(master_seed, *parts)[:8], "big")
+
+
+def ceil_log2(x: int) -> int:
+    """Return ``ceil(log2(x))`` for a positive integer, and 0 for x <= 1."""
+    if x <= 1:
+        return 0
+    return (x - 1).bit_length()
+
+

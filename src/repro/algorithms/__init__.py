@@ -1,0 +1,43 @@
+"""The algorithm library: the ``A_i`` instances that workloads schedule."""
+
+from . import mst, packet_routing
+from .aggregation import MAX, MIN, SUM, Aggregation
+from .bfs import BFS
+from .broadcast import Flooding, HopBroadcast
+from .coloring import RandomColoring, is_proper_coloring
+from .gossip import PushGossip
+from .leader_election import LeaderElection
+from .mis import LubyMIS, is_independent_set, is_maximal
+from .packet_routing import path_parameters, random_packets, shortest_path
+from .source_detection import SourceDetection, true_source_lists
+from .token_broadcast import TokenBroadcast
+from .tokens import FixedPattern, PathToken, random_pattern, random_walk_pattern
+
+__all__ = [
+    "Aggregation",
+    "BFS",
+    "FixedPattern",
+    "Flooding",
+    "HopBroadcast",
+    "LeaderElection",
+    "LubyMIS",
+    "MAX",
+    "MIN",
+    "PathToken",
+    "PushGossip",
+    "RandomColoring",
+    "SUM",
+    "SourceDetection",
+    "TokenBroadcast",
+    "is_independent_set",
+    "is_maximal",
+    "is_proper_coloring",
+    "mst",
+    "packet_routing",
+    "path_parameters",
+    "random_packets",
+    "random_pattern",
+    "random_walk_pattern",
+    "shortest_path",
+    "true_source_lists",
+]

@@ -1,0 +1,106 @@
+"""Randomized (Δ+1)-coloring by repeated trials.
+
+A second randomized workload member (besides MIS and gossip): each
+uncoloured node proposes a random colour from ``{0..Δ}`` each phase,
+keeps it if no uncoloured-or-conflicting neighbour proposed/holds the
+same colour, and retires. Standard analysis gives ``O(log n)`` phases
+w.h.p. Like MIS, the output is seed-dependent (many valid colourings —
+not Bellagio); like everything else here, it schedules exactly thanks to
+randomness-as-input.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Mapping, Optional
+
+from ..congest.network import Network
+from ..congest.program import Algorithm, NodeContext, NodeProgram
+
+__all__ = ["RandomColoring", "is_proper_coloring"]
+
+
+def is_proper_coloring(network: Network, colors: Dict[int, Optional[int]]) -> bool:
+    """Every node coloured, no edge monochromatic."""
+    if any(color is None for color in colors.values()):
+        return False
+    return all(colors[u] != colors[v] for u, v in network.edges)
+
+
+class _ColoringProgram(NodeProgram):
+    def __init__(self, palette_size: int, num_phases: int):
+        super().__init__()
+        self._palette = palette_size
+        self._num_phases = num_phases
+        self._color: Optional[int] = None
+        self._proposal: Optional[int] = None
+        self._neighbor_final: Dict[int, int] = {}
+
+    def _propose(self, ctx: NodeContext) -> None:
+        taken = set(self._neighbor_final.values())
+        options = [c for c in range(self._palette) if c not in taken]
+        self._proposal = options[ctx.rng.randrange(len(options))]
+        ctx.send_all(("try", self._proposal))
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._propose(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        phase_round = (ctx.round - 1) % 2 + 1
+        if phase_round == 1:
+            # Proposals arrived: keep mine if it conflicts with no
+            # neighbour's proposal or final colour.
+            proposals = {s: m[1] for s, m in inbox.items() if m[0] == "try"}
+            if self._color is None:
+                conflict = self._proposal in proposals.values() or (
+                    self._proposal in self._neighbor_final.values()
+                )
+                if not conflict:
+                    self._color = self._proposal
+                    ctx.send_all(("final", self._color))
+        else:
+            for sender, message in inbox.items():
+                if message[0] == "final":
+                    self._neighbor_final[sender] = message[1]
+            phase = ctx.round // 2
+            if self._color is not None or phase >= self._num_phases:
+                self.halt()
+            else:
+                self._propose(ctx)
+
+    def output(self) -> Optional[int]:
+        return self._color
+
+
+class RandomColoring(Algorithm):
+    """(Δ+1)-colouring by random trials; each node outputs its colour.
+
+    ``palette_size`` defaults to ``max degree + 1``;
+    ``phase_budget`` to ``4·⌈log2 n⌉ + 8`` two-round phases.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        palette_size: Optional[int] = None,
+        phase_budget: Optional[int] = None,
+    ):
+        self.palette_size = (
+            palette_size if palette_size is not None else network.max_degree() + 1
+        )
+        if self.palette_size < network.max_degree() + 1:
+            raise ValueError("palette must have at least Δ+1 colours")
+        if phase_budget is None:
+            n = network.num_nodes
+            phase_budget = 4 * max(1, math.ceil(math.log2(max(n, 2)))) + 8
+        self.phase_budget = phase_budget
+
+    @property
+    def name(self) -> str:
+        return f"RandomColoring(palette={self.palette_size})"
+
+    def make_program(self, node: int, ctx: NodeContext) -> NodeProgram:
+        return _ColoringProgram(self.palette_size, self.phase_budget)
+
+    def max_rounds(self, network: Network) -> int:
+        return 2 * self.phase_budget + 4

@@ -1,0 +1,74 @@
+"""Leader election by min-id flooding.
+
+Every node floods the smallest node id it has heard of; after ``T``
+rounds (``T`` an upper bound on the diameter, given as global knowledge)
+all nodes agree on the minimum id and output it as the leader.
+
+Messages are sent only when a node's current minimum improves, so each
+edge carries at most ``O(1)`` messages in typical runs but up to ``O(D)``
+adversarially — a useful mid-congestion workload member.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..congest.network import Network
+from ..congest.program import Algorithm, NodeContext, NodeProgram
+
+__all__ = ["LeaderElection"]
+
+
+class _LeaderProgram(NodeProgram):
+    def __init__(self, deadline: int, node_key: int):
+        super().__init__()
+        self._deadline = deadline
+        self._best = node_key
+        self._leader: Optional[int] = None
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.send_all(self._best)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        incoming = min(inbox.values()) if inbox else self._best
+        if incoming < self._best:
+            self._best = incoming
+            if ctx.round < self._deadline:
+                ctx.send_all(self._best)
+        if ctx.round >= self._deadline:
+            self._leader = self._best
+            self.halt()
+
+    def output(self) -> Optional[int]:
+        return self._leader
+
+
+class LeaderElection(Algorithm):
+    """Elect the node with minimum key; every node outputs the winner.
+
+    ``keys`` optionally remaps node ids to comparison keys (defaults to
+    the node id itself). ``deadline`` must be at least the diameter.
+    """
+
+    def __init__(self, deadline: int, keys: Optional[dict] = None):
+        if deadline < 1:
+            raise ValueError("deadline must be positive")
+        self.deadline = deadline
+        self.keys = keys
+
+    @property
+    def name(self) -> str:
+        return f"LeaderElection(T={self.deadline})"
+
+    def make_program(self, node: int, ctx: NodeContext) -> NodeProgram:
+        key = node if self.keys is None else self.keys[node]
+        return _LeaderProgram(self.deadline, key)
+
+    def max_rounds(self, network: Network) -> int:
+        return self.deadline + 2
+
+    def expected_outputs(self, network: Network) -> dict:
+        """Ground truth for tests: everyone outputs the minimum key."""
+        keys = self.keys or {v: v for v in network.nodes}
+        winner = min(keys[v] for v in network.nodes)
+        return {v: winner for v in network.nodes}

@@ -1,0 +1,131 @@
+"""Luby's randomized Maximal Independent Set.
+
+The paper's Appendix A singles MIS out: "a classical distributed problem
+for which obtaining a fast Bellagio algorithm seems hard" — Luby's
+algorithm is fast but its *output* genuinely depends on the random bits,
+so it is **not** pseudo-deterministic and the derandomization
+meta-theorem does not apply to it. We implement it (a) as a rich
+randomized workload member for the schedulers — which handle it fine,
+since scheduling only needs randomness-as-input, not output stability —
+and (b) so the tests can demonstrate the non-Bellagio behaviour the
+paper points at: different seeds, different (all correct) MISs.
+
+Protocol per phase (3 rounds): undecided nodes draw a random priority
+and exchange it; a node whose priority beats all undecided neighbours
+joins the MIS and announces; neighbours of joiners retire. ``O(log n)``
+phases suffice w.h.p.; the phase budget is fixed up front.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional, Set
+
+from ..congest.network import Network
+from ..congest.program import Algorithm, NodeContext, NodeProgram
+
+__all__ = ["LubyMIS", "is_independent_set", "is_maximal"]
+
+
+def is_independent_set(network: Network, members: Set[int]) -> bool:
+    """No two members adjacent."""
+    return all(
+        not network.has_edge(u, v)
+        for u in members
+        for v in network.neighbors(u)
+        if v in members
+    )
+
+
+def is_maximal(network: Network, members: Set[int]) -> bool:
+    """Every non-member has a member neighbour."""
+    return all(
+        v in members or any(u in members for u in network.neighbors(v))
+        for v in network.nodes
+    )
+
+
+class _LubyProgram(NodeProgram):
+    IN, OUT, UNDECIDED = "in", "out", "undecided"
+
+    def __init__(self, num_phases: int):
+        super().__init__()
+        self._num_phases = num_phases
+        self._state = self.UNDECIDED
+        self._priority: Optional[int] = None
+        self._active_neighbors: Set[int] = set()
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._active_neighbors = set(ctx.neighbors)
+        self._begin_phase(ctx)
+
+    def _begin_phase(self, ctx: NodeContext) -> None:
+        self._priority = ctx.rng.getrandbits(48)
+        for nbr in self._active_neighbors:
+            ctx.send(nbr, ("prio", self._priority))
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        phase_round = (ctx.round - 1) % 3 + 1
+
+        if phase_round == 1:
+            # Priorities arrived; winners join and announce.
+            priorities = {
+                s: m[1] for s, m in inbox.items() if m[0] == "prio"
+            }
+            if self._state == self.UNDECIDED:
+                beats_all = all(
+                    (self._priority, ctx.node) > (p, s)
+                    for s, p in ((s, p) for s, p in priorities.items())
+                    if s in self._active_neighbors
+                )
+                if beats_all:
+                    self._state = self.IN
+                    for nbr in self._active_neighbors:
+                        ctx.send(nbr, ("join", None))
+        elif phase_round == 2:
+            # Join announcements; neighbours of joiners retire.
+            joined = [s for s, m in inbox.items() if m[0] == "join"]
+            if joined and self._state == self.UNDECIDED:
+                self._state = self.OUT
+            if self._state != self.UNDECIDED:
+                for nbr in self._active_neighbors:
+                    ctx.send(nbr, ("retire", None))
+        else:
+            # Retirements shrink the active neighbourhood; next phase.
+            for s, m in inbox.items():
+                if m[0] == "retire":
+                    self._active_neighbors.discard(s)
+            phase = ctx.round // 3
+            if self._state != self.UNDECIDED or phase >= self._num_phases:
+                self.halt()
+            else:
+                self._begin_phase(ctx)
+
+    def output(self) -> Optional[bool]:
+        if self._state == self.UNDECIDED:
+            return None
+        return self._state == self.IN
+
+
+class LubyMIS(Algorithm):
+    """Luby's MIS: each node outputs True (in MIS) / False (dominated).
+
+    ``phase_budget`` defaults to ``4·⌈log2 n⌉ + 4`` phases (3 rounds
+    each), enough w.h.p.; undecided leftovers output ``None`` (checked
+    absent in the tests at the default budget).
+    """
+
+    def __init__(self, num_nodes_hint: int, phase_budget: Optional[int] = None):
+        if phase_budget is None:
+            phase_budget = 4 * max(1, math.ceil(math.log2(max(num_nodes_hint, 2)))) + 4
+        self.phase_budget = phase_budget
+
+    @property
+    def name(self) -> str:
+        return f"LubyMIS(phases<={self.phase_budget})"
+
+    def make_program(self, node: int, ctx: NodeContext) -> NodeProgram:
+        return _LubyProgram(self.phase_budget)
+
+    def max_rounds(self, network: Network) -> int:
+        return 3 * self.phase_budget + 4

@@ -1,0 +1,18 @@
+"""Distributed MST algorithms: the paper's Section 5 k-shot case study."""
+
+from .boruvka import BoruvkaMST
+from .fragments import FragmentProgram, chain_budgets, phase_schedule, star_budgets
+from .tradeoff import TradeoffMST
+from .weights import incident_mst_edges, kruskal_mst, random_weights
+
+__all__ = [
+    "BoruvkaMST",
+    "FragmentProgram",
+    "TradeoffMST",
+    "chain_budgets",
+    "incident_mst_edges",
+    "kruskal_mst",
+    "phase_schedule",
+    "random_weights",
+    "star_budgets",
+]

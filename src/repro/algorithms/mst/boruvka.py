@@ -1,0 +1,66 @@
+"""Plain synchronous Borůvka MST (chain merging).
+
+The paper's Section 5 cites Borůvka (1926) / GHS as the "low congestion"
+end of the MST tradeoff: running it once has congestion ``O(log n)``
+(each edge carries a constant number of messages per phase, over
+``⌈log2 n⌉`` phases) but dilation ``Õ(n)`` (fragment trees can be deep).
+This is the exemplar workload whose *patterns* make scheduling many MSTs
+cheap per edge but long per shot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ...congest.network import Edge, Network
+from ...congest.program import Algorithm, NodeContext, NodeProgram
+from .fragments import FragmentProgram, chain_budgets
+from .weights import incident_mst_edges, kruskal_mst
+
+__all__ = ["BoruvkaMST"]
+
+
+class _BoruvkaProgram(FragmentProgram):
+    def on_phases_complete(self, ctx: NodeContext) -> None:
+        self.halt()
+
+
+class BoruvkaMST(Algorithm):
+    """Distributed MST by chain-merging Borůvka phases.
+
+    Each node outputs the sorted tuple of its incident MST edges — the
+    standard CONGEST MST output. ``weights`` must be distinct (unique
+    MST); use :func:`repro.algorithms.mst.weights.random_weights`.
+    """
+
+    def __init__(self, network: Network, weights: Dict[Edge, int], salt=0):
+        self.weights = dict(weights)
+        self.salt = salt
+        n = network.num_nodes
+        self.num_phases = max(1, math.ceil(math.log2(max(n, 2))))
+        self.budgets = chain_budgets(n, self.num_phases)
+
+    @property
+    def name(self) -> str:
+        return f"BoruvkaMST(phases={self.num_phases})"
+
+    def make_program(self, node: int, ctx: NodeContext) -> NodeProgram:
+        return _BoruvkaProgram(
+            node,
+            ctx.neighbors,
+            self.weights,
+            self.budgets,
+            mode="chain",
+            size_cap=None,
+            salt=("boruvka", self.salt),
+        )
+
+    def max_rounds(self, network: Network) -> int:
+        per_phase = 3 * network.num_nodes + 2
+        return self.num_phases * per_phase + 4
+
+    def expected_outputs(self, network: Network) -> dict:
+        """Ground truth: Kruskal's MST as per-node incident edges."""
+        mst = kruskal_mst(network, self.weights)
+        return incident_mst_edges(network, mst)

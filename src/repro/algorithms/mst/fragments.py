@@ -1,0 +1,368 @@
+"""Synchronous fragment-merging machinery (Borůvka phases) in CONGEST.
+
+Both distributed MSTs in this package are built on the same phase engine:
+fragments (partial-MST subtrees, identified by their root's node id)
+repeatedly select their minimum-weight outgoing edge (MOE) and merge
+across it. One phase consists of five fixed sub-windows whose budgets are
+known to every node up front, so the whole network stays in lockstep
+without a global controller:
+
+====================  =======================  ==========================
+window                rounds (offset from S)    content
+====================  =======================  ==========================
+fragment-id exchange  ``S``                     every node tells its
+                                                neighbours its fragment id
+convergecast          ``S+1 .. S+B``            subtree (MOE, size) reports
+                                                flow up the fragment tree
+broadcast             ``S+B+1 .. S+2B``         the root announces the
+                                                fragment's MOE (or None)
+connect               ``S+2B+1``                MOE endpoints fire a
+                                                "connect" across the MOE
+re-label flood        ``S+2B+2 .. S+2B+1+B``    merged nodes adopt the new
+                                                fragment id / parent
+====================  =======================  ==========================
+
+Two merge modes:
+
+* ``chain`` (classic Borůvka): every fragment with an MOE connects; merge
+  components are pointer chains/trees with exactly one mutual-MOE *core*
+  edge (unique weights), whose smaller endpoint becomes the new root. The
+  minimum fragment size doubles every phase, so ``⌈log2 n⌉`` phases
+  complete the MST. Tree heights can reach the component size, so windows
+  use the safe budget ``B = n``; message *traffic* nevertheless dies out
+  early, giving the paper's "congestion Õ(log n), dilation Õ(n)" profile.
+
+* ``star`` (controlled merging, used by the tradeoff MST): each phase,
+  each fragment is pseudo-randomly *heads* or *tails* (a hash of
+  (fragment id, phase)); only tails fragments whose MOE points into a
+  heads fragment attach, so merges are stars around heads fragments and
+  tree heights obey ``H_{p+1} ≤ 3·H_p + 1``, letting phase ``p`` run with
+  the small budget ``B_p = min(3^p + 2, n)``. Fragments that reach the
+  ``size_cap`` stop initiating merges (but still accept attachments).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from ..._util import stable_digest
+from ...congest.network import Edge, Network
+from ...congest.program import NodeContext, NodeProgram
+
+__all__ = ["FragmentProgram", "chain_budgets", "star_budgets", "phase_schedule"]
+
+#: An MOE record: (weight, endpoint-in-fragment, endpoint-outside).
+MoeRecord = Tuple[int, int, int]
+
+
+def chain_budgets(num_nodes: int, num_phases: int) -> List[int]:
+    """Safe per-phase window budgets for chain merging: ``B = n``."""
+    return [num_nodes] * num_phases
+
+
+def star_budgets(num_nodes: int, num_phases: int) -> List[int]:
+    """Growing budgets for star merging: ``B_p = min(3^p + 2, n)``.
+
+    Star-merge tree heights satisfy ``H_p ≤ (3^p - 1)/2``; the window must
+    cover one convergecast/broadcast (``≤ H_p + 1``) and one re-label
+    flood (``≤ 2·H_p + 2``), both under ``3^p + 2``.
+    """
+    return [min(3**p + 2, num_nodes) for p in range(num_phases)]
+
+
+def phase_schedule(budgets: List[int]) -> List[Tuple[int, int]]:
+    """``(start round S, budget B)`` per phase; phase length is ``3B + 2``."""
+    schedule = []
+    start = 1
+    for budget in budgets:
+        schedule.append((start, budget))
+        start += 3 * budget + 2
+    return schedule
+
+
+def _frag_bit(fragment: int, phase: int, salt: Any) -> int:
+    """Deterministic pseudo-coin: 0 = heads (passive), 1 = tails."""
+    return stable_digest("frag-bit", salt, fragment, phase)[0] & 1
+
+
+class FragmentProgram(NodeProgram):
+    """Per-node state machine for the fragment-merging phases.
+
+    Subclasses hook :meth:`on_phases_complete` (called at the processing
+    round in which the final phase ends) to either halt (plain Borůvka)
+    or start a follow-up stage (the tradeoff MST's pipelined upcast).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        neighbors: Tuple[int, ...],
+        weights: Mapping[Edge, int],
+        budgets: List[int],
+        mode: str,
+        size_cap: Optional[int],
+        salt: Any,
+    ):
+        super().__init__()
+        if mode not in ("chain", "star"):
+            raise ValueError("mode must be 'chain' or 'star'")
+        self._node = node
+        self._weights = {
+            Network.canonical_edge(node, nbr): weights[
+                Network.canonical_edge(node, nbr)
+            ]
+            for nbr in neighbors
+        }
+        self._mode = mode
+        self._size_cap = size_cap
+        self._salt = salt
+        self._schedule = phase_schedule(budgets)
+
+        # fragment state
+        self.frag = node
+        self.parent: Optional[int] = None
+        self.tree_neighbors: Set[int] = set()
+
+        # per-phase scratch
+        self._neighbor_frag: Dict[int, int] = {}
+        self._children_pending: Set[int] = set()
+        self._best_moe: Optional[MoeRecord] = None
+        self._subtree_size = 1
+        self._reported_up = False
+        self._fragment_moe: Optional[MoeRecord] = None
+        self._sent_connect_over: Optional[int] = None
+        self._got_newfrag = False
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+
+    def on_phases_complete(self, ctx: NodeContext) -> None:
+        """Called once, at the processing round ending the last phase."""
+        self.halt()
+
+    def after_phases_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        """Called for every round after the phases (if not halted)."""
+        self.halt()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def phases_end_round(self) -> int:
+        """The processing round at which the final phase completes."""
+        start, budget = self._schedule[-1]
+        return start + 3 * budget + 1
+
+    def mst_edges(self) -> Tuple[Edge, ...]:
+        """This node's incident tree edges (canonical, sorted)."""
+        return tuple(
+            sorted(
+                Network.canonical_edge(self._node, nbr)
+                for nbr in self.tree_neighbors
+            )
+        )
+
+    def output(self) -> Tuple[Edge, ...]:
+        return self.mst_edges()
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.send_all(("fid", self.frag))
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        r = ctx.round
+        phase = self._phase_of(r)
+        if phase is None:
+            self.after_phases_round(ctx, inbox)
+            return
+        start, budget = self._schedule[phase]
+        offset = r - start
+        self._phase_round(ctx, inbox, phase, start, budget, offset)
+        if r == self.phases_end_round:
+            self.on_phases_complete(ctx)
+
+    def _phase_of(self, r: int) -> Optional[int]:
+        for index, (start, budget) in enumerate(self._schedule):
+            if start <= r <= start + 3 * budget + 1:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # one phase
+    # ------------------------------------------------------------------
+
+    def _children(self) -> Set[int]:
+        return {
+            nbr for nbr in self.tree_neighbors if nbr != self.parent
+        }
+
+    def _local_candidate(self) -> Optional[MoeRecord]:
+        best: Optional[MoeRecord] = None
+        for nbr, frag in self._neighbor_frag.items():
+            if frag == self.frag:
+                continue
+            w = self._weights[Network.canonical_edge(self._node, nbr)]
+            record = (w, self._node, nbr)
+            if best is None or record < best:
+                best = record
+        return best
+
+    def _try_report_up(self, ctx: NodeContext) -> None:
+        if self._reported_up or self._children_pending:
+            return
+        self._reported_up = True
+        if self.parent is not None:
+            ctx.send(self.parent, ("up", self._best_moe, self._subtree_size))
+
+    def _phase_round(
+        self,
+        ctx: NodeContext,
+        inbox: Mapping[int, Any],
+        phase: int,
+        start: int,
+        budget: int,
+        offset: int,
+    ) -> None:
+        if offset == 0:
+            # Fragment-id exchange arrived; reset phase state and, if a
+            # leaf, immediately report up.
+            self._neighbor_frag = {s: m[1] for s, m in inbox.items() if m[0] == "fid"}
+            self._children_pending = set(self._children())
+            self._best_moe = self._local_candidate()
+            self._subtree_size = 1
+            self._reported_up = False
+            self._fragment_moe = None
+            self._sent_connect_over = None
+            self._got_newfrag = False
+            self._try_report_up(ctx)
+            return
+
+        if 1 <= offset <= budget:
+            # Convergecast window: absorb child reports.
+            for sender, message in sorted(inbox.items()):
+                if message[0] != "up":
+                    continue
+                _, child_moe, child_size = message
+                self._children_pending.discard(sender)
+                self._subtree_size += child_size
+                if child_moe is not None and (
+                    self._best_moe is None or child_moe < self._best_moe
+                ):
+                    self._best_moe = child_moe
+            if offset < budget:
+                self._try_report_up(ctx)
+            if offset == budget and self.parent is None:
+                # Root announces the MOE (or passivity / completion).
+                moe = self._best_moe
+                if (
+                    self._size_cap is not None
+                    and self._subtree_size >= self._size_cap
+                ):
+                    moe = None
+                self._fragment_moe = moe
+                for child in self._children():
+                    ctx.send(child, ("moe", moe))
+                self._after_moe_known(ctx, phase, start, budget)
+            return
+
+        if budget + 1 <= offset <= 2 * budget:
+            # Broadcast window: learn the fragment MOE, forward down.
+            for sender, message in sorted(inbox.items()):
+                if message[0] != "moe":
+                    continue
+                self._fragment_moe = message[1]
+                for child in self._children():
+                    ctx.send(child, ("moe", self._fragment_moe))
+                self._after_moe_known(ctx, phase, start, budget)
+            if offset == 2 * budget:
+                # Every member knows the MOE by now; the inside endpoint
+                # fires the connect, which arrives at offset 2B + 1.
+                self._maybe_send_connect(ctx, phase)
+            return
+
+        if offset == 2 * budget + 1:
+            # Connect round: process incoming connects; merged sides start
+            # the re-label flood.
+            self._process_connects(ctx, inbox, phase)
+            return
+
+        # Re-label flood window.
+        for sender, message in sorted(inbox.items()):
+            if message[0] != "newfrag":
+                continue
+            if not self._got_newfrag:
+                self._got_newfrag = True
+                self.frag = message[1]
+                self.parent = sender
+                if offset < 3 * budget + 1:
+                    for nbr in self.tree_neighbors:
+                        if nbr != sender:
+                            ctx.send(nbr, ("newfrag", self.frag))
+        if offset == 3 * budget + 1:
+            # Phase over: send next phase's fragment ids (or finish).
+            if phase + 1 < len(self._schedule):
+                ctx.send_all(("fid", self.frag))
+
+    # -- MOE / connect handling -----------------------------------------
+
+    def _after_moe_known(
+        self, ctx: NodeContext, phase: int, start: int, budget: int
+    ) -> None:
+        """Nothing to do immediately; connects fire at a fixed offset."""
+
+    def _should_connect(self, phase: int) -> bool:
+        """Whether this fragment initiates a merge across its MOE."""
+        moe = self._fragment_moe
+        if moe is None or moe[1] != self._node:
+            return False
+        if self._mode == "chain":
+            return True
+        # star: only tails fragments attach, and only onto heads targets.
+        if _frag_bit(self.frag, phase, self._salt) != 1:
+            return False
+        target_frag = self._neighbor_frag.get(moe[2])
+        if target_frag is None:
+            return False
+        return _frag_bit(target_frag, phase, self._salt) == 0
+
+    def _process_connects(
+        self, ctx: NodeContext, inbox: Mapping[int, Any], phase: int
+    ) -> None:
+        # The connect messages were *sent* at offset 2B (by MOE endpoints,
+        # right after the broadcast window closed) and arrive here.
+        received_from = {
+            s for s, m in inbox.items() if m[0] == "connect"
+        }
+        for sender in received_from:
+            self.tree_neighbors.add(sender)
+
+        if self._mode == "chain":
+            sent_over = self._sent_connect_over
+            if sent_over is not None and sent_over in received_from:
+                # Mutual MOE: this edge is the merge component's core.
+                other = sent_over
+                if self._node < other:
+                    # I am the new root: re-label my whole component.
+                    self.frag = self._node
+                    self.parent = None
+                    self._got_newfrag = True
+                    for nbr in self.tree_neighbors:
+                        ctx.send(nbr, ("newfrag", self.frag))
+        else:
+            # star: heads-side receivers answer with the re-label flood
+            # into each attached tails tree (their own id is unchanged).
+            for sender in received_from:
+                ctx.send(sender, ("newfrag", self.frag))
+
+    # -- connect emission --------------------------------------------------
+
+    def _maybe_send_connect(self, ctx: NodeContext, phase: int) -> None:
+        if self._should_connect(phase):
+            moe = self._fragment_moe
+            assert moe is not None
+            self._sent_connect_over = moe[2]
+            self.tree_neighbors.add(moe[2])
+            ctx.send(moe[2], ("connect", self.frag))

@@ -1,0 +1,366 @@
+"""The congestion/dilation tradeoff MST (paper Section 5).
+
+``TradeoffMST(L)`` exposes the knob the paper's k-shot MST analysis
+relies on: fragments are first grown to size ``≈ L`` (star-merge Borůvka
+phases, Õ(L)-round windows), then the *contracted* fragment graph's MST
+is computed by a pipelined, Kruskal-filtered upcast over a BFS tree and
+broadcast back down. With ``F ≈ n/L`` fragments the second stage moves
+``O(F)`` edge records over each BFS-tree edge, giving
+
+* congestion ``≈ Θ̃(n/L)`` (the upcast/downcast volume), and
+* dilation ``≈ Θ̃(D + n/L + L^{log2 3})`` (BFS + pipeline + fragment
+  phases; the ``L^{log2 3} ≈ L^{1.585}`` term is our star-merge height
+  bound, slightly above Kutten–Peleg's Õ(L) — see DESIGN.md §3 for the
+  substitution note).
+
+``L = 1`` skips the fragment stage entirely and degenerates to the
+paper's "filtering upcast" example (dilation and congestion both Õ(n));
+large ``L`` approaches plain Borůvka. Sweeping ``L`` reproduces the
+tradeoff curve, and scheduling ``k`` instances with the optimal ``L``
+reproduces the k-shot result's shape.
+
+Stage-2 protocol (per node, after a BFS tree from node 0 is built):
+
+* **Upcast.** Each node merges, in increasing weight order, its own
+  incident inter-fragment edges with the streams arriving from its BFS
+  children, discards every edge that closes a cycle among the fragment
+  ids it has already forwarded (local Kruskal — free in CONGEST), and
+  forwards the survivors to its parent, one per round. An edge may be
+  forwarded only when no child can still deliver something lighter
+  (per-child watermarks; children announce exhaustion with "done"), which
+  is the classic pipelined-MSF-upcast correctness condition.
+* **Downcast.** The root's resulting list is the contracted MST; it is
+  broadcast down the BFS tree pipelined, and every node marks its
+  incident entries. Output: incident stage-1 tree edges plus marked
+  inter-fragment edges — verified equal to Kruskal's MST.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from ...congest.network import Edge, Network
+from ...congest.program import Algorithm, NodeContext, NodeProgram
+from .fragments import FragmentProgram, star_budgets
+from .weights import incident_mst_edges, kruskal_mst
+
+__all__ = ["TradeoffMST"]
+
+#: Upcast item: (weight, fragment-a, fragment-b, endpoint-a, endpoint-b).
+Item = Tuple[int, int, int, int, int]
+
+
+class _UnionFind:
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(x, x) != x:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+class _TradeoffProgram(FragmentProgram):
+    def __init__(
+        self,
+        node: int,
+        neighbors: Tuple[int, ...],
+        weights: Mapping[Edge, int],
+        budgets: List[int],
+        size_cap: Optional[int],
+        salt: Any,
+        diameter: int,
+        root: int = 0,
+    ):
+        super().__init__(
+            node, neighbors, weights, budgets, "star", size_cap, salt
+        )
+        self._neighbors = neighbors
+        self._diameter = diameter
+        self._bfs_root = root
+
+        # post-phase state
+        self._final_neighbor_frag: Dict[int, int] = {}
+        self._bfs_depth: Optional[int] = None
+        self._bfs_parent: Optional[int] = None
+        self._bfs_children: Set[int] = set()
+        self._own_items: List[Item] = []
+        self._own_next = 0
+        self._child_queue: Dict[int, List[Item]] = {}
+        self._child_watermark: Dict[int, float] = {}
+        self._forest = _UnionFind()
+        self._sent_done = False
+        self._mst_list: List[Item] = []
+        self._down_started = False
+        self._marked: Set[Edge] = set()
+
+    # -- stage transitions ---------------------------------------------
+
+    @property
+    def _E(self) -> int:
+        """Round at which the fragment phases end (0 when there are none)."""
+        return self.phases_end_round if self._has_phases else 0
+
+    @property
+    def _has_phases(self) -> bool:
+        return bool(self._schedule)
+
+    @property
+    def _up_start(self) -> int:
+        return self._E + self._diameter + 4
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self._has_phases:
+            super().on_start(ctx)
+        else:
+            # No fragment phases: go straight to the final-fid exchange.
+            ctx.send_all(("fid2", self.frag))
+
+    def on_phases_complete(self, ctx: NodeContext) -> None:
+        # Exchange final fragment ids (traverses round E + 1).
+        ctx.send_all(("fid2", self.frag))
+
+    def after_phases_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        r = ctx.round
+        E = self._E
+
+        for sender, message in sorted(inbox.items()):
+            kind = message[0]
+            if kind == "fid2":
+                self._final_neighbor_frag[sender] = message[1]
+            elif kind == "bfs":
+                if self._bfs_depth is None and self._node != self._bfs_root:
+                    self._bfs_depth = message[1] + 1
+                    self._bfs_parent = sender
+                    for nbr in self._neighbors:
+                        if nbr != sender:
+                            ctx.send(nbr, ("bfs", self._bfs_depth))
+                    ctx.send(sender, ("bfsack", None))
+            elif kind == "bfsack":
+                self._bfs_children.add(sender)
+                self._child_queue[sender] = []
+                self._child_watermark[sender] = 0.0
+            elif kind == "up-edge":
+                self._child_queue[sender].append(tuple(message[1]))
+                self._child_watermark[sender] = float(message[1][0])
+            elif kind == "updone":
+                self._child_watermark[sender] = math.inf
+            elif kind == "down":
+                self._handle_down(ctx, tuple(message[1]))
+            elif kind == "downend":
+                self._handle_downend(ctx)
+                return
+
+        if r == E + 1:
+            # Final fragment ids are in; the root launches the BFS wave.
+            if self._node == self._bfs_root:
+                self._bfs_depth = 0
+                self._bfs_parent = None
+                ctx.send_all(("bfs", 0))
+            return
+
+        if r == self._up_start - 1:
+            # BFS structure settled; build the sorted inter-fragment items.
+            items = []
+            my_frag = self.frag
+            for nbr, frag in self._final_neighbor_frag.items():
+                if frag == my_frag:
+                    continue
+                w = self._weights[Network.canonical_edge(self._node, nbr)]
+                fa, fb = min(my_frag, frag), max(my_frag, frag)
+                a, b = min(self._node, nbr), max(self._node, nbr)
+                items.append((w, fa, fb, a, b))
+            items.sort()
+            self._own_items = items
+
+        if r >= self._up_start - 1 and not self._down_started:
+            self._upcast_step(ctx)
+
+    # -- upcast ------------------------------------------------------------
+
+    def _min_watermark(self) -> float:
+        if not self._bfs_children:
+            return math.inf
+        return min(self._child_watermark[c] for c in self._bfs_children)
+
+    def _candidates_exhausted(self) -> bool:
+        return (
+            self._own_next >= len(self._own_items)
+            and all(not q for q in self._child_queue.values())
+            and all(math.isinf(self._child_watermark[c]) for c in self._bfs_children)
+        )
+
+    def _pop_lightest(self) -> Optional[Item]:
+        """Pop the lightest *safe* candidate, or None."""
+        best: Optional[Item] = None
+        source: Optional[int] = None  # child id, or -1 for own
+        if self._own_next < len(self._own_items):
+            best = self._own_items[self._own_next]
+            source = -1
+        for child, queue in self._child_queue.items():
+            if queue and (best is None or queue[0] < best):
+                best = queue[0]
+                source = child
+        if best is None:
+            return None
+        # Safety: no child may still deliver anything lighter.
+        if best[0] > self._min_watermark():
+            return None
+        if source == -1:
+            self._own_next += 1
+        else:
+            self._child_queue[source].pop(0)
+        return best
+
+    def _upcast_step(self, ctx: NodeContext) -> None:
+        is_root = self._bfs_parent is None and self._node == self._bfs_root
+        while True:
+            item = self._pop_lightest()
+            if item is None:
+                break
+            if self._forest.union(item[1], item[2]):
+                if is_root:
+                    self._mst_list.append(item)
+                    continue  # local computation only; keep consuming
+                ctx.send(self._bfs_parent, ("up-edge", item))
+                return  # one transmission per round
+            # cycle edge: discarded, keep looking in the same round
+
+        if is_root:
+            if self._candidates_exhausted():
+                self._begin_downcast(ctx)
+        elif not self._sent_done and self._candidates_exhausted():
+            self._sent_done = True
+            if self._bfs_parent is not None:
+                ctx.send(self._bfs_parent, ("updone", None))
+            elif not self._bfs_children:
+                # Isolated non-root case cannot occur in a connected graph.
+                self.halt()
+
+    # -- downcast -----------------------------------------------------------
+
+    def _begin_downcast(self, ctx: NodeContext) -> None:
+        self._down_started = True
+        for item in self._mst_list:
+            self._mark(item)
+        self._down_queue: List[Item] = list(self._mst_list)
+        self._pump_down(ctx)
+
+    def _pump_down(self, ctx: NodeContext) -> None:
+        if self._down_queue:
+            item = self._down_queue.pop(0)
+            for child in self._bfs_children:
+                ctx.send(child, ("down", item))
+        else:
+            for child in self._bfs_children:
+                ctx.send(child, ("downend", None))
+            self.halt()
+
+    def _mark(self, item: Item) -> None:
+        _, _, _, a, b = item
+        if a == self._node or b == self._node:
+            self._marked.add((a, b))
+
+    def _handle_down(self, ctx: NodeContext, item: Item) -> None:
+        self._down_started = True
+        self._mark(item)
+        for child in self._bfs_children:
+            ctx.send(child, ("down", item))
+
+    def _handle_downend(self, ctx: NodeContext) -> None:
+        for child in self._bfs_children:
+            ctx.send(child, ("downend", None))
+        self.halt()
+
+    # -- root's downcast pump needs a per-round tick -------------------------
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        if self._down_started and self._bfs_parent is None:
+            # Root drives the downcast one record per round.
+            self._pump_down(ctx)
+            return
+        super().on_round(ctx, inbox)
+
+    # -- output ---------------------------------------------------------------
+
+    def output(self) -> Tuple[Edge, ...]:
+        stage1 = {
+            Network.canonical_edge(self._node, nbr)
+            for nbr in self.tree_neighbors
+        }
+        return tuple(sorted(stage1 | self._marked))
+
+
+class TradeoffMST(Algorithm):
+    """MST with the congestion/dilation knob ``L`` (fragment size target).
+
+    Parameters
+    ----------
+    network, weights:
+        The weighted instance; weights must be distinct.
+    size_target:
+        ``L``: fragments grow (star-merge Borůvka) until they reach this
+        size, then the contracted MST is pipelined over a BFS tree.
+        ``L = 1`` skips fragment growth entirely.
+    diameter:
+        Hop diameter (global knowledge, computed if omitted).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weights: Dict[Edge, int],
+        size_target: int = 1,
+        diameter: Optional[int] = None,
+        salt=0,
+    ):
+        if size_target < 1:
+            raise ValueError("size_target must be >= 1")
+        self.weights = dict(weights)
+        self.size_target = size_target
+        self.diameter = diameter if diameter is not None else network.diameter()
+        self.salt = salt
+        if size_target == 1:
+            self.num_phases = 0
+        else:
+            self.num_phases = max(1, math.ceil(math.log2(size_target))) + 2
+        self.budgets = star_budgets(network.num_nodes, self.num_phases)
+
+    @property
+    def name(self) -> str:
+        return f"TradeoffMST(L={self.size_target})"
+
+    def make_program(self, node: int, ctx: NodeContext) -> NodeProgram:
+        return _TradeoffProgram(
+            node,
+            ctx.neighbors,
+            self.weights,
+            self.budgets,
+            size_cap=self.size_target,
+            salt=("tradeoff", self.salt),
+            diameter=self.diameter,
+        )
+
+    def max_rounds(self, network: Network) -> int:
+        phase_rounds = sum(3 * b + 2 for b in self.budgets)
+        n = network.num_nodes
+        return phase_rounds + 3 * self.diameter + 4 * n + 32
+
+    def expected_outputs(self, network: Network) -> dict:
+        """Ground truth: Kruskal's MST as per-node incident edges."""
+        mst = kruskal_mst(network, self.weights)
+        return incident_mst_edges(network, mst)

@@ -1,0 +1,60 @@
+"""Edge weights and the centralized MST reference.
+
+The k-shot MST setting (paper Section 5): one network, ``k`` different
+weight functions ``w_1 .. w_k``, one MST per weight function. Weights are
+made *distinct* so every MST is unique — the standard tie-breaking
+assumption that also makes distributed outputs comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..._util import derive_seed
+from ...congest.network import Edge, Network
+
+__all__ = ["random_weights", "kruskal_mst", "incident_mst_edges"]
+
+
+def random_weights(network: Network, seed: int = 0) -> Dict[Edge, int]:
+    """Distinct random integer weights: a seeded permutation of ``1..m``."""
+    rng = random.Random(derive_seed(seed, "mst-weights"))
+    weights = list(range(1, network.num_edges + 1))
+    rng.shuffle(weights)
+    return {edge: w for edge, w in zip(network.edges, weights)}
+
+
+def kruskal_mst(network: Network, weights: Dict[Edge, int]) -> FrozenSet[Edge]:
+    """The unique MST, by Kruskal with union-find (reference oracle)."""
+    parent = list(range(network.num_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    chosen: Set[Edge] = set()
+    for edge in sorted(network.edges, key=lambda e: weights[e]):
+        ru, rv = find(edge[0]), find(edge[1])
+        if ru != rv:
+            parent[ru] = rv
+            chosen.add(edge)
+    return frozenset(chosen)
+
+
+def incident_mst_edges(
+    network: Network, mst: FrozenSet[Edge]
+) -> Dict[int, Tuple[Edge, ...]]:
+    """Per node, the sorted tuple of incident MST edges.
+
+    This is the standard CONGEST MST output format — each node knows
+    which of its own edges belong to the tree — and the ground truth the
+    distributed algorithms are verified against.
+    """
+    incident: Dict[int, List[Edge]] = {v: [] for v in network.nodes}
+    for u, v in mst:
+        incident[u].append((u, v))
+        incident[v].append((u, v))
+    return {v: tuple(sorted(edges)) for v, edges in incident.items()}

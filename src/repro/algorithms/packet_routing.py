@@ -1,0 +1,83 @@
+"""Packet routing workloads (paper Section 1, special case III).
+
+Packet routing — deliver one message from a source to a destination along
+a given path — is the special case of DAS for which Leighton–Maggs–Rao
+showed optimal ``O(congestion + dilation)`` schedules exist. Here each
+packet is one :class:`~repro.algorithms.tokens.PathToken` algorithm, so
+any of the package's schedulers can run them; the classic LMR yardsticks
+(``C`` = max paths per edge, ``D`` = max path length) can be computed
+directly from the paths without simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from .._util import derive_seed
+from ..congest.network import Network
+from .tokens import PathToken
+
+__all__ = [
+    "shortest_path",
+    "random_packets",
+    "path_parameters",
+]
+
+
+def shortest_path(network: Network, source: int, target: int) -> List[int]:
+    """A shortest path with deterministic (smallest-id parent) tie-breaks."""
+    dist = network.bfs_distances(target)
+    if source not in dist:
+        raise ValueError("target unreachable")
+    path = [source]
+    here = source
+    while here != target:
+        here = min(
+            nbr for nbr in network.neighbors(here) if dist[nbr] == dist[here] - 1
+        )
+        path.append(here)
+    return path
+
+
+def random_packets(
+    network: Network,
+    count: int,
+    seed: int = 0,
+    min_distance: int = 1,
+) -> List[PathToken]:
+    """``count`` packets between random node pairs along shortest paths."""
+    rng = random.Random(derive_seed(seed, "packets"))
+    packets: List[PathToken] = []
+    nodes = list(network.nodes)
+    attempts = 0
+    while len(packets) < count:
+        attempts += 1
+        if attempts > 100 * count + 100:
+            raise ValueError(
+                f"could not find {count} pairs at distance >= {min_distance}"
+            )
+        s, t = rng.sample(nodes, 2)
+        path = shortest_path(network, s, t)
+        if len(path) - 1 < min_distance:
+            continue
+        packets.append(PathToken(path, token=1000 + len(packets)))
+    return packets
+
+
+def path_parameters(packets: Sequence[PathToken]) -> Tuple[int, int]:
+    """The LMR parameters ``(congestion, dilation)`` of a packet set.
+
+    ``congestion`` counts, per undirected edge, the packets whose path
+    uses it; ``dilation`` is the longest path length.
+    """
+    per_edge: Counter = Counter()
+    dilation = 0
+    for packet in packets:
+        path = packet.path
+        dilation = max(dilation, len(path) - 1)
+        for a, b in zip(path, path[1:]):
+            per_edge[Network.canonical_edge(a, b)] += 1
+    congestion = max(per_edge.values()) if per_edge else 0
+    return congestion, dilation

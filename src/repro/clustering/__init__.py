@@ -1,0 +1,30 @@
+"""Ball-carving clustering and cluster-local randomness sharing
+(Lemmas 4.2 and 4.3)."""
+
+from .carving import ClusterLayer, carve_layer, draw_radii_and_labels
+from .distributed import CarvingOutput, CarvingProtocol, run_distributed_clustering
+from .layers import (
+    Clustering,
+    build_clustering,
+    carving_horizon,
+    cluster_seed_bits,
+    default_num_layers,
+    default_sharing_chunks,
+    extend_clustering,
+)
+
+__all__ = [
+    "CarvingOutput",
+    "CarvingProtocol",
+    "ClusterLayer",
+    "Clustering",
+    "build_clustering",
+    "carve_layer",
+    "carving_horizon",
+    "cluster_seed_bits",
+    "default_num_layers",
+    "default_sharing_chunks",
+    "draw_radii_and_labels",
+    "extend_clustering",
+    "run_distributed_clustering",
+]

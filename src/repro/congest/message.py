@@ -1,0 +1,67 @@
+"""Message size accounting for the CONGEST model.
+
+The CONGEST model allows one ``O(log n)``-bit message per edge direction per
+round. We do not serialize payloads to real wire formats; instead
+:func:`payload_bits` conservatively estimates the information content of a
+payload so the simulator can enforce (or at least report) the bit budget.
+
+Payloads are ordinary Python values. Supported: ``None``, ``bool``, ``int``,
+``float``, ``str``, ``bytes`` and (nested) tuples/lists of those. Sets and
+dicts are rejected: CONGEST algorithms should send flat, explicitly encoded
+records, not containers of unbounded size.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import BandwidthViolation
+from .._util import ceil_log2
+
+__all__ = ["payload_bits", "default_message_bits", "check_payload"]
+
+
+def payload_bits(payload: Any) -> int:
+    """Conservative bit-size estimate of a message payload."""
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length()) + 1  # + sign bit
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if isinstance(payload, bytes):
+        return 8 * len(payload)
+    if isinstance(payload, (tuple, list)):
+        # 2 framing bits per element so () and ((),) differ.
+        return sum(payload_bits(item) + 2 for item in payload)
+    raise BandwidthViolation(
+        f"unsupported payload type {type(payload).__name__}; "
+        "send flat tuples of ints/floats/strings"
+    )
+
+
+def default_message_bits(num_nodes: int) -> int:
+    """Default per-message bit budget ``Θ(log n)`` for an ``n``-node network.
+
+    The constant is generous (``32·⌈log2 n⌉ + 128``) so that legitimate
+    ``O(log n)``-bit protocol messages — a few node ids, a hop count, a
+    weight, a seed chunk — always fit, while shipping whole neighbour lists
+    or vertex sets trips the check.
+    """
+    return 32 * max(1, ceil_log2(num_nodes + 1)) + 128
+
+
+def check_payload(payload: Any, budget: int) -> int:
+    """Validate a payload against a bit budget; return its size.
+
+    Raises :class:`~repro.errors.BandwidthViolation` when the payload is
+    oversized or of an unsupported type.
+    """
+    size = payload_bits(payload)
+    if size > budget:
+        raise BandwidthViolation(
+            f"payload of {size} bits exceeds per-message budget of {budget} bits"
+        )
+    return size

@@ -1,0 +1,245 @@
+"""The communication network underlying the CONGEST model.
+
+The paper (Section 1) models the network as an undirected graph
+``G = (V, E)`` with ``|V| = n``; communication proceeds in synchronous
+rounds and in each round each node may send one ``O(log n)``-bit message to
+each of its neighbours.
+
+:class:`Network` is an immutable wrapper around such a graph offering the
+queries that node programs, schedulers and the clustering machinery need:
+neighbourhoods, balls, BFS distances, diameter, and canonical edge
+indexing. Nodes are always the integers ``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set, Tuple
+
+import networkx as nx
+
+from ..errors import NetworkError
+
+__all__ = ["Network", "Edge", "DirectedEdge"]
+
+#: Canonical undirected edge: ``(min(u, v), max(u, v))``.
+Edge = Tuple[int, int]
+
+#: Directed edge (sender, receiver) — the unit of CONGEST bandwidth.
+DirectedEdge = Tuple[int, int]
+
+
+class Network:
+    """An immutable, connected, simple undirected communication graph.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs over node ids ``0 .. n-1``. Self loops
+        and duplicate edges are rejected.
+    num_nodes:
+        Optional explicit node count. If omitted, inferred as
+        ``max node id + 1``. Isolated nodes are rejected (the CONGEST model
+        assumes a connected network).
+    """
+
+    def __init__(self, edges: Iterable[Tuple[int, int]], num_nodes: int | None = None):
+        edge_set: Set[Edge] = set()
+        max_node = -1
+        for u, v in edges:
+            if u == v:
+                raise NetworkError(f"self loop at node {u}")
+            if u < 0 or v < 0:
+                raise NetworkError("node ids must be non-negative")
+            edge_set.add((min(u, v), max(u, v)))
+            max_node = max(max_node, u, v)
+        if num_nodes is None:
+            num_nodes = max_node + 1
+        if max_node >= num_nodes:
+            raise NetworkError(
+                f"edge mentions node {max_node} but num_nodes={num_nodes}"
+            )
+        if num_nodes <= 0:
+            raise NetworkError("a network needs at least one node")
+
+        adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        for u, v in edge_set:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        for nbrs in adjacency:
+            nbrs.sort()
+
+        self._n = num_nodes
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(nbrs) for nbrs in adjacency
+        )
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._edge_index: Dict[Edge, int] = {e: i for i, e in enumerate(self._edges)}
+        self._diameter: int | None = None
+        self._check_connected()
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return len(self._edges)
+
+    @property
+    def nodes(self) -> range:
+        """All node ids, ``0 .. n-1``."""
+        return range(self._n)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All canonical undirected edges, sorted."""
+        return self._edges
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbours of ``v``."""
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adjacency[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes."""
+        return max(len(nbrs) for nbrs in self._adjacency)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return (min(u, v), max(u, v)) in self._edge_index
+
+    @staticmethod
+    def canonical_edge(u: int, v: int) -> Edge:
+        """The canonical (sorted) form of the undirected edge ``{u, v}``."""
+        return (u, v) if u <= v else (v, u)
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Dense index of the undirected edge ``{u, v}`` in :attr:`edges`."""
+        return self._edge_index[self.canonical_edge(u, v)]
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+
+    def bfs_distances(self, source: int, cutoff: int | None = None) -> Dict[int, int]:
+        """Hop distances from ``source`` to every node within ``cutoff``.
+
+        ``cutoff=None`` means no limit; the result then covers all nodes.
+        """
+        dist = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            d = dist[u]
+            if cutoff is not None and d >= cutoff:
+                continue
+            for w in self._adjacency[u]:
+                if w not in dist:
+                    dist[w] = d + 1
+                    frontier.append(w)
+        return dist
+
+    def ball(self, center: int, radius: int) -> Set[int]:
+        """The set of nodes within ``radius`` hops of ``center`` (inclusive)."""
+        if radius < 0:
+            return set()
+        return set(self.bfs_distances(center, cutoff=radius))
+
+    def distance(self, u: int, v: int) -> int:
+        """Hop distance between ``u`` and ``v``."""
+        return self.bfs_distances(u)[v]
+
+    def eccentricity(self, v: int) -> int:
+        """Maximum distance from ``v`` to any node."""
+        return max(self.bfs_distances(v).values())
+
+    def diameter(self) -> int:
+        """Exact hop diameter ``D`` of the network (cached)."""
+        if self._diameter is None:
+            self._diameter = max(self.eccentricity(v) for v in self.nodes)
+        return self._diameter
+
+    def weak_diameter(self, nodes: Iterable[int]) -> int:
+        """Weak diameter of a node set: max *network* distance within it.
+
+        Lemma 4.2 bounds cluster *weak* diameters — distances measured in
+        ``G`` itself rather than in the induced subgraph.
+        """
+        node_list = list(nodes)
+        if not node_list:
+            return 0
+        best = 0
+        members = set(node_list)
+        for s in node_list:
+            dist = self.bfs_distances(s)
+            best = max(best, max(dist[v] for v in members))
+        return best
+
+    # ------------------------------------------------------------------
+    # interop / misc
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "Network":
+        """Build a :class:`Network` from a networkx graph.
+
+        Node labels must already be ``0 .. n-1`` integers; use
+        ``networkx.convert_node_labels_to_integers`` first otherwise.
+        """
+        return cls(graph.edges(), num_nodes=graph.number_of_nodes())
+
+    def to_json(self) -> str:
+        """Serialize the topology as JSON (for schedule artifacts)."""
+        import json
+
+        return json.dumps(
+            {"num_nodes": self._n, "edges": [list(e) for e in self._edges]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Network":
+        """Rebuild a network serialized by :meth:`to_json`."""
+        import json
+
+        data = json.loads(text)
+        return cls(
+            (tuple(e) for e in data["edges"]), num_nodes=data["num_nodes"]
+        )
+
+    def to_networkx(self) -> nx.Graph:
+        """Export as a networkx graph (nodes ``0..n-1``)."""
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes)
+        g.add_edges_from(self._edges)
+        return g
+
+    def _check_connected(self) -> None:
+        if self._n == 1:
+            return
+        seen = self.bfs_distances(0)
+        if len(seen) != self._n:
+            missing = sorted(set(self.nodes) - set(seen))[:5]
+            raise NetworkError(
+                f"network is disconnected; e.g. nodes {missing} unreachable from 0"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(n={self._n}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Network):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))

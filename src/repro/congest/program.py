@@ -1,0 +1,243 @@
+"""Node programs: the unit of distributed computation.
+
+A distributed algorithm in the CONGEST model is, per the paper's Section 2,
+a per-node state machine: "when this algorithm is run alone, in each round
+each node knows what to send in the next round", as a function of its input,
+its (pre-sampled) randomness, and the messages it has received so far.
+
+We model this with two classes:
+
+* :class:`Algorithm` — a factory describing one distributed algorithm
+  (e.g. "BFS from node 7", "broadcast of token 12 up to 5 hops"). It builds
+  one :class:`NodeProgram` per node.
+* :class:`NodeProgram` — the per-node automaton. The *engine* owns time: it
+  calls :meth:`NodeProgram.on_start` once, then :meth:`NodeProgram.on_round`
+  once per algorithm-round with that round's inbox. Programs send by calling
+  :meth:`NodeContext.send`, which buffers messages for the next round.
+
+This pull-based design is what lets schedulers remap algorithm-rounds onto
+arbitrary physical rounds (random start delays, big-rounds, truncated
+cluster copies) without the algorithm noticing — the paper's requirement
+that algorithms be scheduled as black boxes.
+
+Randomness is exposed as ``ctx.rng``, a :class:`random.Random` seeded
+deterministically from ``(master seed, algorithm id, node)``. The paper
+treats each node's random bits as part of its input, fixed before the
+execution starts; deterministic seeding reproduces exactly that: every copy
+of an algorithm run by a scheduler draws the same random tape and therefore
+behaves identically given identical inbox histories.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, List, Mapping, Optional, Tuple
+
+from ..errors import BandwidthViolation
+from .._util import derive_seed
+from .message import check_payload
+from .network import Network
+
+__all__ = ["NodeContext", "NodeProgram", "Algorithm", "ProgramHost", "Send"]
+
+#: A buffered outgoing message: ``(destination node, payload)``.
+Send = Tuple[int, Any]
+
+
+class NodeContext:
+    """Per-node execution context handed to a :class:`NodeProgram`.
+
+    Provides the node's identity, its local view of the network (neighbours
+    and the global parameter ``n``), its private random tape, and the
+    :meth:`send` primitive. One context exists per (algorithm copy, node)
+    and lives for the whole execution.
+    """
+
+    __slots__ = (
+        "node",
+        "num_nodes",
+        "neighbors",
+        "rng",
+        "round",
+        "_message_bits",
+        "_outbox",
+        "_sent_to",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        network: Network,
+        seed: int,
+        message_bits: Optional[int] = None,
+    ):
+        self.node = node
+        self.num_nodes = network.num_nodes
+        self.neighbors: Tuple[int, ...] = network.neighbors(node)
+        self.rng = random.Random(seed)
+        #: Current algorithm-round (0 before the first round).
+        self.round = 0
+        self._message_bits = message_bits
+        self._outbox: List[Send] = []
+        self._sent_to: set = set()
+
+    def send(self, neighbor: int, payload: Any) -> None:
+        """Buffer one message to ``neighbor``, delivered next round.
+
+        Enforces the CONGEST constraints: the destination must be a
+        neighbour, at most one message per neighbour per round, and the
+        payload must fit the per-message bit budget (when one is set).
+        """
+        if neighbor in self._sent_to:
+            raise BandwidthViolation(
+                f"node {self.node} sent twice to {neighbor} in round {self.round}"
+            )
+        if neighbor not in self.neighbors:
+            raise BandwidthViolation(
+                f"node {self.node} tried to send to non-neighbour {neighbor}"
+            )
+        if self._message_bits is not None:
+            check_payload(payload, self._message_bits)
+        self._sent_to.add(neighbor)
+        self._outbox.append((neighbor, payload))
+
+    def send_all(self, payload: Any) -> None:
+        """Send the same payload to every neighbour."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, payload)
+
+    def _drain(self) -> List[Send]:
+        out, self._outbox = self._outbox, []
+        self._sent_to.clear()
+        return out
+
+
+class NodeProgram(ABC):
+    """The per-node behaviour of one distributed algorithm.
+
+    Subclasses implement :meth:`on_round` (and optionally
+    :meth:`on_start`), call ``ctx.send`` to communicate, :meth:`halt` when
+    locally finished, and expose their result via :meth:`output`.
+
+    A program that has halted receives no further ``on_round`` calls; any
+    messages still addressed to it are dropped by the engine.
+    """
+
+    def __init__(self) -> None:
+        self._halted = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Called once before round 1. Sends here are delivered in round 1."""
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        """Process the inbox of one algorithm-round and buffer next sends.
+
+        ``inbox`` maps sender node id to payload for every message that
+        traversed an incident edge toward this node during round
+        ``ctx.round``.
+        """
+
+    def halt(self) -> None:
+        """Mark this node as locally finished."""
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        """Whether this node has locally finished."""
+        return self._halted
+
+    def output(self) -> Any:
+        """The node's output value (``None`` until decided)."""
+        return None
+
+
+class Algorithm(ABC):
+    """A distributed algorithm: a factory of per-node programs.
+
+    Instances carry the algorithm's *global* parameters (source node, hop
+    bound, weight function, ...). The distributed-algorithm-scheduling
+    machinery identifies algorithms by the index they get in a workload; the
+    :attr:`name` is purely cosmetic.
+    """
+
+    @property
+    def name(self) -> str:
+        """Human-readable algorithm name (defaults to the class name)."""
+        return type(self).__name__
+
+    @abstractmethod
+    def make_program(self, node: int, ctx: NodeContext) -> NodeProgram:
+        """Create this algorithm's program for ``node``."""
+
+    def max_rounds(self, network: Network) -> int:
+        """Safety cap on solo running time (engine raises past this)."""
+        return 4 * network.num_nodes + 16
+
+
+class ProgramHost:
+    """Drives one (algorithm, node) program on behalf of an engine.
+
+    Engines never touch :class:`NodeProgram` directly; they create one host
+    per participating node and call :meth:`start` once and :meth:`step` once
+    per algorithm-round, collecting the buffered sends. This indirection is
+    shared by the solo simulator and by every scheduler engine, so an
+    algorithm sees exactly the same driving protocol no matter how it is
+    being scheduled.
+    """
+
+    __slots__ = ("node", "ctx", "program", "_started")
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        node: int,
+        network: Network,
+        seed: int,
+        message_bits: Optional[int] = None,
+    ):
+        self.node = node
+        self.ctx = NodeContext(node, network, seed, message_bits)
+        self.program = algorithm.make_program(node, self.ctx)
+        self._started = False
+
+    @classmethod
+    def seed_for(cls, master_seed: int, algorithm_id: Any, node: int) -> int:
+        """The canonical per-(algorithm, node) seed derivation."""
+        return derive_seed(master_seed, "node-program", algorithm_id, node)
+
+    def start(self) -> List[Send]:
+        """Run ``on_start``; return sends to be delivered in round 1."""
+        if self._started:
+            raise RuntimeError("ProgramHost.start called twice")
+        self._started = True
+        self.ctx.round = 0
+        if not self.program.halted:
+            self.program.on_start(self.ctx)
+        return self.ctx._drain()
+
+    def step(self, algo_round: int, inbox: Mapping[int, Any]) -> List[Send]:
+        """Run one algorithm-round; return sends for the following round.
+
+        ``algo_round`` is the algorithm-local round number (1-based) whose
+        inbox is being delivered. Halted programs ignore the call.
+        """
+        if not self._started:
+            raise RuntimeError("ProgramHost.step before start")
+        if self.program.halted:
+            return []
+        self.ctx.round = algo_round
+        self.program.on_round(self.ctx, inbox)
+        return self.ctx._drain()
+
+    @property
+    def halted(self) -> bool:
+        """Whether the underlying program has halted."""
+        return self.program.halted
+
+    def output(self) -> Any:
+        """The underlying program's output."""
+        return self.program.output()

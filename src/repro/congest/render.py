@@ -1,0 +1,106 @@
+"""ASCII rendering of communication patterns (the paper's Figure 1).
+
+Figure 1 depicts an algorithm's communication pattern as a subgraph of
+the time-expanded graph ``G × [T]``: columns of node-copies ``V_0 .. V_T``
+with an arrow ``(v_{i-1} -> u_i)`` for each message. Terminal-friendly
+reproduction::
+
+    >>> print(render_pattern(network, pattern))
+    node |  r1   r2   r3
+    -----+---------------
+       0 | ->1
+       1 |      ->2
+       2 |           ->3
+
+plus :func:`render_schedule_timeline`, a per-algorithm occupancy chart of
+a delay schedule — which phases each algorithm is active in.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from .network import Network
+from .pattern import CommunicationPattern
+
+__all__ = ["render_pattern", "render_schedule_timeline"]
+
+
+def render_pattern(
+    network: Network,
+    pattern: CommunicationPattern,
+    max_rounds: Optional[int] = None,
+    max_nodes: int = 40,
+) -> str:
+    """Render a pattern as a node × round grid of ``->dst`` cells."""
+    span = pattern.length if max_rounds is None else min(pattern.length, max_rounds)
+    sends: Dict[int, Dict[int, List[int]]] = defaultdict(lambda: defaultdict(list))
+    active_nodes = set()
+    for r, u, v in sorted(pattern.events):
+        if r <= span:
+            sends[u][r].append(v)
+            active_nodes.add(u)
+            active_nodes.add(v)
+
+    nodes = sorted(active_nodes)[:max_nodes]
+    if not nodes:
+        return "(empty pattern)"
+
+    cells: Dict[int, List[str]] = {}
+    for node in nodes:
+        row = []
+        for r in range(1, span + 1):
+            targets = sends[node].get(r)
+            row.append("->" + ",".join(map(str, targets)) if targets else "")
+        cells[node] = row
+
+    col_width = [
+        max(3, max(len(cells[node][r]) for node in nodes))
+        for r in range(span)
+    ]
+    node_width = max(4, max(len(str(v)) for v in nodes))
+
+    header = "node".rjust(node_width) + " | " + "  ".join(
+        f"r{r + 1}".ljust(col_width[r]) for r in range(span)
+    )
+    ruler = "-" * node_width + "-+-" + "-" * (len(header) - node_width - 3)
+    lines = [header.rstrip(), ruler]
+    for node in nodes:
+        row = "  ".join(
+            cells[node][r].ljust(col_width[r]) for r in range(span)
+        )
+        lines.append(f"{str(node).rjust(node_width)} | {row}".rstrip())
+    if len(active_nodes) > max_nodes:
+        lines.append(f"... ({len(active_nodes) - max_nodes} more nodes)")
+    return "\n".join(lines)
+
+
+def render_schedule_timeline(
+    dilations: Sequence[int],
+    delays: Sequence[int],
+    labels: Optional[Sequence[str]] = None,
+    cell: str = "#",
+) -> str:
+    """Render which phases each delayed algorithm occupies.
+
+    ``dilations[i]`` is algorithm ``i``'s solo round count; ``delays[i]``
+    its start phase. One row per algorithm, one column per phase::
+
+        A0 |...####......|
+        A1 |......####...|
+    """
+    if len(dilations) != len(delays):
+        raise ValueError("need one delay per dilation")
+    if labels is None:
+        labels = [f"A{i}" for i in range(len(dilations))]
+    total = max(
+        (delay + dil for delay, dil in zip(delays, dilations)), default=0
+    )
+    width = max(len(str(label)) for label in labels) if labels else 2
+    lines = []
+    for label, delay, dil in zip(labels, delays, dilations):
+        row = "." * delay + cell * dil + "." * (total - delay - dil)
+        lines.append(f"{str(label).rjust(width)} |{row}|")
+    lines.append(f"{'':>{width}}  phases 0..{max(total - 1, 0)}")
+    return "\n".join(lines)

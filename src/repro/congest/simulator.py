@@ -1,0 +1,181 @@
+"""The solo CONGEST simulator: run one algorithm alone on a network.
+
+This is the reference executor: schedulers must reproduce, for every
+algorithm and every node, exactly the output that :func:`solo_run` yields.
+It also produces the execution trace from which the scheduling parameters
+``congestion`` and ``dilation`` are measured.
+
+Round semantics (matching the paper's Figure 1 indexing):
+
+* ``on_start`` runs before round 1; its sends traverse edges *during*
+  round 1 and appear in the trace with round index 1.
+* the inbox delivered to ``on_round`` with ``ctx.round == t`` contains the
+  messages that traversed edges during round ``t``; sends buffered there
+  traverse during round ``t + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import SimulationLimitExceeded
+from .message import default_message_bits, payload_bits
+from .network import Network
+from .pattern import CommunicationPattern
+from .program import Algorithm, ProgramHost
+from .trace import ExecutionTrace
+
+__all__ = ["SoloRun", "Simulator", "solo_run"]
+
+
+@dataclass
+class SoloRun:
+    """The result of running one algorithm alone.
+
+    Attributes
+    ----------
+    outputs:
+        Per-node outputs, ``node -> value``. This is the ground truth that
+        scheduled executions are verified against.
+    rounds:
+        Number of communication rounds used, i.e. the largest round index
+        during which some message was in transit. This is the algorithm's
+        contribution to ``dilation``.
+    completion_round:
+        Round by which every node program had halted.
+    trace:
+        The full execution trace (footprint).
+    max_message_bits:
+        Size of the largest payload sent (CONGEST fidelity metric: must
+        stay ``O(log n)``; the engine enforces the budget when one is
+        set, this records how much of it was used).
+    """
+
+    algorithm: Algorithm
+    outputs: Dict[int, Any]
+    rounds: int
+    completion_round: int
+    trace: ExecutionTrace = field(repr=False)
+    max_message_bits: int = 0
+
+    @property
+    def pattern(self) -> CommunicationPattern:
+        """The communication pattern (footprint) of this run."""
+        return CommunicationPattern.from_trace(self.trace)
+
+
+class Simulator:
+    """Synchronous round-by-round executor for a single algorithm.
+
+    Parameters
+    ----------
+    network:
+        The communication graph.
+    message_bits:
+        Per-message bit budget. ``None`` disables size enforcement;
+        the default applies the ``Θ(log n)`` CONGEST budget.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        message_bits: Optional[int] = -1,
+    ):
+        self.network = network
+        if message_bits == -1:
+            message_bits = default_message_bits(network.num_nodes)
+        self.message_bits = message_bits
+
+    def run(
+        self,
+        algorithm: Algorithm,
+        seed: int = 0,
+        algorithm_id: Any = None,
+        max_rounds: Optional[int] = None,
+    ) -> SoloRun:
+        """Execute ``algorithm`` alone until all node programs halt.
+
+        ``seed`` is the master seed; each node's random tape is derived
+        from ``(seed, algorithm_id, node)`` so re-running with the same
+        arguments is fully deterministic. ``algorithm_id`` defaults to the
+        algorithm's name.
+        """
+        if algorithm_id is None:
+            algorithm_id = algorithm.name
+        if max_rounds is None:
+            max_rounds = algorithm.max_rounds(self.network)
+
+        network = self.network
+        hosts: List[ProgramHost] = [
+            ProgramHost(
+                algorithm,
+                node,
+                network,
+                ProgramHost.seed_for(seed, algorithm_id, node),
+                self.message_bits,
+            )
+            for node in network.nodes
+        ]
+
+        trace = ExecutionTrace()
+        max_bits = 0
+
+        # Sends buffered for the upcoming round: receiver -> {sender: payload}.
+        pending: Dict[int, Dict[int, Any]] = {}
+
+        def enqueue(sender: int, sends: List, round_index: int) -> None:
+            nonlocal max_bits
+            for receiver, payload in sends:
+                pending.setdefault(receiver, {})[sender] = payload
+                trace.record(round_index, sender, receiver)
+                bits = payload_bits(payload)
+                if bits > max_bits:
+                    max_bits = bits
+
+        for host in hosts:
+            enqueue(host.node, host.start(), 1)
+
+        round_index = 0
+        completion_round = 0
+        while True:
+            if all(host.halted for host in hosts):
+                completion_round = round_index
+                break
+            round_index += 1
+            if round_index > max_rounds:
+                raise SimulationLimitExceeded(
+                    f"{algorithm.name} exceeded {max_rounds} rounds "
+                    f"(n={network.num_nodes})"
+                )
+            deliveries, pending = pending, {}
+            for host in hosts:
+                if host.halted:
+                    continue
+                inbox = deliveries.get(host.node, {})
+                enqueue(host.node, host.step(round_index, inbox), round_index + 1)
+
+        outputs = {host.node: host.output() for host in hosts}
+        return SoloRun(
+            algorithm=algorithm,
+            outputs=outputs,
+            rounds=trace.last_round,
+            completion_round=completion_round,
+            trace=trace,
+            max_message_bits=max_bits,
+        )
+
+
+def solo_run(
+    network: Network,
+    algorithm: Algorithm,
+    seed: int = 0,
+    algorithm_id: Any = None,
+    max_rounds: Optional[int] = None,
+    message_bits: Optional[int] = -1,
+) -> SoloRun:
+    """Convenience wrapper: ``Simulator(network).run(algorithm, ...)``."""
+    sim = Simulator(network, message_bits=message_bits)
+    return sim.run(
+        algorithm, seed=seed, algorithm_id=algorithm_id, max_rounds=max_rounds
+    )

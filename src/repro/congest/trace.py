@@ -1,0 +1,114 @@
+"""Execution traces: the recorded footprint of a simulation.
+
+A trace records, for each round, which directed edges carried a message.
+It is the bridge between *executions* (which have payloads and program
+state) and *communication patterns* (Section 2 of the paper), which only
+capture the footprint — exactly what congestion/dilation are computed from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .network import DirectedEdge, Edge, Network
+
+__all__ = ["ExecutionTrace", "TraceEvent"]
+
+#: One message crossing: ``(round, sender, receiver)``. ``round`` is the
+#: 1-based round during which the message traverses the edge.
+TraceEvent = Tuple[int, int, int]
+
+
+class ExecutionTrace:
+    """Mutable record of which directed edges carried messages, per round."""
+
+    def __init__(self) -> None:
+        # _rounds[i] holds the events of round i+1.
+        self._rounds: List[List[DirectedEdge]] = []
+        self._num_messages = 0
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, round_index: int, sender: int, receiver: int) -> None:
+        """Record a message traversing ``sender -> receiver`` in a round."""
+        if round_index < 1:
+            raise ValueError("round indices are 1-based")
+        while len(self._rounds) < round_index:
+            self._rounds.append([])
+        self._rounds[round_index - 1].append((sender, receiver))
+        self._num_messages += 1
+
+    def record_round(self, round_index: int, sends: List[DirectedEdge]) -> None:
+        """Record a whole round's worth of directed sends."""
+        for sender, receiver in sends:
+            self.record(round_index, sender, receiver)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def last_round(self) -> int:
+        """The largest round index carrying any message (0 if silent).
+
+        This is the length ``T`` of the communication pattern, i.e. the
+        algorithm's *dilation* contribution when run solo.
+        """
+        for i in range(len(self._rounds) - 1, -1, -1):
+            if self._rounds[i]:
+                return i + 1
+        return 0
+
+    @property
+    def num_messages(self) -> int:
+        """Total number of messages (the algorithm's message complexity)."""
+        return self._num_messages
+
+    def events_at(self, round_index: int) -> List[DirectedEdge]:
+        """The directed sends of one round."""
+        if not 1 <= round_index <= len(self._rounds):
+            return []
+        return list(self._rounds[round_index - 1])
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Iterate all events as ``(round, sender, receiver)``."""
+        for i, sends in enumerate(self._rounds):
+            for sender, receiver in sends:
+                yield (i + 1, sender, receiver)
+
+    def directed_loads(self) -> Counter:
+        """Message count per directed edge."""
+        loads: Counter = Counter()
+        for _, sender, receiver in self.events():
+            loads[(sender, receiver)] += 1
+        return loads
+
+    def edge_rounds(self) -> Dict[Edge, Set[int]]:
+        """For each undirected edge, the set of rounds with any traffic.
+
+        ``len(edge_rounds()[e])`` is the paper's ``c_i(e)``: the number of
+        rounds in which this algorithm sends a message over ``e``.
+        """
+        usage: Dict[Edge, Set[int]] = defaultdict(set)
+        for r, sender, receiver in self.events():
+            usage[Network.canonical_edge(sender, receiver)].add(r)
+        return dict(usage)
+
+    def edge_round_counts(self) -> Counter:
+        """``c_i(e)`` for each undirected edge, as a Counter."""
+        return Counter(
+            {edge: len(rounds) for edge, rounds in self.edge_rounds().items()}
+        )
+
+    def max_edge_rounds(self) -> int:
+        """``max_e c_i(e)`` — this algorithm's own worst edge usage."""
+        counts = self.edge_round_counts()
+        return max(counts.values()) if counts else 0
+
+    def __len__(self) -> int:
+        return self.last_round
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionTrace(rounds={self.last_round}, "
+            f"messages={self._num_messages})"
+        )

@@ -1,0 +1,97 @@
+"""Scheduler interface and output verification.
+
+The DAS problem (paper Section 2): "produce an execution so that for each
+algorithm, each node outputs the same value as if that algorithm was run
+alone." :func:`verify_outputs` checks exactly that, against the workload's
+solo reference runs; every scheduler in this package runs it before
+reporting success.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from ..errors import VerificationError
+from ..metrics.schedule import ScheduleReport
+from .workload import OutputMap, Workload
+
+__all__ = ["ScheduleResult", "Scheduler", "verify_outputs", "Mismatch"]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One (algorithm, node) whose scheduled output differs from solo."""
+
+    aid: int
+    node: int
+    expected: Any
+    actual: Any
+
+
+@dataclass
+class ScheduleResult:
+    """A scheduler's product: outputs plus the measured report."""
+
+    outputs: OutputMap
+    report: ScheduleReport
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def correct(self) -> bool:
+        """Whether every output matched the solo reference."""
+        return not self.mismatches
+
+    def raise_on_mismatch(self) -> None:
+        """Raise :class:`~repro.errors.VerificationError` if incorrect."""
+        if self.mismatches:
+            first = self.mismatches[0]
+            raise VerificationError(
+                f"{len(self.mismatches)} outputs differ from solo runs; "
+                f"first: algorithm {first.aid} node {first.node}: "
+                f"expected {first.expected!r}, got {first.actual!r}"
+            )
+
+
+def verify_outputs(workload: Workload, outputs: OutputMap) -> List[Mismatch]:
+    """Compare scheduled outputs against the solo reference runs.
+
+    Every (aid, node) pair of the workload must be present in ``outputs``
+    and equal the solo value; missing entries count as mismatches with
+    ``actual = <missing>``.
+    """
+    reference = workload.reference_outputs()
+    mismatches: List[Mismatch] = []
+    missing = object()
+    for key, expected in reference.items():
+        actual = outputs.get(key, missing)
+        if actual is missing:
+            mismatches.append(Mismatch(key[0], key[1], expected, "<missing>"))
+        elif actual != expected:
+            mismatches.append(Mismatch(key[0], key[1], expected, actual))
+    return mismatches
+
+
+class Scheduler(ABC):
+    """Base class: turns a workload into one verified scheduled execution."""
+
+    #: Human-readable scheduler name for reports.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def run(self, workload: Workload, seed: int = 0) -> ScheduleResult:
+        """Schedule the workload; return outputs and a report.
+
+        ``seed`` seeds only the *scheduler's* randomness (delays, cluster
+        radii); the algorithms' own random tapes are fixed by the
+        workload's master seed.
+        """
+
+    def _finish(
+        self, workload: Workload, outputs: OutputMap, report: ScheduleReport
+    ) -> ScheduleResult:
+        """Verify outputs, stamp the report, and wrap up."""
+        mismatches = verify_outputs(workload, outputs)
+        report.correct = not mismatches
+        return ScheduleResult(outputs=outputs, report=report, mismatches=mismatches)

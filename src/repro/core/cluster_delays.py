@@ -1,0 +1,91 @@
+"""Per-cluster delay derivation from locally shared randomness (Lemma 4.3).
+
+Every cluster owns ``Θ(log² n)`` shared random bits (spread by the
+Lemma 4.3 protocol, or derived by the oracle — identically). Each member
+feeds them into the Reed–Solomon-style ``Θ(log n)``-wise independent
+generator of :class:`repro.randomness.kwise.KWiseGenerator`; algorithm
+``A_i`` reads the value in bucket ``AID(i)`` and maps it through the
+configured delay distribution. Because the derivation is a pure function
+of (cluster bits, AID), every member of a cluster computes the *same*
+delay for every algorithm without any further communication — the paper's
+"consistent in each cluster" requirement — while delays across clusters
+(different bits) and across any ``Θ(log n)`` algorithms (independence of
+the generator) behave as independent draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .._util import ceil_log2
+from ..clustering.layers import Clustering, cluster_seed_bits
+from ..errors import RandomnessError
+from ..randomness.distributions import DelayDistribution
+from ..randomness.kwise import KWiseGenerator, seed_bits_required
+from ..randomness.primes import next_prime
+
+__all__ = ["ClusterDelaySampler"]
+
+#: Evaluation points reserved per algorithm (AID bucket width). Each
+#: algorithm needs one value for its delay; the margin leaves room for
+#: future per-algorithm draws (e.g. doubling restarts).
+BUCKET_SIZE = 4
+
+
+class ClusterDelaySampler:
+    """Derives ``delay(layer, center, aid)`` from cluster shared bits."""
+
+    def __init__(
+        self,
+        clustering: Clustering,
+        num_algorithms: int,
+        distribution: DelayDistribution,
+        independence: Optional[int] = None,
+    ):
+        self.clustering = clustering
+        self.distribution = distribution
+        n = clustering.network.num_nodes
+
+        # Field large enough for every AID bucket and for adequate
+        # quantile resolution over the delay support.
+        self.prime = next_prime(
+            max(
+                1024,
+                num_algorithms * BUCKET_SIZE,
+                16 * max(1, distribution.support_size),
+            )
+        )
+
+        if independence is None:
+            independence = max(2, ceil_log2(n) + 2)
+        available = clustering.sharing_bits or seed_bits_required(
+            independence, self.prime
+        )
+        per_coefficient = ceil_log2(self.prime) + 16
+        max_independence = max(1, available // per_coefficient)
+        if max_independence < 2:
+            raise RandomnessError(
+                f"cluster sharing budget of {available} bits cannot seed "
+                f"even pairwise independence over GF({self.prime})"
+            )
+        self.independence = min(independence, max_independence)
+        self.seed_bits = self.independence * per_coefficient
+        self._generators: dict = {}
+
+    def generator(self, layer: int, center: int) -> KWiseGenerator:
+        """The cluster's k-wise generator (cached)."""
+        key = (layer, center)
+        gen = self._generators.get(key)
+        if gen is None:
+            bits_budget = self.clustering.sharing_bits or self.seed_bits
+            bits = cluster_seed_bits(self.clustering.seed, layer, center, bits_budget)
+            gen = KWiseGenerator.from_bits(self.prime, self.independence, bits)
+            self._generators[key] = gen
+        return gen
+
+    def delay(self, layer: int, center: int, aid: int) -> int:
+        """The copy delay for algorithm ``aid`` in one cluster."""
+        u = self.generator(layer, center).bucket_uniform(
+            aid, 0, bucket_size=BUCKET_SIZE
+        )
+        return self.distribution.quantile(u)

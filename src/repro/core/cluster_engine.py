@@ -1,0 +1,382 @@
+"""Per-cluster copy execution with truncation and de-duplication (Lemma 4.4).
+
+The private-randomness scheduler runs **a copy of every algorithm in every
+cluster of every layer**. Within one copy:
+
+* only the cluster's members participate, and node ``v`` emits only its
+  first ``h'(v) + 1`` algorithm-rounds of messages (``h'`` is its
+  contained radius from Lemma 4.2), discarding later sends and any send
+  crossing the cluster boundary — the paper's truncation. The ``+ 1``
+  matters: a message sent in round ``t`` first influences nodes at
+  distance ``≥ 1``, so node ``w``'s output depends on neighbour ``u``'s
+  sends up to round ``dilation``, and ``u`` only has
+  ``h'(u) ≥ h'(w) - 1 = dilation - 1``;
+* the copy starts after a delay of ``δ(layer, cluster, algorithm)``
+  big-rounds, where the delay is derived from the cluster's *shared*
+  randomness so all members agree on it, and advances one algorithm-round
+  per big-round.
+
+**Truncation soundness** (why the copies can share one message pool): we
+claim every message a copy actually emits equals the corresponding solo
+message. Induction on the round ``t`` of the emitted message, using the
+triangle inequality ``h'(u) ≥ h'(v) - 1`` for same-cluster neighbours
+``u, v``: round-1 messages depend only on inputs and the fixed random
+tapes; a kept round-``t`` message from ``v`` (kept means
+``t ≤ h'(v) + 1``) was computed from inboxes of rounds
+``s ≤ t - 1 ≤ h'(v)``, and each solo message ``u → v`` of round ``s``
+satisfies ``s ≤ h'(v) ≤ h'(u) + 1``, so it was emitted (completely and
+exclusively) by this same copy, and is correct by induction. A node's
+*last* executed rounds may see incomplete inboxes only beyond its kept
+horizon, and the possibly-incomplete final state is never read: outputs
+are taken only from a layer where ``h'(v) ≥ dilation_i``, where every
+inbox is complete and the program runs to its solo halt.
+
+**De-duplication** (the non-uniform-delay upgrade): since emitted messages
+are identical across copies, the engine keys every message by
+``(aid, round, sender, receiver)``; with ``dedup=True`` only the first
+scheduled copy transmits it and later copies read it from the shared pool
+— the paper's "if a copy of it has been sent before, this message gets
+dropped ... a node takes into account all the messages that it has
+received in the past about rounds up to j-1 of the simulations of the
+same algorithm". The engine *asserts* payload equality on every duplicate,
+turning the soundness induction above into a runtime-checked invariant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..clustering.layers import Clustering
+from ..congest.program import ProgramHost
+from ..errors import CoverageError, ReproError, SimulationLimitExceeded
+from .workload import OutputMap, Workload
+
+__all__ = ["ClusterExecution", "run_cluster_copies", "select_output_layers"]
+
+#: ``delay_of(layer, center, aid) -> big-round delay``.
+DelayFn = Callable[[int, int, int], int]
+
+
+@dataclass
+class ClusterExecution:
+    """Raw results of a cluster-copies execution."""
+
+    outputs: OutputMap
+    num_big_rounds: int
+    #: Max messages actually transmitted over one directed edge in one
+    #: big-round (after dedup, when enabled) — Lemma 4.4's load.
+    max_big_round_load: int
+    load_histogram: Counter
+    messages_sent: int
+    #: Messages suppressed because an identical copy was already sent.
+    messages_deduplicated: int
+    #: Messages discarded by the truncation gates.
+    messages_truncated: int
+    num_copies: int
+
+
+def select_output_layers(
+    workload: Workload, clustering: Clustering
+) -> Dict[Tuple[int, int], int]:
+    """Choose, per (algorithm, node), the layer to read the output from.
+
+    Node ``v`` needs a layer whose cluster contains its
+    ``dilation_i``-ball (``h'(v) ≥ dilation_i`` — per-algorithm dilation,
+    which is never more than the global one). Raises
+    :class:`~repro.errors.CoverageError` listing the uncovered pairs if
+    some node has no eligible layer — callers then extend the clustering.
+    """
+    dilations = [run.rounds for run in workload.solo_runs()]
+    chosen: Dict[Tuple[int, int], int] = {}
+    misses: List[Tuple[int, int]] = []
+    for aid, needed in enumerate(dilations):
+        for v in workload.network.nodes:
+            layer_index = next(
+                (
+                    i
+                    for i, layer in enumerate(clustering.layers)
+                    if layer.h_prime[v] >= needed
+                ),
+                None,
+            )
+            if layer_index is None:
+                misses.append((aid, v))
+            else:
+                chosen[(aid, v)] = layer_index
+    if misses:
+        raise CoverageError(
+            f"{len(misses)} (algorithm, node) pairs lack a covering layer; "
+            f"e.g. {misses[:5]}; extend the clustering"
+        )
+    return chosen
+
+
+class _Copy:
+    """One (layer, cluster, algorithm) copy and its participating hosts."""
+
+    __slots__ = (
+        "layer",
+        "center",
+        "aid",
+        "delay",
+        "hosts",
+        "limits",
+        "finished",
+        "max_limit",
+    )
+
+    def __init__(self, layer: int, center: int, aid: int, delay: int):
+        self.layer = layer
+        self.center = center
+        self.aid = aid
+        self.delay = delay
+        self.hosts: List[ProgramHost] = []
+        #: Per host: last algorithm-round this node will step.
+        self.limits: List[int] = []
+        self.finished = False
+        self.max_limit = 0
+
+
+def run_cluster_copies(
+    workload: Workload,
+    clustering: Clustering,
+    delay_of: DelayFn,
+    dedup: bool = True,
+    output_layers: Optional[Dict[Tuple[int, int], int]] = None,
+    max_big_rounds: Optional[int] = None,
+) -> ClusterExecution:
+    """Execute every (layer, cluster, algorithm) copy under big-round delays.
+
+    See the module docstring for semantics. ``delay_of`` must be a
+    function of the cluster's shared randomness only (the same value for
+    every member), which the callers guarantee by deriving it from
+    :func:`repro.clustering.layers.cluster_seed_bits`.
+    """
+    network = workload.network
+    solo = workload.solo_runs()
+    dilations = [run.rounds for run in solo]
+    hard_caps = [
+        algorithm.max_rounds(network) for algorithm in workload.algorithms
+    ]
+    if output_layers is None:
+        output_layers = select_output_layers(workload, clustering)
+
+    # Every copy of (aid, node) runs the same random tape (the paper's
+    # randomness-as-input); derive each seed once, not once per layer.
+    seed_cache: Dict[Tuple[int, int], int] = {}
+
+    def tape_seed(aid: int, node: int) -> int:
+        key = (aid, node)
+        value = seed_cache.get(key)
+        if value is None:
+            value = ProgramHost.seed_for(workload.master_seed, aid, node)
+            seed_cache[key] = value
+        return value
+
+    # Build copy descriptors grouped by start big-round.
+    copies: List[_Copy] = []
+    for layer_index, layer in enumerate(clustering.layers):
+        for center, members in layer.clusters().items():
+            for aid in workload.aids:
+                delay = delay_of(layer_index, center, aid)
+                if delay < 0:
+                    raise ReproError("delays must be non-negative")
+                copy = _Copy(layer_index, center, aid, delay)
+                for v in members:
+                    h = layer.h_prime[v]
+                    # Fully covered nodes run to their solo halt; truncated
+                    # nodes stop stepping at their contained radius (their
+                    # step-t emissions are round-(t+1) sends, covering the
+                    # allowed horizon h' + 1). h' = 0 nodes still start:
+                    # their round-1 sends are input-only and may feed
+                    # same-cluster neighbours.
+                    limit = hard_caps[aid] if h >= dilations[aid] else h
+                    copy.limits.append(limit)
+                    copy.hosts.append(
+                        ProgramHost(
+                            workload.algorithms[aid],
+                            v,
+                            network,
+                            tape_seed(aid, v),
+                            workload.message_bits,
+                        )
+                    )
+                copy.max_limit = max(copy.limits, default=0)
+                copies.append(copy)
+
+    starts: Dict[int, List[_Copy]] = {}
+    for copy in copies:
+        starts.setdefault(copy.delay, []).append(copy)
+
+    if max_big_rounds is None:
+        max_delay = max((c.delay for c in copies), default=0)
+        max_big_rounds = max_delay + max(hard_caps, default=1) + 4
+
+    # Shared message pool: (aid, node) -> round -> {sender: payload}.
+    # A message becomes visible here only once it has finished traversing
+    # its big-round: emissions made *during* processing traverse the next
+    # big-round and are therefore deferred (physical timing fidelity).
+    pool: Dict[Tuple[int, int], Dict[int, Dict[int, Any]]] = {}
+    deferred: List[Tuple[int, int, int, int, Any]] = []
+    # Dedup registry: (aid, round, sender, receiver) -> payload.
+    sent: Dict[Tuple[int, int, int, int], Any] = {}
+
+    load_histogram: Counter = Counter()
+    max_load = 0
+    messages_sent = 0
+    messages_deduplicated = 0
+    messages_truncated = 0
+    last_active = -1
+
+    h_prime_of = [layer.h_prime for layer in clustering.layers]
+    center_of = [layer.center for layer in clustering.layers]
+    carried: Counter = Counter()
+    active: List[_Copy] = []
+
+    big_round = -1
+    remaining = len(copies)
+    while remaining > 0:
+        big_round += 1
+        if big_round > max_big_rounds:
+            raise SimulationLimitExceeded(
+                f"cluster engine exceeded {max_big_rounds} big-rounds"
+            )
+        loads, carried = carried, Counter()
+
+        # Messages that finished traversing at the previous big-round
+        # become visible now.
+        for aid_, msg_round_, sender_, receiver_, payload_ in deferred:
+            pool.setdefault((aid_, receiver_), {}).setdefault(msg_round_, {})[
+                sender_
+            ] = payload_
+        deferred.clear()
+
+        def transmit(
+            copy: _Copy,
+            sender: int,
+            sends: List[Tuple[int, Any]],
+            msg_round: int,
+            loads_out: Counter,
+            deposit_now: bool,
+        ) -> None:
+            """Apply truncation gates + dedup; deposit into the pool."""
+            nonlocal messages_sent, messages_deduplicated, messages_truncated
+            h_prime = h_prime_of[copy.layer]
+            if msg_round > h_prime[sender] + 1:
+                messages_truncated += len(sends)
+                return
+            aid = copy.aid
+            cluster_of = center_of[copy.layer]
+            sender_cluster = cluster_of[sender]
+            for receiver, payload in sends:
+                if cluster_of[receiver] != sender_cluster:
+                    # Boundary nodes may address out-of-cluster neighbours;
+                    # copies are confined to their cluster.
+                    messages_truncated += 1
+                    continue
+                key = (aid, msg_round, sender, receiver)
+                previous = sent.get(key, _MISSING)
+                if previous is not _MISSING:
+                    if previous != payload:
+                        raise ReproError(
+                            "copy-consistency violated: two copies emitted "
+                            f"different payloads for {key}: "
+                            f"{previous!r} vs {payload!r}"
+                        )
+                    messages_deduplicated += 1
+                    if dedup:
+                        continue
+                else:
+                    sent[key] = payload
+                    if deposit_now:
+                        pool.setdefault((aid, receiver), {}).setdefault(
+                            msg_round, {}
+                        )[sender] = payload
+                    else:
+                        deferred.append((aid, msg_round, sender, receiver, payload))
+                loads_out[(sender, receiver)] += 1
+                messages_sent += 1
+
+        # Copies starting now emit their round-1 messages (traversing this
+        # big-round).
+        for copy in starts.get(big_round, ()):
+            for host in copy.hosts:
+                transmit(copy, host.node, host.start(), 1, loads, True)
+            active.append(copy)
+
+        # Active copies process the inbox of their current round and emit
+        # next-round messages (traversing the next big-round).
+        still_active: List[_Copy] = []
+        for copy in active:
+            algo_round = big_round - copy.delay + 1
+            if algo_round > copy.max_limit:
+                copy.finished = True
+                remaining -= 1
+                continue
+            inbox_pool = pool
+            aid = copy.aid
+            any_alive = False
+            for host, limit in zip(copy.hosts, copy.limits):
+                if host.halted or algo_round > limit:
+                    continue
+                inbox = inbox_pool.get((aid, host.node), {}).get(algo_round, {})
+                sends = host.step(algo_round, inbox)
+                transmit(copy, host.node, sends, algo_round + 1, carried, False)
+                if not host.halted and algo_round < limit:
+                    any_alive = True
+            if any_alive:
+                still_active.append(copy)
+            else:
+                copy.finished = True
+                remaining -= 1
+        active = still_active
+
+        if loads:
+            last_active = big_round
+            top = max(loads.values())
+            max_load = max(max_load, top)
+            load_histogram.update(loads.values())
+    if carried:
+        # Final emissions that never traversed (all receivers done) still
+        # occupied their big-round.
+        last_active = big_round + 1
+        max_load = max(max_load, max(carried.values()))
+        load_histogram.update(carried.values())
+
+    # Collect outputs from the chosen layers.
+    outputs: OutputMap = {}
+    host_index: Dict[Tuple[int, int, int], ProgramHost] = {}
+    for copy in copies:
+        for host in copy.hosts:
+            host_index[(copy.layer, copy.aid, host.node)] = host
+    for (aid, v), layer_index in output_layers.items():
+        host = host_index.get((layer_index, aid, v))
+        if host is None:
+            raise CoverageError(
+                f"no host for output of algorithm {aid} at node {v} "
+                f"in layer {layer_index}"
+            )
+        outputs[(aid, v)] = host.output()
+
+    return ClusterExecution(
+        outputs=outputs,
+        num_big_rounds=last_active + 1,
+        max_big_round_load=max_load,
+        load_histogram=load_histogram,
+        messages_sent=messages_sent,
+        messages_deduplicated=messages_deduplicated,
+        messages_truncated=messages_truncated,
+        num_copies=len(copies),
+    )
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,147 @@
+"""The eager (unsafe) scheduler: what happens without the paper's machinery.
+
+Start every algorithm immediately and let every node advance one
+algorithm-round per physical round, while each directed edge transmits
+one queued message per round, FIFO across algorithms. This is the
+"just run them all" strategy a practitioner might try first.
+
+When the workload's congestion exceeds one message per edge per round,
+queues back up, messages arrive *after* the algorithm-round that needed
+them, and — exactly as the paper's Section 2 warns — "the node might not
+notice this and it can proceed with executing the algorithm, although
+generating a wrong execution." The scheduler therefore reports honest
+mismatch counts instead of pretending to be correct; on workloads whose
+per-round edge loads never exceed 1 it is correct and optimally fast
+(length = dilation).
+
+This baseline exists for the ablation: it quantifies how often naive
+concurrency corrupts outputs, motivating the delay/cluster machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple
+
+from ..congest.program import ProgramHost
+
+from ..metrics.schedule import ScheduleReport
+from .base import ScheduleResult, Scheduler
+from .workload import OutputMap, Workload
+
+__all__ = ["EagerScheduler"]
+
+
+class EagerScheduler(Scheduler):
+    """Naive concurrent execution with FIFO edge queues (UNSAFE).
+
+    ``max_rounds_factor`` bounds the run at
+    ``factor × (congestion + dilation + k)`` physical rounds; programs
+    still unhalted then are cut off (their outputs count as mismatches).
+    """
+
+    name = "eager-unsafe"
+
+    def __init__(self, max_rounds_factor: int = 8):
+        self.max_rounds_factor = max_rounds_factor
+
+    def run(self, workload: Workload, seed: int = 0) -> ScheduleResult:
+        network = workload.network
+        params = workload.params()
+        k = workload.num_algorithms
+        cap = self.max_rounds_factor * (
+            params.congestion + params.dilation + k + 4
+        )
+
+        hosts: Dict[int, List[ProgramHost]] = {}
+        for aid in workload.aids:
+            hosts[aid] = [
+                ProgramHost(
+                    workload.algorithms[aid],
+                    node,
+                    network,
+                    ProgramHost.seed_for(workload.master_seed, aid, node),
+                    workload.message_bits,
+                )
+                for node in network.nodes
+            ]
+
+        # One FIFO per directed edge, shared across algorithms: entries
+        # are (aid, sender, receiver, payload).
+        queues: Dict[Tuple[int, int], Deque] = {}
+        in_flight = 0
+        overwrites = 0
+        delivered_late = 0
+
+        def enqueue(aid: int, sender: int, sends: List[Tuple[int, Any]]) -> None:
+            nonlocal in_flight
+            for receiver, payload in sends:
+                queues.setdefault((sender, receiver), deque()).append(
+                    (aid, sender, receiver, payload)
+                )
+                in_flight += 1
+
+        for aid in workload.aids:
+            for host in hosts[aid]:
+                enqueue(aid, host.node, host.start())
+
+        physical_round = 0
+        last_message_round = 0
+        while True:
+            all_halted = all(
+                host.halted for group in hosts.values() for host in group
+            )
+            if all_halted or (in_flight == 0 and physical_round > params.dilation):
+                break
+            physical_round += 1
+            if physical_round > cap:
+                break  # cut off: a deadlocked/queued-up execution
+
+            # Transmit one message per directed edge.
+            inboxes: Dict[Tuple[int, int], Dict[int, Any]] = {}
+            for edge, queue in queues.items():
+                if not queue:
+                    continue
+                aid, sender, receiver, payload = queue.popleft()
+                in_flight -= 1
+                last_message_round = physical_round
+                box = inboxes.setdefault((aid, receiver), {})
+                if sender in box:
+                    overwrites += 1
+                box[sender] = payload
+
+            # Every algorithm advances one round, ready or not.
+            for aid in workload.aids:
+                for host in hosts[aid]:
+                    if host.halted:
+                        continue
+                    inbox = inboxes.pop((aid, host.node), {})
+                    try:
+                        enqueue(
+                            aid, host.node, host.step(physical_round, inbox)
+                        )
+                    except Exception:
+                        # A confused program may violate CONGEST rules
+                        # (e.g. double-sends after duplicate deliveries);
+                        # naive execution just drops the round's sends.
+                        delivered_late += 1
+            # Messages addressed to already-halted programs vanish.
+            delivered_late += len(inboxes)
+
+        outputs: OutputMap = {}
+        for aid in workload.aids:
+            for host in hosts[aid]:
+                outputs[(aid, host.node)] = host.output()
+
+        report = ScheduleReport(
+            scheduler=self.name,
+            params=params,
+            length_rounds=max(last_message_round, physical_round),
+            notes={
+                "in_flight_at_cutoff": in_flight,
+                "inbox_overwrites": overwrites,
+                "late_or_dropped": delivered_late,
+                "cap": cap,
+            },
+        )
+        return self._finish(workload, outputs, report)

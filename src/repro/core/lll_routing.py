@@ -1,0 +1,167 @@
+"""LLL-based delay selection for packet routing (the LMR machinery).
+
+The paper's introduction recounts that for packet routing, random delays
+plus the Lovász Local Lemma give ``O(congestion + dilation)`` schedules
+(Leighton–Maggs–Rao), "now one of the materials typically covered in
+courses on randomized algorithms for introducing the LLL". This module
+implements the first (and main) level of that construction, made
+algorithmic with Moser–Tardos resampling:
+
+1. give every packet a uniformly random delay in ``[0, C)``;
+2. chop the ``C + D`` round timeline into *frames* of
+   ``f = Θ(log(C + D))`` rounds;
+3. **bad event** ``A_{e,t}``: edge ``e`` carries more than ``f`` messages
+   during frame ``t``. By the LLL a delay assignment avoiding all bad
+   events exists; Moser–Tardos finds one by repeatedly resampling the
+   delays of the packets involved in any bad event.
+
+The result is a *frame-relaxed* schedule: length ``C + D`` rounds where
+every edge carries at most ``f`` messages per ``f``-round frame. (LMR
+recurse on the frames to reach O(1) relative congestion; we stop at one
+level — the further levels only shave constants at simulable sizes — and
+let the greedy list scheduler pack the frame-relaxed instance, which the
+benchmarks show lands within a small constant of ``C + D``.)
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .._util import derive_seed
+from ..congest.pattern import CommunicationPattern
+from ..errors import ScheduleError
+from .greedy import greedy_schedule
+
+__all__ = ["LLLDelays", "find_lll_delays", "lll_route"]
+
+
+@dataclass
+class LLLDelays:
+    """Result of Moser–Tardos delay resampling."""
+
+    delays: List[int]
+    frame_length: int
+    capacity: int
+    #: Bad events resampled before success (the MT step count).
+    resamples: int
+    #: Max per-(edge, frame) load of the final assignment.
+    max_frame_load: int
+
+    @property
+    def timeline_rounds(self) -> int:
+        """The delayed timeline's span (``max delay + dilation``)."""
+        return self._timeline
+
+    _timeline: int = 0
+
+
+def _frame_loads(
+    patterns: Sequence[CommunicationPattern],
+    delays: Sequence[int],
+    frame_length: int,
+) -> Counter:
+    loads: Counter = Counter()
+    for pattern, delay in zip(patterns, delays):
+        for r, u, v in pattern.events:
+            frame = (delay + r - 1) // frame_length
+            loads[(u, v, frame)] += 1
+    return loads
+
+
+def find_lll_delays(
+    patterns: Sequence[CommunicationPattern],
+    delay_range: Optional[int] = None,
+    frame_length: Optional[int] = None,
+    capacity: Optional[int] = None,
+    seed: int = 0,
+    max_resamples: int = 200_000,
+) -> LLLDelays:
+    """Moser–Tardos: resample delays until no (edge, frame) overloads.
+
+    Defaults follow LMR: ``delay_range = C`` (the measured congestion),
+    ``frame_length = capacity = ⌈4·log2(C + D)⌉``. Raises
+    :class:`~repro.errors.ScheduleError` if the resampling budget runs
+    out (it should not — the LLL guarantees fast convergence for these
+    parameters).
+    """
+    from ..metrics.congestion import measure_params_from_patterns
+
+    params = measure_params_from_patterns(patterns)
+    c_plus_d = max(2, params.cost_sum)
+    if delay_range is None:
+        delay_range = max(1, params.congestion)
+    if frame_length is None:
+        frame_length = max(2, math.ceil(4 * math.log2(c_plus_d)))
+    if capacity is None:
+        capacity = frame_length
+
+    rng = random.Random(derive_seed(seed, "lll-delays"))
+    delays = [rng.randrange(delay_range) for _ in patterns]
+
+    # index: which packets use each directed edge (their delay resamples
+    # whenever one of the edge's frames overloads).
+    users: Dict[Tuple[int, int], Set[int]] = {}
+    for index, pattern in enumerate(patterns):
+        for _, u, v in pattern.events:
+            users.setdefault((u, v), set()).add(index)
+
+    resamples = 0
+    while True:
+        loads = _frame_loads(patterns, delays, frame_length)
+        bad = [
+            (edge_frame, load)
+            for edge_frame, load in loads.items()
+            if load > capacity
+        ]
+        if not bad:
+            break
+        # Moser-Tardos: pick one bad event (deterministically the worst)
+        # and resample the variables it depends on.
+        (u, v, _frame), _ = max(bad, key=lambda item: (item[1], item[0]))
+        resamples += 1
+        if resamples > max_resamples:
+            raise ScheduleError(
+                f"Moser-Tardos did not converge within {max_resamples} "
+                f"resamples (frame={frame_length}, capacity={capacity})"
+            )
+        for index in users[(u, v)]:
+            delays[index] = rng.randrange(delay_range)
+
+    loads = _frame_loads(patterns, delays, frame_length)
+    result = LLLDelays(
+        delays=delays,
+        frame_length=frame_length,
+        capacity=capacity,
+        resamples=resamples,
+        max_frame_load=max(loads.values()) if loads else 0,
+    )
+    result._timeline = max(
+        (delay + pattern.length for delay, pattern in zip(delays, patterns)),
+        default=0,
+    )
+    return result
+
+
+def lll_route(
+    patterns: Sequence[CommunicationPattern],
+    seed: int = 0,
+) -> Tuple[LLLDelays, int]:
+    """Full LMR-style pipeline: LLL delays, then pack with list scheduling.
+
+    Returns ``(delay result, final makespan)``. The makespan is the
+    length of a *feasible* unit-capacity schedule of the delay-retimed
+    patterns — the quantity to compare against ``C + D``.
+    """
+    chosen = find_lll_delays(patterns, seed=seed)
+    retimed = [
+        CommunicationPattern(
+            [(r + delay, u, v) for r, u, v in pattern.events]
+        )
+        for pattern, delay in zip(patterns, chosen.delays)
+    ]
+    packed = greedy_schedule(retimed)
+    return chosen, packed.makespan

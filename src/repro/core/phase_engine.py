@@ -1,0 +1,191 @@
+"""The big-round (phase) execution engine.
+
+This is the machinery behind every delay-based scheduler (Theorem 1.1,
+the remark after Theorem 3.1, and the per-cluster engine of Section 4
+builds on the same idea): time is divided into *phases* of ``phase_size``
+physical rounds; each algorithm ``A_i`` is delayed by ``δ_i`` whole phases
+and then advances exactly one algorithm-round per phase. Concretely,
+algorithm ``i``'s round-``t`` messages traverse their edges during phase
+``δ_i + t - 1`` (0-based phases, 1-based algorithm rounds).
+
+Because each algorithm advances in lockstep with the phases, every node
+processes its round-``t`` inbox exactly one phase after the senders
+emitted it — the execution is always *causally correct*; what varies with
+the delays is the **load**: how many messages need the same directed edge
+within one phase. A phase of ``phase_size`` rounds can carry
+``phase_size`` messages per edge direction, so the schedule is feasible
+iff the max per-(edge, phase) load is at most ``phase_size``. The engine
+records the full load profile; reports stretch phases to the observed
+maximum when it exceeds the target (see
+:func:`repro.metrics.schedule.phase_schedule_length`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..congest.program import ProgramHost
+from ..errors import SimulationLimitExceeded
+from .workload import OutputMap, Workload
+
+__all__ = ["PhaseExecution", "run_delayed_phases"]
+
+
+@dataclass
+class PhaseExecution:
+    """Raw results of a delayed-phases execution (before verification)."""
+
+    outputs: OutputMap
+    #: Number of phases carrying at least one message (i.e. the span
+    #: ``[0, last_active_phase]``; equals ``max_i (δ_i + rounds_i)``).
+    num_phases: int
+    #: Maximum number of messages crossing one directed edge in one phase.
+    max_phase_load: int
+    #: Histogram: load value -> number of (directed edge, phase) pairs.
+    load_histogram: Counter
+    #: Total messages sent.
+    messages: int
+
+    def required_phase_size(self) -> int:
+        """Smallest phase size (in rounds) making this schedule feasible."""
+        return max(1, self.max_phase_load)
+
+
+def run_delayed_phases(
+    workload: Workload,
+    delays: Sequence[int],
+    max_phases: Optional[int] = None,
+    collect_histogram: bool = True,
+) -> PhaseExecution:
+    """Execute all algorithms with per-algorithm phase delays.
+
+    Parameters
+    ----------
+    workload:
+        The DAS instance. Node random tapes are derived from its master
+        seed exactly as in the solo runs, so outputs are comparable.
+    delays:
+        ``delays[i]`` = number of whole phases algorithm ``i`` waits
+        before starting.
+    max_phases:
+        Safety cap (defaults to a generous bound from the workload).
+    collect_histogram:
+        Disable to save memory on very large runs (max load still kept).
+    """
+    network = workload.network
+    k = workload.num_algorithms
+    if len(delays) != k:
+        raise ValueError(f"need {k} delays, got {len(delays)}")
+    if any(d < 0 for d in delays):
+        raise ValueError("delays must be non-negative")
+
+    if max_phases is None:
+        max_phases = (
+            max(delays) + max(a.max_rounds(network) for a in workload.algorithms) + 4
+        )
+
+    # hosts[aid][node]; created lazily per algorithm at its start phase so
+    # memory stays proportional to concurrently active algorithms.
+    hosts: List[Optional[List[ProgramHost]]] = [None] * k
+    # Inboxes waiting to be processed: pending[aid][node] = {sender: payload}.
+    pending: List[Dict[int, Dict[int, Any]]] = [dict() for _ in range(k)]
+    active: List[bool] = [False] * k
+    done: List[bool] = [False] * k
+
+    load_histogram: Counter = Counter()
+    max_phase_load = 0
+    messages = 0
+    last_active_phase = -1
+
+    start_at: Dict[int, List[int]] = {}
+    for aid, delay in enumerate(delays):
+        start_at.setdefault(delay, []).append(aid)
+
+    # Loads of messages traversing during the *next* phase (emitted while
+    # processing the current one).
+    carried_loads: Counter = Counter()
+
+    phase = -1
+    while not all(done):
+        phase += 1
+        if phase > max_phases:
+            raise SimulationLimitExceeded(
+                f"phase engine exceeded {max_phases} phases"
+            )
+
+        # Messages traversing during this phase: last phase's step sends...
+        phase_loads, carried_loads = carried_loads, Counter()
+
+        def ship(
+            aid: int, sender: int, sends: List[Tuple[int, Any]], loads: Counter
+        ) -> None:
+            nonlocal messages
+            box = pending[aid]
+            for receiver, payload in sends:
+                box.setdefault(receiver, {})[sender] = payload
+                loads[(sender, receiver)] += 1
+                messages += 1
+
+        # ... plus round-1 sends of algorithms starting this phase, which
+        # traverse during this phase and are delivered at its end.
+        for aid in start_at.get(phase, ()):
+            algorithm = workload.algorithms[aid]
+            hosts[aid] = [
+                ProgramHost(
+                    algorithm,
+                    node,
+                    network,
+                    ProgramHost.seed_for(workload.master_seed, aid, node),
+                    workload.message_bits,
+                )
+                for node in network.nodes
+            ]
+            active[aid] = True
+            for host in hosts[aid]:
+                ship(aid, host.node, host.start(), phase_loads)
+
+        # Every running algorithm processes the inbox of its current round
+        # (delivered during this phase) and emits next round's messages,
+        # which traverse during the next phase.
+        for aid in range(k):
+            if not active[aid] or phase < delays[aid]:
+                continue
+            algo_round = phase - delays[aid] + 1
+            deliveries, pending[aid] = pending[aid], {}
+            algorithm_hosts = hosts[aid]
+            assert algorithm_hosts is not None
+            all_halted = True
+            for host in algorithm_hosts:
+                if host.halted:
+                    continue
+                inbox = deliveries.get(host.node, {})
+                ship(aid, host.node, host.step(algo_round, inbox), carried_loads)
+                if not host.halted:
+                    all_halted = False
+            if all_halted and not pending[aid]:
+                done[aid] = True
+                active[aid] = False
+
+        if phase_loads:
+            last_active_phase = phase
+            top = max(phase_loads.values())
+            max_phase_load = max(max_phase_load, top)
+            if collect_histogram:
+                load_histogram.update(phase_loads.values())
+
+    outputs: OutputMap = {}
+    for aid in range(k):
+        algorithm_hosts = hosts[aid]
+        assert algorithm_hosts is not None
+        for host in algorithm_hosts:
+            outputs[(aid, host.node)] = host.output()
+
+    return PhaseExecution(
+        outputs=outputs,
+        num_phases=last_active_phase + 1,
+        max_phase_load=max_phase_load,
+        load_histogram=load_histogram,
+        messages=messages,
+    )

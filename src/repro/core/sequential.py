@@ -1,0 +1,36 @@
+"""Baseline: run the algorithms one after another.
+
+Length is the sum of solo running times, ``Σ_i dilation_i`` — up to
+``k · dilation``. Trivially correct, never congested; the yardstick every
+concurrent scheduler must beat on workloads with many algorithms.
+"""
+
+from __future__ import annotations
+
+from .base import ScheduleResult, Scheduler
+from .workload import Workload
+from ..metrics.schedule import ScheduleReport
+
+__all__ = ["SequentialScheduler"]
+
+
+class SequentialScheduler(Scheduler):
+    """Execute each algorithm alone, back to back."""
+
+    name = "sequential"
+
+    def run(self, workload: Workload, seed: int = 0) -> ScheduleResult:
+        runs = workload.solo_runs()
+        outputs = {}
+        for aid, run in enumerate(runs):
+            for node, value in run.outputs.items():
+                outputs[(aid, node)] = value
+        length = sum(run.rounds for run in runs)
+        report = ScheduleReport(
+            scheduler=self.name,
+            params=workload.params(),
+            length_rounds=length,
+            messages_sent=sum(run.trace.num_messages for run in runs),
+            notes={"per_algorithm_rounds": [run.rounds for run in runs]},
+        )
+        return self._finish(workload, outputs, report)

@@ -1,0 +1,131 @@
+"""Workloads: a set of algorithms to be run together on one network.
+
+A :class:`Workload` packages the DAS problem instance — the network, the
+algorithms ``A_1 .. A_k`` (identified by their index, the paper's ``AID``),
+and a master seed fixing every node's private random tape for every
+algorithm. It lazily computes and caches the solo reference runs, from
+which the scheduling parameters (congestion, dilation) and the ground-truth
+outputs are derived.
+
+The solo runs double as the paper's assumption that "nodes know
+constant-factor approximations of congestion and dilation" — schedulers
+read the exact values here; :mod:`repro.core.doubling` removes the
+assumption with geometric guessing, as the paper sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..congest.message import default_message_bits
+from ..congest.network import Network
+from ..congest.pattern import CommunicationPattern
+from ..congest.program import Algorithm
+from ..congest.simulator import Simulator, SoloRun
+from ..metrics.congestion import WorkloadParams, measure_params
+
+__all__ = ["Workload", "OutputMap"]
+
+#: Scheduled outputs: ``(algorithm id, node) -> value``.
+OutputMap = Dict[Tuple[int, int], Any]
+
+
+class Workload:
+    """A DAS instance: ``k`` algorithms to schedule on one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        algorithms: Sequence[Algorithm],
+        master_seed: int = 0,
+        message_bits: Optional[int] = -1,
+    ):
+        if not algorithms:
+            raise ValueError("a workload needs at least one algorithm")
+        self.network = network
+        self.algorithms: Tuple[Algorithm, ...] = tuple(algorithms)
+        self.master_seed = master_seed
+        if message_bits == -1:
+            message_bits = default_message_bits(network.num_nodes)
+        self.message_bits = message_bits
+        self._solo_runs: Optional[List[SoloRun]] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_algorithms(self) -> int:
+        """The number of algorithms ``k``."""
+        return len(self.algorithms)
+
+    @property
+    def aids(self) -> range:
+        """Algorithm identifiers — their indices ``0 .. k-1``."""
+        return range(len(self.algorithms))
+
+    def solo_runs(self) -> List[SoloRun]:
+        """Reference solo executions (cached)."""
+        if self._solo_runs is None:
+            sim = Simulator(self.network, message_bits=self.message_bits)
+            self._solo_runs = [
+                sim.run(algorithm, seed=self.master_seed, algorithm_id=aid)
+                for aid, algorithm in enumerate(self.algorithms)
+            ]
+        return self._solo_runs
+
+    def params(self) -> WorkloadParams:
+        """Measured (congestion, dilation, k)."""
+        return measure_params(self.solo_runs())
+
+    def patterns(self) -> List[CommunicationPattern]:
+        """The communication pattern of each algorithm's solo run."""
+        return [run.pattern for run in self.solo_runs()]
+
+    def reference_outputs(self) -> OutputMap:
+        """Ground-truth outputs every scheduler must reproduce."""
+        outputs: OutputMap = {}
+        for aid, run in enumerate(self.solo_runs()):
+            for node, value in run.outputs.items():
+                outputs[(aid, node)] = value
+        return outputs
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+
+    def merged(self, other: "Workload") -> "Workload":
+        """Combine two workloads on the same network into one.
+
+        The merged workload keeps this workload's master seed and relabels
+        the other's algorithms to the AIDs after ours. Note that the
+        other workload's algorithms get fresh random tapes under the
+        merged seed (AIDs shift), so merge *before* depending on outputs
+        of randomized algorithms.
+        """
+        if other.network != self.network:
+            raise ValueError("workloads must share the same network")
+        return Workload(
+            self.network,
+            list(self.algorithms) + list(other.algorithms),
+            master_seed=self.master_seed,
+            message_bits=self.message_bits,
+        )
+
+    def subset(self, aids) -> "Workload":
+        """A workload containing only the given algorithm indices.
+
+        Like :meth:`merged`, AIDs are re-assigned densely, so randomized
+        algorithms draw fresh tapes in the subset.
+        """
+        chosen = [self.algorithms[aid] for aid in aids]
+        return Workload(
+            self.network,
+            chosen,
+            master_seed=self.master_seed,
+            message_bits=self.message_bits,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Workload(n={self.network.num_nodes}, k={self.num_algorithms}, "
+            f"seed={self.master_seed})"
+        )

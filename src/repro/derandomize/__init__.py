@@ -1,0 +1,14 @@
+"""Appendix A: removing shared randomness from Bellagio algorithms."""
+
+from .distinct_elements import DistinctElements, true_distinct_counts
+from .harness import BellagioResult, run_with_private_randomness
+from .newman_pipeline import NewmanPipelineResult, reduce_seed_space_and_run
+
+__all__ = [
+    "BellagioResult",
+    "DistinctElements",
+    "NewmanPipelineResult",
+    "reduce_seed_space_and_run",
+    "run_with_private_randomness",
+    "true_distinct_counts",
+]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetworkError(ReproError):
+    """The communication network is malformed (disconnected, self-loops...)."""
+
+
+class BandwidthViolation(ReproError):
+    """A node program violated the CONGEST bandwidth constraints.
+
+    Raised when a program sends two messages to the same neighbour in one
+    round, sends to a non-neighbour, or exceeds the per-message bit budget.
+    """
+
+
+class SimulationLimitExceeded(ReproError):
+    """A simulation ran past its configured maximum number of rounds."""
+
+
+class ScheduleError(ReproError):
+    """A scheduler produced an invalid or infeasible schedule."""
+
+
+class VerificationError(ReproError):
+    """A scheduled execution produced outputs differing from solo runs."""
+
+
+class CoverageError(ReproError):
+    """A clustering failed to cover some node's dilation-neighbourhood.
+
+    Lemma 4.2 guarantees coverage only with high probability; with too few
+    layers, some node may have no layer whose cluster contains its whole
+    dilation-ball, in which case output selection is impossible.
+    """
+
+
+class RandomnessError(ReproError):
+    """Invalid parameters for a pseudo-randomness construction."""

@@ -1,0 +1,31 @@
+"""Experiment harness: workload factories, stats, reporting."""
+
+from .reporting import format_table, save_json
+from .runners import (
+    ComparisonRow,
+    broadcast_workload,
+    compare_schedulers,
+    mixed_workload,
+    packet_workload,
+    token_workload,
+)
+from .stats import Summary, fit_log_slope, fit_power_law, summarize
+from .sweeps import SweepPoint, repeat, sweep
+
+__all__ = [
+    "ComparisonRow",
+    "Summary",
+    "broadcast_workload",
+    "compare_schedulers",
+    "fit_log_slope",
+    "fit_power_law",
+    "format_table",
+    "mixed_workload",
+    "packet_workload",
+    "save_json",
+    "repeat",
+    "summarize",
+    "sweep",
+    "SweepPoint",
+    "token_workload",
+]

@@ -1,0 +1,28 @@
+"""Plain-text tables and JSON dumps for experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Sequence
+
+__all__ = ["format_table", "save_json"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table (benches print these)."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def save_json(path: str | Path, payload: Dict[str, Any]) -> None:
+    """Write experiment results as pretty JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))

@@ -1,0 +1,140 @@
+"""Workload factories and comparison runners used by benches and examples."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .._util import derive_seed
+from ..algorithms.bfs import BFS
+from ..algorithms.broadcast import HopBroadcast
+from ..algorithms.tokens import FixedPattern, PathToken, random_pattern
+from ..algorithms.packet_routing import random_packets
+from ..congest.network import Network
+from ..core.base import Scheduler
+from ..core.workload import Workload
+
+__all__ = [
+    "mixed_workload",
+    "broadcast_workload",
+    "token_workload",
+    "packet_workload",
+    "compare_schedulers",
+    "ComparisonRow",
+]
+
+
+def broadcast_workload(
+    network: Network, k: int, hops: Optional[int] = None, seed: int = 0
+) -> Workload:
+    """``k`` h-hop broadcasts from random sources (paper's case I)."""
+    rng = random.Random(derive_seed(seed, "wl-broadcast"))
+    h = hops if hops is not None else network.diameter()
+    algorithms = [
+        HopBroadcast(rng.randrange(network.num_nodes), 7000 + i, h)
+        for i in range(k)
+    ]
+    return Workload(network, algorithms, master_seed=seed)
+
+
+def mixed_workload(
+    network: Network, k: int, hops: Optional[int] = None, seed: int = 0
+) -> Workload:
+    """A heterogeneous mix: BFS, broadcast, and path tokens.
+
+    The staple workload of the scheduling experiments — algorithms with
+    genuinely different communication patterns, none known a priori.
+    """
+    rng = random.Random(derive_seed(seed, "wl-mixed"))
+    h = hops if hops is not None else max(2, network.diameter() // 2)
+    algorithms = []
+    nodes = list(network.nodes)
+    for i in range(k):
+        kind = i % 3
+        if kind == 0:
+            algorithms.append(BFS(rng.choice(nodes), hops=h))
+        elif kind == 1:
+            algorithms.append(HopBroadcast(rng.choice(nodes), 9000 + i, h))
+        else:
+            from ..algorithms.packet_routing import shortest_path
+
+            for _ in range(64):
+                s, t = rng.sample(nodes, 2)
+                path = shortest_path(network, s, t)
+                if 2 <= len(path) - 1 <= h:
+                    break
+            algorithms.append(PathToken(path, token=5000 + i))
+    return Workload(network, algorithms, master_seed=seed)
+
+
+def token_workload(
+    network: Network,
+    k: int,
+    length: int,
+    events_per_round: int,
+    seed: int = 0,
+    chained: bool = True,
+) -> Workload:
+    """``k`` synthetic fixed-pattern algorithms with dialled congestion."""
+    algorithms = [
+        FixedPattern(
+            random_pattern(network, length, events_per_round, seed=derive_seed(seed, "tok", i)),
+            chained=chained,
+            label=("tok", i),
+        )
+        for i in range(k)
+    ]
+    return Workload(network, algorithms, master_seed=seed)
+
+
+def packet_workload(
+    network: Network, count: int, seed: int = 0, min_distance: int = 2
+) -> Workload:
+    """``count`` shortest-path packets (the LMR special case)."""
+    packets = random_packets(network, count, seed=seed, min_distance=min_distance)
+    return Workload(network, packets, master_seed=seed)
+
+
+@dataclass
+class ComparisonRow:
+    """One scheduler's results on one workload."""
+
+    scheduler: str
+    length_rounds: int
+    precomputation_rounds: int
+    competitive_ratio: float
+    correct: bool
+    max_phase_load: Optional[int]
+
+    def as_tuple(self):
+        """Row form for table rendering."""
+        return (
+            self.scheduler,
+            self.length_rounds,
+            self.precomputation_rounds,
+            round(self.competitive_ratio, 2),
+            self.correct,
+        )
+
+
+def compare_schedulers(
+    workload: Workload,
+    schedulers: Sequence[Scheduler],
+    seed: int = 0,
+) -> List[ComparisonRow]:
+    """Run every scheduler on the same workload; return comparable rows."""
+    rows = []
+    for scheduler in schedulers:
+        result = scheduler.run(workload, seed=seed)
+        rows.append(
+            ComparisonRow(
+                scheduler=result.report.scheduler,
+                length_rounds=result.report.length_rounds,
+                precomputation_rounds=result.report.precomputation_rounds,
+                competitive_ratio=result.report.competitive_ratio,
+                correct=result.correct,
+                max_phase_load=result.report.max_phase_load,
+            )
+        )
+    return rows

@@ -1,0 +1,93 @@
+"""Statistics helpers for the experiment suite."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["Summary", "summarize", "fit_power_law", "fit_log_slope"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread of repeated measurements."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of a normal 95% confidence interval on the mean."""
+        if self.count <= 1:
+            return 0.0
+        return 1.96 * self.stdev / math.sqrt(self.count)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.ci95:.2f} (n={self.count})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sample (raises on empty input)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    if n > 1:
+        variance = sum((x - mean) ** 2 for x in data) / (n - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float, float]:
+    """Least-squares fit of ``y = c·x^a`` in log-log space.
+
+    Returns ``(exponent a, coefficient c, r_squared)``. Used to check
+    scaling shapes, e.g. the ``√(kn)`` of the k-shot MST experiment.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("x values are all equal")
+    slope = sxy / sxx
+    intercept = my - slope * mx
+    predictions = [slope * x + intercept for x in lx]
+    ss_res = sum((y - p) ** 2 for y, p in zip(ly, predictions))
+    ss_tot = sum((y - my) ** 2 for y in ly)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return slope, math.exp(intercept), r_squared
+
+
+def fit_log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of ``y`` against ``log x`` (for `·log n` shaped claims)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points")
+    lx = [math.log(x) for x in xs]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ys))
+    if sxx == 0:
+        raise ValueError("x values are all equal")
+    return sxy / sxx

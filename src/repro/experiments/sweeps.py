@@ -1,0 +1,99 @@
+"""Parameter sweeps: run a factory × scheduler grid and tabulate.
+
+A light experiment-management layer used by the benchmarks and examples:
+declare the axes (network sizes, k, schedulers, seeds), get back tidy
+rows with measured parameters, lengths, ratios and correctness — plus
+repetition with confidence intervals via :func:`repeat`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+from ..core.base import Scheduler
+from ..core.workload import Workload
+from .stats import Summary, summarize
+
+__all__ = ["SweepPoint", "sweep", "repeat"]
+
+
+@dataclass
+class SweepPoint:
+    """One (workload configuration, scheduler, seed) measurement."""
+
+    config: Dict[str, Any]
+    scheduler: str
+    seed: int
+    congestion: int
+    dilation: int
+    num_algorithms: int
+    length_rounds: int
+    precomputation_rounds: int
+    competitive_ratio: float
+    correct: bool
+
+    def as_row(self) -> List[Any]:
+        """Row form for table rendering (config values first)."""
+        return [
+            *self.config.values(),
+            self.scheduler,
+            self.congestion,
+            self.dilation,
+            self.length_rounds,
+            self.precomputation_rounds,
+            round(self.competitive_ratio, 2),
+            self.correct,
+        ]
+
+
+def sweep(
+    configs: Sequence[Dict[str, Any]],
+    workload_factory: Callable[..., Workload],
+    schedulers: Sequence[Scheduler],
+    seeds: Sequence[int] = (0,),
+) -> List[SweepPoint]:
+    """Run every scheduler on every configuration and seed.
+
+    ``workload_factory(**config, seed=seed)`` must build the workload;
+    the same workload instance is shared by all schedulers of one
+    (config, seed) cell so solo runs are computed once.
+    """
+    points: List[SweepPoint] = []
+    for config in configs:
+        for seed in seeds:
+            workload = workload_factory(**config, seed=seed)
+            params = workload.params()
+            for scheduler in schedulers:
+                result = scheduler.run(workload, seed=seed)
+                points.append(
+                    SweepPoint(
+                        config=dict(config),
+                        scheduler=result.report.scheduler,
+                        seed=seed,
+                        congestion=params.congestion,
+                        dilation=params.dilation,
+                        num_algorithms=params.num_algorithms,
+                        length_rounds=result.report.length_rounds,
+                        precomputation_rounds=result.report.precomputation_rounds,
+                        competitive_ratio=result.report.competitive_ratio,
+                        correct=result.correct,
+                    )
+                )
+    return points
+
+
+def repeat(
+    points: Iterable[SweepPoint],
+    metric: str = "length_rounds",
+) -> Dict[tuple, Summary]:
+    """Aggregate sweep points over seeds.
+
+    Returns ``(config items, scheduler) -> Summary`` of the chosen
+    metric across the seeds present.
+    """
+    buckets: Dict[tuple, List[float]] = {}
+    for point in points:
+        key = (tuple(sorted(point.config.items())), point.scheduler)
+        buckets.setdefault(key, []).append(float(getattr(point, metric)))
+    return {key: summarize(values) for key, values in buckets.items()}

@@ -1,0 +1,37 @@
+"""Hard instances and analysis for the Theorem 3.1 lower bound."""
+
+from .analysis import (
+    EmpiricalScheduleResult,
+    average_layer_phase_load,
+    edge_overload_probability,
+    empirical_min_schedule,
+    layer_overload_probability,
+    log_crossing_pattern_count,
+    lower_bound_formula,
+)
+from .crossing import CrossingPattern, crossing_from_delays, heaviest_layer_phase
+from .exhaustive import (
+    CrossingSearchResult,
+    certified_min_phases,
+    search_crossing_patterns,
+)
+from .hard_instance import HardInstance, paper_parameters, sample_hard_instance
+
+__all__ = [
+    "CrossingPattern",
+    "CrossingSearchResult",
+    "EmpiricalScheduleResult",
+    "HardInstance",
+    "average_layer_phase_load",
+    "certified_min_phases",
+    "crossing_from_delays",
+    "edge_overload_probability",
+    "empirical_min_schedule",
+    "heaviest_layer_phase",
+    "layer_overload_probability",
+    "log_crossing_pattern_count",
+    "lower_bound_formula",
+    "paper_parameters",
+    "sample_hard_instance",
+    "search_crossing_patterns",
+]

@@ -1,0 +1,135 @@
+"""Crossing patterns: the combinatorial core of the Theorem 3.1 proof.
+
+The proof breaks time into phases of ``Θ(log n / log log n)`` rounds and
+associates to every schedule a *crossing pattern*: a partial assignment
+of (algorithm, layer) pairs to phases — layer ``j`` of algorithm ``i`` is
+"crossed in phase ``t``" when both the fan-out and fan-in messages of
+that layer happen within phase ``t``. A short schedule forces at least a
+``0.9`` fraction of layers to be crossed within single phases; a heavily
+loaded (layer, phase) pair then exists by averaging, and the random
+subsets overload one of its edges with non-negligible probability.
+
+This module provides the crossing-pattern objects, the validity checks,
+and the load bookkeeping used both by the verifier and by the empirical
+lower-bound experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ScheduleError
+from .hard_instance import HardInstance
+
+__all__ = ["CrossingPattern", "crossing_from_delays", "heaviest_layer_phase"]
+
+
+@dataclass
+class CrossingPattern:
+    """A (partial) assignment of layers to phases, per algorithm.
+
+    ``assignment[i][j-1]`` is the phase in which algorithm ``i`` crosses
+    layer ``j``, or ``None`` when the crossing straddles phases.
+    """
+
+    assignment: List[List[Optional[int]]]
+    num_phases: int
+
+    def validate(self, min_assigned_fraction: float = 0.9) -> None:
+        """Check monotonicity and the assigned-fraction requirement.
+
+        Crossing phases must be non-decreasing in the layer index (causal
+        order: a layer cannot be crossed before its predecessor), and per
+        the proof at most a ``1 - min_assigned_fraction`` fraction of
+        layers may be unassigned.
+        """
+        for i, layers in enumerate(self.assignment):
+            assigned = [t for t in layers if t is not None]
+            if layers and len(assigned) < min_assigned_fraction * len(layers):
+                raise ScheduleError(
+                    f"algorithm {i}: only {len(assigned)}/{len(layers)} "
+                    "layers crossed within phases"
+                )
+            previous = -1
+            for t in layers:
+                if t is None:
+                    continue
+                if t < previous:
+                    raise ScheduleError(
+                        f"algorithm {i}: crossing phases not monotone"
+                    )
+                previous = t
+            if any(t is not None and not 0 <= t < self.num_phases for t in layers):
+                raise ScheduleError("phase index out of range")
+
+    def loads(self) -> Counter:
+        """``L(j, t)``: number of algorithms crossing layer ``j`` in phase
+        ``t`` (the proof's layer-phase load)."""
+        counts: Counter = Counter()
+        for layers in self.assignment:
+            for j, t in enumerate(layers, start=1):
+                if t is not None:
+                    counts[(j, t)] += 1
+        return counts
+
+    def max_edge_load(self, instance: HardInstance) -> int:
+        """Worst per-edge per-phase message load this pattern induces.
+
+        For each (layer ``j``, phase ``t``), every algorithm crossing
+        there sends one message on each edge ``(v_{j-1}, u)`` and
+        ``(u, v_j)`` for ``u ∈ S_j`` — the quantity that must fit into one
+        phase of the schedule.
+        """
+        edge_loads: Counter = Counter()
+        for i, layers in enumerate(self.assignment):
+            for j, t in enumerate(layers, start=1):
+                if t is None:
+                    continue
+                for u in instance.subsets[i][j - 1]:
+                    edge_loads[(instance.spine(j - 1), u, t)] += 1
+                    edge_loads[(u, instance.spine(j), t)] += 1
+        return max(edge_loads.values()) if edge_loads else 0
+
+
+def crossing_from_delays(
+    instance: HardInstance,
+    delays_in_rounds: Sequence[int],
+    phase_length: int,
+) -> CrossingPattern:
+    """The crossing pattern induced by per-algorithm start delays.
+
+    Algorithm ``i`` crosses layer ``j`` during rounds
+    ``delay_i + 2j - 1`` and ``delay_i + 2j``; the crossing is assigned
+    to a phase iff both rounds fall in the same length-``phase_length``
+    phase.
+    """
+    if len(delays_in_rounds) != instance.num_algorithms:
+        raise ValueError("one delay per algorithm")
+    assignment: List[List[Optional[int]]] = []
+    num_phases = 0
+    for delay in delays_in_rounds:
+        layers: List[Optional[int]] = []
+        for j in range(1, instance.num_layers + 1):
+            first = delay + 2 * j - 1
+            second = delay + 2 * j
+            phase_first = (first - 1) // phase_length
+            phase_second = (second - 1) // phase_length
+            if phase_first == phase_second:
+                layers.append(phase_first)
+                num_phases = max(num_phases, phase_first + 1)
+            else:
+                layers.append(None)
+                num_phases = max(num_phases, phase_second + 1)
+        assignment.append(layers)
+    return CrossingPattern(assignment=assignment, num_phases=num_phases)
+
+
+def heaviest_layer_phase(pattern: CrossingPattern) -> Tuple[Tuple[int, int], int]:
+    """The proof's averaging step: the (layer, phase) with maximum load."""
+    loads = pattern.loads()
+    if not loads:
+        raise ScheduleError("empty crossing pattern")
+    pair, value = max(loads.items(), key=lambda kv: (kv[1], kv[0]))
+    return pair, value

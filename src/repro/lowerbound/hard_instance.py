@@ -1,0 +1,147 @@
+"""The hard DAS instances of Theorem 3.1 (Figure 2).
+
+The network is layered: spine nodes ``v_0 .. v_L`` and layer sets
+``U_1 .. U_L`` of ``width`` nodes, each ``u ∈ U_j`` adjacent to
+``v_{j-1}`` and ``v_j``. A sampled algorithm crosses one layer every two
+rounds: in round ``2j - 1``, ``v_{j-1}`` sends to a random subset
+``S_j ⊆ U_j`` (each node included independently with probability ``q``);
+in round ``2j`` those nodes reply to ``v_j``.
+
+The paper instantiates ``L = n^{0.1}``, ``width = n^{0.9}``,
+``k = n^{0.2}``, ``q = n^{-0.1}`` and shows (probabilistic method) that
+some sample admits no schedule shorter than
+``Ω(congestion + dilation·log n / log log n)``. Those exponents are
+meaningless at simulable sizes, so the constructor takes the four
+parameters directly and the experiments sweep them; the analytic
+quantities from the proof (expected loads, overload probabilities, the
+union-bound exponent) are in :mod:`repro.lowerbound.analysis`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .._util import derive_seed
+from ..congest.network import Network
+from ..congest.pattern import CommunicationPattern, PatternEvent
+from ..congest.topology import layered_graph, layered_layer_nodes
+from ..algorithms.tokens import FixedPattern
+from ..core.workload import Workload
+from ..metrics.congestion import measure_params_from_patterns
+
+__all__ = ["HardInstance", "sample_hard_instance", "paper_parameters"]
+
+
+@dataclass
+class HardInstance:
+    """One sampled hard DAS instance."""
+
+    network: Network
+    num_layers: int
+    width: int
+    num_algorithms: int
+    edge_probability: float
+    #: ``subsets[i][j]`` — the set ``S_{j+1}`` of algorithm ``i``.
+    subsets: List[List[Tuple[int, ...]]]
+    seed: int
+
+    def spine(self, index: int) -> int:
+        """Node id of spine node ``v_index``."""
+        return index
+
+    def layer_nodes(self, layer: int) -> range:
+        """Node ids of ``U_layer`` (1-based layer)."""
+        return layered_layer_nodes(self.num_layers, self.width, layer)
+
+    # -- patterns -----------------------------------------------------------
+
+    def pattern(self, algorithm_index: int) -> CommunicationPattern:
+        """The communication pattern of one sampled algorithm."""
+        events: List[PatternEvent] = []
+        for j in range(1, self.num_layers + 1):
+            members = self.subsets[algorithm_index][j - 1]
+            v_prev, v_next = self.spine(j - 1), self.spine(j)
+            for u in members:
+                events.append((2 * j - 1, v_prev, u))
+                events.append((2 * j, u, v_next))
+        return CommunicationPattern(events)
+
+    def patterns(self) -> List[CommunicationPattern]:
+        """All algorithms' patterns."""
+        return [self.pattern(i) for i in range(self.num_algorithms)]
+
+    @property
+    def dilation(self) -> int:
+        """``2·L`` — every algorithm runs exactly two rounds per layer."""
+        return 2 * self.num_layers
+
+    def params(self):
+        """Measured (congestion, dilation) of the sampled instance."""
+        return measure_params_from_patterns(self.patterns())
+
+    def workload(self, master_seed: int = 0) -> Workload:
+        """An executable workload (chained FixedPattern algorithms)."""
+        algorithms = [
+            FixedPattern(self.pattern(i), chained=True, label=("hard", i))
+            for i in range(self.num_algorithms)
+        ]
+        return Workload(self.network, algorithms, master_seed=master_seed)
+
+
+def sample_hard_instance(
+    num_layers: int,
+    width: int,
+    num_algorithms: int,
+    edge_probability: float,
+    seed: int = 0,
+) -> HardInstance:
+    """Sample one instance from the paper's hard distribution.
+
+    Empty subsets are resampled to one uniform node so every algorithm
+    actually crosses every layer (the paper's ``|S_j| = Θ(width·q)``
+    concentration makes empties vanishingly rare at paper scale).
+    """
+    if not 0 < edge_probability <= 1:
+        raise ValueError("edge_probability must be in (0, 1]")
+    rng = random.Random(derive_seed(seed, "hard-instance"))
+    network = layered_graph(num_layers, width)
+    subsets: List[List[Tuple[int, ...]]] = []
+    for _ in range(num_algorithms):
+        per_layer: List[Tuple[int, ...]] = []
+        for j in range(1, num_layers + 1):
+            candidates = layered_layer_nodes(num_layers, width, j)
+            chosen = tuple(
+                u for u in candidates if rng.random() < edge_probability
+            )
+            if not chosen:
+                chosen = (rng.choice(list(candidates)),)
+            per_layer.append(chosen)
+        subsets.append(per_layer)
+    return HardInstance(
+        network=network,
+        num_layers=num_layers,
+        width=width,
+        num_algorithms=num_algorithms,
+        edge_probability=edge_probability,
+        subsets=subsets,
+        seed=seed,
+    )
+
+
+def paper_parameters(n_exponent_base: int) -> Dict[str, int]:
+    """The paper's asymptotic parameter choices for a nominal ``n``.
+
+    Returns the (rounded) ``L = n^0.1``, ``width = n^0.9``, ``k = n^0.2``
+    and ``q = n^{-0.1}`` — mostly useful to show how far outside
+    simulable range they sit (``n`` must be astronomically large before
+    ``n^0.1`` exceeds even 10).
+    """
+    n = n_exponent_base
+    return {
+        "num_layers": max(1, round(n**0.1)),
+        "width": max(1, round(n**0.9)),
+        "num_algorithms": max(1, round(n**0.2)),
+        "edge_probability_inverse": max(1, round(n**0.1)),
+    }

@@ -1,0 +1,89 @@
+"""Measuring the two scheduling parameters: congestion and dilation.
+
+Paper, Section 1: for algorithms ``A_1 .. A_k``,
+
+* ``dilation`` is the maximum solo running time over the algorithms;
+* ``c_i(e)`` is the number of rounds in which ``A_i`` sends a message over
+  edge ``e``; ``congestion(e) = Σ_i c_i(e)``; and
+  ``congestion = max_e congestion(e)``.
+
+Running all algorithms together requires at least
+``max(congestion, dilation) ≥ (congestion + dilation) / 2`` rounds — the
+trivial lower bound every experiment normalises against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+from ..congest.pattern import CommunicationPattern
+from ..congest.simulator import SoloRun
+
+__all__ = [
+    "WorkloadParams",
+    "measure_params",
+    "measure_params_from_patterns",
+    "edge_congestion_profile",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """The scheduling parameters of a workload of algorithms."""
+
+    congestion: int
+    dilation: int
+    num_algorithms: int
+
+    @property
+    def trivial_lower_bound(self) -> int:
+        """``max(congestion, dilation)`` — no schedule can beat this."""
+        return max(self.congestion, self.dilation)
+
+    @property
+    def cost_sum(self) -> int:
+        """``congestion + dilation`` — the LMR yardstick."""
+        return self.congestion + self.dilation
+
+    def __str__(self) -> str:
+        return (
+            f"congestion={self.congestion}, dilation={self.dilation}, "
+            f"k={self.num_algorithms}"
+        )
+
+
+def edge_congestion_profile(
+    patterns: Iterable[CommunicationPattern],
+) -> Counter:
+    """``congestion(e) = Σ_i c_i(e)`` for every undirected edge."""
+    profile: Counter = Counter()
+    for pattern in patterns:
+        profile.update(pattern.edge_round_counts())
+    return profile
+
+
+def measure_params_from_patterns(
+    patterns: Sequence[CommunicationPattern],
+) -> WorkloadParams:
+    """Compute (congestion, dilation) from communication patterns."""
+    dilation = max((p.length for p in patterns), default=0)
+    profile = edge_congestion_profile(patterns)
+    congestion = max(profile.values()) if profile else 0
+    return WorkloadParams(
+        congestion=congestion, dilation=dilation, num_algorithms=len(patterns)
+    )
+
+
+def measure_params(solo_runs: Sequence[SoloRun]) -> WorkloadParams:
+    """Compute (congestion, dilation) from solo executions."""
+    dilation = max((run.rounds for run in solo_runs), default=0)
+    profile: Counter = Counter()
+    for run in solo_runs:
+        profile.update(run.trace.edge_round_counts())
+    congestion = max(profile.values()) if profile else 0
+    return WorkloadParams(
+        congestion=congestion, dilation=dilation, num_algorithms=len(solo_runs)
+    )

@@ -1,0 +1,84 @@
+"""The paper's proposed design objective: ``congestion + dilation·log n``.
+
+Section 5: "To unify these two measures and make the problem
+well-defined, one might consider congestion + dilation·log n as the
+objective that is to be minimized. In fact, once we design a set of
+algorithms optimizing this measure, then we can use the algorithms
+presented in this paper to run A_1 to A_k together essentially
+optimally."
+
+This module makes that objective a first-class tool: score workloads and
+individual algorithms, and pick the best member from a family of
+parameterized algorithms — e.g. the tradeoff MST's knob ``L`` for a
+given number of shots ``k``, automating the paper's
+``L = √(n/k)`` reasoning empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..congest.network import Network
+from ..congest.simulator import SoloRun, solo_run
+
+
+__all__ = ["design_objective", "score_solo_run", "pick_best_parameter"]
+
+
+def design_objective(congestion: float, dilation: float, num_nodes: int) -> float:
+    """``congestion + dilation·log2 n`` — the paper's unified measure."""
+    return congestion + dilation * math.log2(max(num_nodes, 2))
+
+
+def score_solo_run(run: SoloRun, network: Network, shots: int = 1) -> float:
+    """Objective value of running ``shots`` copies of one algorithm.
+
+    ``shots`` copies multiply the per-edge loads but not the dilation, so
+    the workload-level objective is
+    ``shots·c(e)_max + dilation·log n`` — exactly the quantity the k-shot
+    analysis of Section 5 trades off.
+    """
+    congestion = run.trace.max_edge_rounds() * shots
+    return design_objective(congestion, run.rounds, network.num_nodes)
+
+
+@dataclass
+class ParameterScore:
+    """One candidate parameter's measured profile."""
+
+    parameter: object
+    congestion: int
+    dilation: int
+    objective: float
+
+
+def pick_best_parameter(
+    network: Network,
+    make_algorithm: Callable[[object], object],
+    candidates: Sequence[object],
+    shots: int = 1,
+    seed: int = 0,
+) -> Tuple[object, List[ParameterScore]]:
+    """Choose the candidate minimizing the k-shot design objective.
+
+    Runs each candidate algorithm solo, scores
+    ``shots·congestion + dilation·log n``, and returns the winner plus
+    the full scored list (for tables). This is the empirical counterpart
+    of the paper's parameter tuning (e.g. Kutten–Peleg's ``L``).
+    """
+    scores: List[ParameterScore] = []
+    for candidate in candidates:
+        algorithm = make_algorithm(candidate)
+        run = solo_run(network, algorithm, seed=seed, algorithm_id=repr(candidate))
+        scores.append(
+            ParameterScore(
+                parameter=candidate,
+                congestion=run.trace.max_edge_rounds(),
+                dilation=run.rounds,
+                objective=score_solo_run(run, network, shots),
+            )
+        )
+    best = min(scores, key=lambda s: s.objective)
+    return best.parameter, scores

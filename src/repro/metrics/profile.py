@@ -1,0 +1,89 @@
+"""Congestion profiling: where and how load concentrates.
+
+The paper's concluding remarks argue that algorithm designers should
+track congestion alongside dilation, and that message complexity alone
+"does not characterize the related congestion" — an algorithm with m
+messages can have congestion anywhere from O(1) to O(m). This module
+gives workloads the tooling to see that: per-edge load distributions,
+concentration statistics, and the message-complexity-vs-congestion
+comparison, used by the analysis examples and tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..congest.network import Edge, Network
+from ..congest.pattern import CommunicationPattern
+from .congestion import edge_congestion_profile
+
+__all__ = ["CongestionProfile", "profile_patterns"]
+
+
+@dataclass
+class CongestionProfile:
+    """Distributional view of a workload's per-edge congestion."""
+
+    #: congestion(e) per edge (edges with zero load included).
+    per_edge: Dict[Edge, int]
+    #: total messages over all algorithms (message complexity).
+    message_complexity: int
+
+    @property
+    def congestion(self) -> int:
+        """``max_e congestion(e)``."""
+        return max(self.per_edge.values()) if self.per_edge else 0
+
+    @property
+    def mean_load(self) -> float:
+        """Average per-edge load."""
+        if not self.per_edge:
+            return 0.0
+        return sum(self.per_edge.values()) / len(self.per_edge)
+
+    @property
+    def concentration(self) -> float:
+        """``congestion / mean`` — 1.0 means perfectly spread load.
+
+        The paper's point that message complexity underdetermines
+        congestion is exactly that this ratio can be anywhere in
+        ``[1, m / mean]``.
+        """
+        mean = self.mean_load
+        return self.congestion / mean if mean > 0 else 0.0
+
+    @property
+    def gini(self) -> float:
+        """Gini coefficient of the per-edge load distribution (0 = all
+        edges equally loaded, →1 = all load on one edge)."""
+        values = sorted(self.per_edge.values())
+        n = len(values)
+        total = sum(values)
+        if n == 0 or total == 0:
+            return 0.0
+        cumulative = 0.0
+        for i, v in enumerate(values, start=1):
+            cumulative += i * v
+        return (2 * cumulative) / (n * total) - (n + 1) / n
+
+    def hottest_edges(self, count: int = 5) -> List[Tuple[Edge, int]]:
+        """The ``count`` most congested edges."""
+        return sorted(self.per_edge.items(), key=lambda kv: (-kv[1], kv[0]))[
+            :count
+        ]
+
+    def load_histogram(self) -> Counter:
+        """load value -> number of edges with that load."""
+        return Counter(self.per_edge.values())
+
+
+def profile_patterns(
+    network: Network, patterns: Sequence[CommunicationPattern]
+) -> CongestionProfile:
+    """Build a congestion profile for a set of communication patterns."""
+    loads = edge_congestion_profile(patterns)
+    per_edge = {edge: loads.get(edge, 0) for edge in network.edges}
+    messages = sum(len(p) for p in patterns)
+    return CongestionProfile(per_edge=per_edge, message_complexity=messages)

@@ -1,0 +1,84 @@
+"""Schedule reports: the standardized result record of every scheduler.
+
+A scheduler's quality is judged on
+
+* **length** — physical rounds of the produced schedule,
+* **pre-computation** — physical rounds spent before the schedule starts
+  (clustering, randomness sharing; Theorem 1.3 pays ``O(dilation·log² n)``),
+* **correctness** — whether every (algorithm, node) output matched the
+  solo run, and
+* **load profile** — messages per (directed edge, phase), whose maximum
+  drives the feasible phase size (the ``O(log n)`` claims of Lemma 4.4).
+
+For phase-based schedulers the *reported* length is
+``num_phases × max(phase_size, max_phase_load)``: if some phase overloads
+an edge beyond the phase size, the schedule is only feasible once phases
+are stretched to the observed maximum load, and we account for that
+honestly rather than declaring a w.h.p. failure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .congestion import WorkloadParams
+
+__all__ = ["ScheduleReport", "phase_schedule_length"]
+
+
+def phase_schedule_length(
+    num_phases: int, phase_size: int, max_phase_load: int
+) -> int:
+    """Physical length of a phase-based schedule (see module docstring)."""
+    if num_phases < 0 or phase_size < 1:
+        raise ValueError("invalid phase accounting")
+    return num_phases * max(phase_size, max_phase_load)
+
+
+@dataclass
+class ScheduleReport:
+    """Everything measurable about one scheduled execution."""
+
+    scheduler: str
+    params: WorkloadParams
+    length_rounds: int
+    precomputation_rounds: int = 0
+    num_phases: Optional[int] = None
+    phase_size: Optional[int] = None
+    max_phase_load: Optional[int] = None
+    correct: Optional[bool] = None
+    messages_sent: Optional[int] = None
+    messages_deduplicated: Optional[int] = None
+    load_histogram: Optional[Counter] = None
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_rounds(self) -> int:
+        """Schedule length plus pre-computation."""
+        return self.length_rounds + self.precomputation_rounds
+
+    @property
+    def competitive_ratio(self) -> float:
+        """Length divided by the trivial lower bound ``max(C, D)``."""
+        bound = self.params.trivial_lower_bound
+        return self.length_rounds / bound if bound else float("inf")
+
+    @property
+    def lmr_ratio(self) -> float:
+        """Length divided by ``congestion + dilation``."""
+        cost = self.params.cost_sum
+        return self.length_rounds / cost if cost else float("inf")
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            f"{self.scheduler}: {self.length_rounds} rounds",
+            f"(+{self.precomputation_rounds} pre)",
+            f"C={self.params.congestion} D={self.params.dilation}",
+            f"ratio={self.competitive_ratio:.2f}",
+        ]
+        if self.correct is not None:
+            parts.append("OK" if self.correct else "WRONG")
+        return " ".join(parts)

@@ -1,0 +1,27 @@
+"""Randomness substrate: primes, k-wise independence, delay distributions."""
+
+from .distributions import (
+    BlockDelay,
+    DelayDistribution,
+    TruncatedExponential,
+    UniformDelay,
+)
+from .kwise import KWiseGenerator, prime_for_buckets, seed_bits_required
+from .newman import SubcollectionResult, find_good_subcollection, majority_fraction
+from .primes import bertrand_prime, is_prime, next_prime
+
+__all__ = [
+    "BlockDelay",
+    "DelayDistribution",
+    "KWiseGenerator",
+    "SubcollectionResult",
+    "TruncatedExponential",
+    "UniformDelay",
+    "bertrand_prime",
+    "find_good_subcollection",
+    "is_prime",
+    "majority_fraction",
+    "next_prime",
+    "prime_for_buckets",
+    "seed_bits_required",
+]

@@ -1,0 +1,222 @@
+"""The paper's random-delay and radius distributions.
+
+Three distributions drive the scheduling results:
+
+* :class:`UniformDelay` — uniform start delays (Theorem 1.1 and the
+  remark after Theorem 3.1).
+* :class:`TruncatedExponential` — Bartal-style ball-carving radii
+  (Lemma 4.2): ``Pr[r = z] ∝ e^{-z/R}`` truncated so that w.h.p. every
+  radius is below the hop-count horizon ``H``.
+* :class:`BlockDelay` — the non-uniform distribution of Lemma 4.4 that
+  upgrades the per-cluster scheduler from ``O((C + D)·log n)`` to
+  ``O(C + D·log n)``: ``β = Θ(log n)`` blocks, block ``i`` holding
+  ``⌈L·α^{i-1}⌉`` consecutive delay values (``L = Θ(C/log n)``), total
+  probability mass ``1/β`` per block, uniform within a block. Early
+  blocks are short and dense (likely to contain the *first* scheduled
+  copy), later blocks are geometrically thinner — the shape that makes
+  the probability that a given copy is the first one ``O(log n / C)``
+  regardless of which block its delay lands in.
+
+All three expose ``quantile(u)`` so delays can be derived from the
+``k``-wise independent uniform values of
+:class:`~repro.randomness.kwise.KWiseGenerator`, and ``sample(rng)`` for
+direct use with shared randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ..errors import RandomnessError
+
+__all__ = ["UniformDelay", "TruncatedExponential", "BlockDelay", "DelayDistribution"]
+
+
+class DelayDistribution:
+    """Interface: a distribution over non-negative integer delays."""
+
+    #: Number of distinct delay values (delays are ``0 .. support_size-1``
+    #: mapped through :meth:`delay_at`).
+    support_size: int
+
+    def quantile(self, u: float) -> int:
+        """Map ``u ∈ [0, 1)`` to a delay (inverse-CDF sampling)."""
+        raise NotImplementedError
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw a delay using a private/shared random generator."""
+        return self.quantile(rng.random())
+
+    def pmf(self, delay: int) -> float:
+        """Probability of drawing exactly ``delay``."""
+        raise NotImplementedError
+
+    @property
+    def max_delay(self) -> int:
+        """The largest delay in the support."""
+        raise NotImplementedError
+
+
+class UniformDelay(DelayDistribution):
+    """Uniform over ``{0, .., range - 1}``."""
+
+    def __init__(self, delay_range: int):
+        if delay_range < 1:
+            raise RandomnessError("delay range must be >= 1")
+        self.delay_range = delay_range
+        self.support_size = delay_range
+
+    def quantile(self, u: float) -> int:
+        if not 0 <= u < 1:
+            raise RandomnessError("u must be in [0, 1)")
+        return int(u * self.delay_range)
+
+    def pmf(self, delay: int) -> float:
+        return 1.0 / self.delay_range if 0 <= delay < self.delay_range else 0.0
+
+    @property
+    def max_delay(self) -> int:
+        return self.delay_range - 1
+
+
+class TruncatedExponential(DelayDistribution):
+    """Bartal's truncated exponential radius distribution (Lemma 4.2).
+
+    ``Pr[r = z] ∝ e^{-z/scale}`` for ``z ∈ {0, .., cutoff}``. The paper
+    takes ``scale = R = Θ(dilation)`` and a cutoff ``H = Θ(R·log n)`` so
+    that w.h.p. no radius reaches the horizon.
+    """
+
+    def __init__(self, scale: float, cutoff: int):
+        if scale <= 0:
+            raise RandomnessError("scale must be positive")
+        if cutoff < 0:
+            raise RandomnessError("cutoff must be non-negative")
+        self.scale = scale
+        self.cutoff = cutoff
+        self.support_size = cutoff + 1
+        weights = [math.exp(-z / scale) for z in range(cutoff + 1)]
+        total = sum(weights)
+        self._pmf = [w / total for w in weights]
+        self._cdf: List[float] = []
+        acc = 0.0
+        for p in self._pmf:
+            acc += p
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    @classmethod
+    def for_ball_carving(
+        cls, radius_scale: int, num_nodes: int, horizon_constant: float = 2.0
+    ) -> "TruncatedExponential":
+        """The paper's parametrisation: ``R = Θ(dilation)``, cutoff
+        ``⌈horizon_constant · R · ln n⌉``."""
+        cutoff = max(1, math.ceil(horizon_constant * radius_scale * math.log(max(num_nodes, 2))))
+        return cls(scale=float(radius_scale), cutoff=cutoff)
+
+    def quantile(self, u: float) -> int:
+        if not 0 <= u < 1:
+            raise RandomnessError("u must be in [0, 1)")
+        lo, hi = 0, self.cutoff
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] > u:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def pmf(self, delay: int) -> float:
+        if 0 <= delay <= self.cutoff:
+            return self._pmf[delay]
+        return 0.0
+
+    @property
+    def max_delay(self) -> int:
+        return self.cutoff
+
+
+class BlockDelay(DelayDistribution):
+    """The non-uniform block distribution of Lemma 4.4.
+
+    Parameters
+    ----------
+    base_block:
+        ``L = Θ(congestion / log n)``: size of the first (densest) block.
+    num_blocks:
+        ``β = Θ(log n)``: number of blocks, each carrying mass ``1/β``.
+    alpha:
+        Geometric thinning factor; the paper picks
+        ``α = γ = (1 - 1/β)^{Θ(log n)}`` so that the chance a delay in
+        block ``i`` is the *first* among ``Θ(log n)`` independent copies
+        shrinks at the same geometric rate as the block densities.
+    """
+
+    def __init__(self, base_block: int, num_blocks: int, alpha: float):
+        if base_block < 1:
+            raise RandomnessError("base block size must be >= 1")
+        if num_blocks < 1:
+            raise RandomnessError("need at least one block")
+        if not 0 < alpha < 1:
+            raise RandomnessError("alpha must be in (0, 1)")
+        self.base_block = base_block
+        self.num_blocks = num_blocks
+        self.alpha = alpha
+        # blocks[i] = (first delay value, number of values)
+        self.blocks: List[Tuple[int, int]] = []
+        offset = 0
+        for i in range(num_blocks):
+            size = max(1, math.ceil(base_block * alpha**i))
+            self.blocks.append((offset, size))
+            offset += size
+        self.support_size = offset
+
+    @classmethod
+    def for_schedule(
+        cls,
+        congestion: int,
+        num_nodes: int,
+        copies: int,
+        block_constant: float = 1.0,
+    ) -> "BlockDelay":
+        """The paper's parametrisation for a given workload.
+
+        ``copies`` is the number of independent per-cluster copies of each
+        algorithm (``Θ(log n)`` layers); ``α`` is set to
+        ``γ = (1 - 1/β)^copies``, the probability that none of the copies
+        lands in one given block — exactly the constant the proof of
+        Lemma 4.4 chooses.
+        """
+        beta = max(2, math.ceil(math.log2(max(num_nodes, 4))))
+        base = max(1, math.ceil(block_constant * congestion / beta))
+        gamma = (1.0 - 1.0 / beta) ** copies
+        gamma = min(max(gamma, 0.05), 0.95)
+        return cls(base_block=base, num_blocks=beta, alpha=gamma)
+
+    def quantile(self, u: float) -> int:
+        if not 0 <= u < 1:
+            raise RandomnessError("u must be in [0, 1)")
+        scaled = u * self.num_blocks
+        block = min(int(scaled), self.num_blocks - 1)
+        frac = scaled - block
+        offset, size = self.blocks[block]
+        return offset + min(int(frac * size), size - 1)
+
+    def pmf(self, delay: int) -> float:
+        for offset, size in self.blocks:
+            if offset <= delay < offset + size:
+                return 1.0 / (self.num_blocks * size)
+        return 0.0
+
+    def block_of(self, delay: int) -> int:
+        """Index of the block containing ``delay``."""
+        for i, (offset, size) in enumerate(self.blocks):
+            if offset <= delay < offset + size:
+                return i
+        raise RandomnessError(f"delay {delay} outside support")
+
+    @property
+    def max_delay(self) -> int:
+        return self.support_size - 1

@@ -1,0 +1,133 @@
+"""``k``-wise independent pseudo-randomness via polynomials over GF(p).
+
+This is the classical Reed–Solomon-code construction the paper invokes in
+Lemma 4.3 (citing Alon–Spencer, Thm 15.2.1 and its GF(p) extension): a
+uniformly random polynomial ``f`` of degree ``k - 1`` over ``GF(p)``,
+evaluated at distinct points, yields values that are uniform on
+``[0, p)`` and ``k``-wise independent. The seed is the coefficient vector
+— ``k·⌈log2 p⌉`` bits, i.e. ``Θ(log² n)`` bits for ``k = Θ(log n)`` and
+``p = poly(n)``, exactly the per-cluster randomness budget of Lemma 4.3.
+
+:class:`KWiseGenerator` also implements the paper's *bucket* scheme: the
+generated value stream is split into ``poly(n)``-sized buckets indexed by
+algorithm identifier (AID), so that "algorithm A_i picks its random delays
+based on the random values in bucket AID(i)" consistently at every node of
+a cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .._util import ceil_log2
+from ..errors import RandomnessError
+from .primes import is_prime, next_prime
+
+__all__ = ["KWiseGenerator", "seed_bits_required"]
+
+
+def seed_bits_required(independence: int, prime: int) -> int:
+    """Seed length in bits: ``k`` coefficients of ``⌈log2 p⌉`` bits."""
+    return independence * ceil_log2(prime)
+
+
+class KWiseGenerator:
+    """Evaluate a random degree-``k-1`` polynomial over ``GF(p)``.
+
+    Parameters
+    ----------
+    prime:
+        Field modulus; must be prime.
+    coefficients:
+        The seed: ``k`` field elements (degree ``k - 1`` polynomial).
+    """
+
+    def __init__(self, prime: int, coefficients: Sequence[int]):
+        if not is_prime(prime):
+            raise RandomnessError(f"{prime} is not prime")
+        if not coefficients:
+            raise RandomnessError("need at least one coefficient")
+        if any(not 0 <= c < prime for c in coefficients):
+            raise RandomnessError("coefficients must lie in [0, p)")
+        self.prime = prime
+        self.coefficients: List[int] = list(coefficients)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, prime: int, independence: int, bits: int) -> "KWiseGenerator":
+        """Derive the coefficient vector from a shared random bit string.
+
+        ``bits`` is the cluster's shared randomness as a non-negative
+        integer of at least :func:`seed_bits_required` bits. Chunks of
+        ``⌈log2 p⌉ + 16`` bits are reduced mod ``p``; the 16 extra bits
+        keep the modular bias below ``2^-16``.
+        """
+        if independence < 1:
+            raise RandomnessError("independence must be >= 1")
+        chunk = ceil_log2(prime) + 16
+        mask = (1 << chunk) - 1
+        coefficients = []
+        for i in range(independence):
+            coefficients.append(((bits >> (i * chunk)) & mask) % prime)
+        return cls(prime, coefficients)
+
+    @classmethod
+    def sample(
+        cls, prime: int, independence: int, rng: random.Random
+    ) -> "KWiseGenerator":
+        """Sample a fresh seed from ``rng`` (for tests and oracles)."""
+        coefficients = [rng.randrange(prime) for _ in range(independence)]
+        return cls(prime, coefficients)
+
+    # -- evaluation --------------------------------------------------------
+
+    @property
+    def independence(self) -> int:
+        """The ``k`` of ``k``-wise independence (number of coefficients)."""
+        return len(self.coefficients)
+
+    def value(self, point: int) -> int:
+        """Evaluate the polynomial at ``point mod p`` (Horner's rule).
+
+        Values at up to ``k`` distinct points (mod p) are independent and
+        uniform on ``[0, p)``.
+        """
+        x = point % self.prime
+        acc = 0
+        for c in reversed(self.coefficients):
+            acc = (acc * x + c) % self.prime
+        return acc
+
+    def uniform(self, point: int) -> float:
+        """The evaluation mapped into ``[0, 1)``."""
+        return self.value(point) / self.prime
+
+    # -- the paper's AID bucket scheme -------------------------------------
+
+    def bucket_value(self, aid: int, index: int, bucket_size: int = 1 << 16) -> int:
+        """The ``index``-th random value of algorithm ``aid``'s bucket.
+
+        The evaluation-point space ``[0, p)`` is partitioned into buckets
+        of ``bucket_size`` points; algorithm ``aid`` reads points
+        ``aid·bucket_size + index``. Distinct (aid, index) pairs map to
+        distinct points as long as ``aid·bucket_size + index < p``.
+        """
+        if index >= bucket_size:
+            raise RandomnessError("bucket exhausted")
+        point = aid * bucket_size + index
+        if point >= self.prime:
+            raise RandomnessError(
+                f"evaluation point {point} >= p={self.prime}; use a larger prime"
+            )
+        return self.value(point)
+
+    def bucket_uniform(self, aid: int, index: int, bucket_size: int = 1 << 16) -> float:
+        """Bucketed value mapped into ``[0, 1)``."""
+        return self.bucket_value(aid, index, bucket_size) / self.prime
+
+
+def prime_for_buckets(num_algorithms: int, bucket_size: int = 1 << 16) -> int:
+    """A prime large enough for ``num_algorithms`` AID buckets."""
+    return next_prime(max(2, num_algorithms * bucket_size))

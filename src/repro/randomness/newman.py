@@ -1,0 +1,113 @@
+"""Newman-style shared-randomness reduction (paper Appendix A).
+
+The paper generalises Newman's classical observation to distributed
+Bellagio algorithms: if an algorithm uses ``R`` bits of shared randomness
+(a collection ``F`` of ``2^R`` deterministic algorithms) and every node
+outputs its canonical value with probability ≥ 2/3, then a random
+sub-collection ``F'`` of ``poly(n)`` of them is, with overwhelming
+probability, still good (majority ≥ 3/5) for *every* input — so
+``O(log n)`` shared bits suffice to pick a member of ``F'``.
+
+The paper's argument is existential plus a deterministic brute-force
+search "consistently finding the first good collection". We implement the
+same: :func:`find_good_subcollection` deterministically walks candidate
+sub-collections in a seeded order and returns the first one that achieves
+the target majority on every probe input. The verification against *all*
+inputs is replaced by verification against a caller-supplied input set —
+exact when the input space is small (as in tests), a sound Monte-Carlo
+surrogate otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence
+
+from .._util import derive_seed
+from ..errors import RandomnessError
+
+__all__ = ["SubcollectionResult", "find_good_subcollection", "majority_fraction"]
+
+
+def majority_fraction(outputs: Sequence[Any]) -> float:
+    """Fraction of outputs equal to the most common one."""
+    if not outputs:
+        return 0.0
+    [(_, count)] = Counter(outputs).most_common(1)
+    return count / len(outputs)
+
+
+@dataclass
+class SubcollectionResult:
+    """The outcome of the deterministic sub-collection search."""
+
+    #: Indices (into the original seed collection) of the chosen F'.
+    seeds: List[int]
+    #: Candidate sub-collections examined before success.
+    attempts: int
+    #: Worst per-input majority fraction achieved by the chosen F'.
+    worst_majority: float
+
+
+def find_good_subcollection(
+    run: Callable[[int, Any], Any],
+    num_seeds: int,
+    inputs: Sequence[Any],
+    subcollection_size: int,
+    majority_threshold: float = 0.6,
+    canonical: Callable[[Any], Any] | None = None,
+    search_seed: int = 0,
+    max_attempts: int = 256,
+) -> SubcollectionResult:
+    """Find a small seed sub-collection preserving per-input majorities.
+
+    Parameters
+    ----------
+    run:
+        ``run(seed_index, input) -> output``: the deterministic algorithm
+        selected by one shared-randomness value.
+    num_seeds:
+        Size of the full collection ``F`` (i.e. ``2^R``).
+    inputs:
+        The inputs to verify against (all inputs, or a probe sample).
+    subcollection_size:
+        Target ``|F'|`` (the paper uses ``poly(n)``; ``Θ(log |inputs|)``
+        suffices for the Chernoff argument).
+    majority_threshold:
+        Required majority fraction on every input (paper: 3/5).
+    canonical:
+        Optional ground-truth function; when given, the majority must
+        land on ``canonical(input)``, not just on *some* value.
+    search_seed:
+        Seeds the deterministic search order — every node running this
+        search with the same seed finds the same ``F'``, which is how the
+        paper makes all nodes agree without communication.
+    """
+    if subcollection_size < 1 or subcollection_size > num_seeds:
+        raise RandomnessError("invalid subcollection size")
+    rng = random.Random(derive_seed(search_seed, "newman-search"))
+    for attempt in range(1, max_attempts + 1):
+        candidate = rng.sample(range(num_seeds), subcollection_size)
+        worst = 1.0
+        ok = True
+        for item in inputs:
+            outputs = [run(s, item) for s in candidate]
+            if canonical is not None:
+                target = canonical(item)
+                fraction = sum(1 for o in outputs if o == target) / len(outputs)
+            else:
+                fraction = majority_fraction(outputs)
+            worst = min(worst, fraction)
+            if fraction < majority_threshold:
+                ok = False
+                break
+        if ok:
+            return SubcollectionResult(
+                seeds=sorted(candidate), attempts=attempt, worst_majority=worst
+            )
+    raise RandomnessError(
+        f"no good sub-collection of size {subcollection_size} found in "
+        f"{max_attempts} attempts; the base algorithm may not be Bellagio"
+    )

@@ -1,0 +1,65 @@
+"""Prime utilities for the GF(p) pseudo-randomness constructions.
+
+Lemma 4.3 (footnote 6) builds ``Θ(log n)``-wise independent values over
+``GF(p)`` "for any prime number p ∈ poly(n)", and when delays in range
+``[Θ(R)]`` are desired, picks "a prime p ∈ Θ(R) — note that by Bertrand's
+postulate there is at least one in [a, 2a], for any a ≥ 1."
+"""
+
+from __future__ import annotations
+
+from ..errors import RandomnessError
+
+__all__ = ["is_prime", "next_prime", "bertrand_prime"]
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+# Deterministic Miller-Rabin witnesses valid for all 64-bit integers.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test (exact for n < 3.3·10^24)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime ``>= n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # first odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def bertrand_prime(a: int) -> int:
+    """A prime in ``[a, 2a]`` (exists for every ``a >= 1`` by Bertrand)."""
+    if a < 1:
+        raise RandomnessError("bertrand_prime requires a >= 1")
+    p = next_prime(a)
+    if p > 2 * a:  # cannot happen, but fail loudly rather than silently
+        raise RandomnessError(f"no prime found in [{a}, {2 * a}]")
+    return p

@@ -1,0 +1,79 @@
+"""Tests for convergecast aggregation and leader election."""
+
+import pytest
+
+from repro.algorithms import MAX, MIN, SUM, Aggregation, LeaderElection
+from repro.congest import solo_run, topology
+
+
+class TestAggregation:
+    def test_sum(self, grid6):
+        values = {v: v + 1 for v in grid6.nodes}
+        alg = Aggregation(0, values, height=grid6.diameter(), op=SUM)
+        run = solo_run(grid6, alg)
+        assert run.outputs[0] == sum(values.values())
+        assert all(run.outputs[v] is None for v in grid6.nodes if v != 0)
+
+    def test_min_max(self, cycle12):
+        values = {v: (v * 7) % 13 for v in cycle12.nodes}
+        H = cycle12.diameter()
+        assert solo_run(cycle12, Aggregation(3, values, H, op=MIN)).outputs[3] == min(values.values())
+        assert solo_run(cycle12, Aggregation(3, values, H, op=MAX)).outputs[3] == max(values.values())
+
+    def test_rounds_2h(self, path10):
+        H = 9
+        run = solo_run(path10, Aggregation(0, {v: 1 for v in path10.nodes}, H))
+        assert run.rounds <= 2 * H + 1
+        assert run.outputs[0] == 10
+
+    def test_missing_values_default_zero(self, grid4):
+        alg = Aggregation(0, {0: 5}, height=grid4.diameter())
+        assert solo_run(grid4, alg).outputs[0] == 5
+
+    def test_height_must_cover_eccentricity(self, path10):
+        """With height >= ecc the result matches expected_outputs."""
+        alg = Aggregation(5, {v: v for v in path10.nodes}, height=5)
+        run = solo_run(path10, alg)
+        assert run.outputs == alg.expected_outputs(path10)
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            Aggregation(0, {}, height=0)
+
+    def test_congestion_constant(self, grid6):
+        run = solo_run(grid6, Aggregation(0, {v: 1 for v in grid6.nodes}, grid6.diameter()))
+        assert run.trace.max_edge_rounds() <= 3
+
+    def test_deep_node_is_root(self, path10):
+        alg = Aggregation(9, {v: 2 for v in path10.nodes}, height=9)
+        assert solo_run(path10, alg).outputs[9] == 20
+
+
+class TestLeaderElection:
+    def test_all_agree_on_min(self, expander):
+        alg = LeaderElection(deadline=expander.diameter())
+        run = solo_run(expander, alg)
+        assert set(run.outputs.values()) == {0}
+
+    def test_custom_keys(self, grid4):
+        keys = {v: 100 - v for v in grid4.nodes}
+        alg = LeaderElection(deadline=grid4.diameter(), keys=keys)
+        run = solo_run(grid4, alg)
+        assert set(run.outputs.values()) == {100 - 15}
+
+    def test_expected_outputs(self, cycle12):
+        alg = LeaderElection(deadline=cycle12.diameter())
+        assert solo_run(cycle12, alg).outputs == alg.expected_outputs(cycle12)
+
+    def test_deadline_too_short_may_disagree(self, path10):
+        """With deadline 1, far nodes can't hear the global minimum."""
+        run = solo_run(path10, LeaderElection(deadline=1))
+        assert run.outputs[9] == 8  # only its neighbourhood's min
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            LeaderElection(deadline=0)
+
+    def test_rounds_bounded_by_deadline(self, grid6):
+        run = solo_run(grid6, LeaderElection(deadline=grid6.diameter()))
+        assert run.rounds <= grid6.diameter()

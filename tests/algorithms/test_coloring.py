@@ -1,0 +1,63 @@
+"""Tests for randomized (Δ+1)-coloring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.coloring import RandomColoring, is_proper_coloring
+from repro.congest import solo_run, topology
+from repro.core import RandomDelayScheduler, Workload
+
+
+class TestRandomColoring:
+    NETS = ["grid6", "expander", "cycle12", "star8", "path10"]
+
+    @pytest.mark.parametrize("net_name", NETS)
+    def test_produces_proper_coloring(self, net_name, request):
+        net = request.getfixturevalue(net_name)
+        run = solo_run(net, RandomColoring(net))
+        assert is_proper_coloring(net, run.outputs)
+
+    @pytest.mark.parametrize("net_name", NETS)
+    def test_colors_within_palette(self, net_name, request):
+        net = request.getfixturevalue(net_name)
+        alg = RandomColoring(net)
+        run = solo_run(net, alg)
+        assert all(0 <= c < alg.palette_size for c in run.outputs.values())
+
+    def test_palette_too_small_rejected(self, star8):
+        with pytest.raises(ValueError):
+            RandomColoring(star8, palette_size=3)
+
+    def test_bigger_palette_allowed(self, grid4):
+        alg = RandomColoring(grid4, palette_size=10)
+        run = solo_run(grid4, alg)
+        assert is_proper_coloring(grid4, run.outputs)
+
+    def test_seed_dependent_like_mis(self, grid6):
+        """Not Bellagio: different seeds, different valid colourings."""
+        colorings = set()
+        for seed in range(5):
+            run = solo_run(grid6, RandomColoring(grid6), seed=seed)
+            assert is_proper_coloring(grid6, run.outputs)
+            colorings.add(tuple(run.outputs[v] for v in grid6.nodes))
+        assert len(colorings) >= 3
+
+    def test_schedulable(self, grid4):
+        work = Workload(
+            grid4, [RandomColoring(grid4), RandomColoring(grid4)], master_seed=3
+        )
+        result = RandomDelayScheduler().run(work, seed=2)
+        assert result.correct
+
+    def test_validator(self, grid4):
+        assert not is_proper_coloring(grid4, {v: 0 for v in grid4.nodes})
+        assert not is_proper_coloring(grid4, {v: None for v in grid4.nodes})
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(8, 20), seed=st.integers(0, 500))
+def test_coloring_property_random_graphs(n, seed):
+    net = topology.gnp_connected(n, 0.3, seed=seed % 40)
+    run = solo_run(net, RandomColoring(net), seed=seed)
+    assert is_proper_coloring(net, run.outputs)

@@ -1,0 +1,100 @@
+"""Tests for the randomized algorithms: push gossip and Luby MIS.
+
+These two pin down the paper's treatment of randomness:
+
+* randomness is part of the input (Section 2) — scheduled executions of
+  randomized algorithms reproduce solo outputs exactly;
+* MIS is the paper's example of a NON-Bellagio problem (Appendix A):
+  different seeds give different, all-correct, outputs.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    LubyMIS,
+    PushGossip,
+    is_independent_set,
+    is_maximal,
+)
+from repro.congest import solo_run, topology
+from repro.core import RandomDelayScheduler, Workload
+
+
+class TestPushGossip:
+    def test_source_informed_at_zero(self, expander):
+        run = solo_run(expander, PushGossip(0, rounds=12))
+        assert run.outputs[0] == 0
+
+    def test_informed_rounds_monotone_sane(self, expander):
+        run = solo_run(expander, PushGossip(0, rounds=20))
+        informed = {v: r for v, r in run.outputs.items() if r is not None}
+        # informed times are at least the hop distance
+        dist = expander.bfs_distances(0)
+        assert all(r >= dist[v] for v, r in informed.items())
+
+    def test_spreads_on_expander(self, expander):
+        run = solo_run(expander, PushGossip(0, rounds=24))
+        informed = sum(1 for r in run.outputs.values() if r is not None)
+        assert informed >= 0.9 * expander.num_nodes
+
+    def test_seed_changes_pattern(self, expander):
+        a = solo_run(expander, PushGossip(0, rounds=10), seed=1)
+        b = solo_run(expander, PushGossip(0, rounds=10), seed=2)
+        assert set(a.trace.events()) != set(b.trace.events())
+
+    def test_same_seed_reproduces(self, expander):
+        a = solo_run(expander, PushGossip(0, rounds=10), seed=1)
+        b = solo_run(expander, PushGossip(0, rounds=10), seed=1)
+        assert a.outputs == b.outputs
+
+    def test_scheduled_gossip_matches_solo(self, grid6):
+        """Randomness-as-input: even randomized algorithms come out of
+        the scheduler with solo-identical outputs."""
+        work = Workload(
+            grid6,
+            [PushGossip(0, rounds=8), PushGossip(35, rounds=8, rumor="b")],
+            master_seed=5,
+        )
+        result = RandomDelayScheduler().run(work, seed=3)
+        assert result.correct
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            PushGossip(0, rounds=-1)
+
+
+class TestLubyMIS:
+    NETS = ["grid6", "expander", "cycle12", "star8"]
+
+    @pytest.mark.parametrize("net_name", NETS)
+    def test_produces_valid_mis(self, net_name, request):
+        net = request.getfixturevalue(net_name)
+        alg = LubyMIS(net.num_nodes)
+        run = solo_run(net, alg)
+        assert all(out is not None for out in run.outputs.values())
+        members = {v for v, out in run.outputs.items() if out}
+        assert is_independent_set(net, members)
+        assert is_maximal(net, members)
+
+    def test_not_bellagio(self, grid6):
+        """The paper's Appendix A point: MIS outputs genuinely vary with
+        the seed — no canonical per-node output."""
+        results = set()
+        for seed in range(6):
+            run = solo_run(grid6, LubyMIS(grid6.num_nodes), seed=seed)
+            results.add(frozenset(v for v, out in run.outputs.items() if out))
+        assert len(results) >= 3  # many different (all valid) MISs
+
+    def test_schedulable_despite_randomness(self, grid4):
+        work = Workload(
+            grid4,
+            [LubyMIS(grid4.num_nodes), LubyMIS(grid4.num_nodes)],
+            master_seed=7,
+        )
+        result = RandomDelayScheduler().run(work, seed=2)
+        assert result.correct
+
+    def test_mis_validators(self, grid4):
+        assert is_independent_set(grid4, {0, 2, 8, 10})
+        assert not is_independent_set(grid4, {0, 1})
+        assert not is_maximal(grid4, set())

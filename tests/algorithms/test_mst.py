@@ -1,0 +1,155 @@
+"""Tests for the distributed MST suite (Section 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mst import (
+    BoruvkaMST,
+    TradeoffMST,
+    incident_mst_edges,
+    kruskal_mst,
+    random_weights,
+)
+from repro.congest import solo_run, topology
+
+NETWORKS = {
+    "grid4": topology.grid_graph(4, 4),
+    "cycle9": topology.cycle_graph(9),
+    "tree": topology.binary_tree(3),
+    "expander": topology.random_regular(18, 3, seed=4),
+    "gnp": topology.gnp_connected(17, 0.25, seed=9),
+}
+
+
+class TestWeightsAndKruskal:
+    def test_weights_distinct(self, grid6):
+        weights = random_weights(grid6, seed=1)
+        assert len(set(weights.values())) == grid6.num_edges
+
+    def test_weights_deterministic(self, grid6):
+        assert random_weights(grid6, seed=1) == random_weights(grid6, seed=1)
+
+    def test_kruskal_is_spanning_tree(self, grid6):
+        mst = kruskal_mst(grid6, random_weights(grid6, seed=2))
+        assert len(mst) == grid6.num_nodes - 1
+        import networkx as nx
+
+        g = nx.Graph(list(mst))
+        assert nx.is_connected(g) and g.number_of_nodes() == grid6.num_nodes
+
+    def test_kruskal_minimality(self):
+        net = topology.cycle_graph(4)
+        weights = {e: i + 1 for i, e in enumerate(net.edges)}
+        mst = kruskal_mst(net, weights)
+        heaviest = max(net.edges, key=lambda e: weights[e])
+        assert heaviest not in mst
+
+    def test_incident_format(self, grid4):
+        mst = kruskal_mst(grid4, random_weights(grid4, seed=0))
+        incident = incident_mst_edges(grid4, mst)
+        # every edge appears at exactly its two endpoints
+        total = sum(len(edges) for edges in incident.values())
+        assert total == 2 * len(mst)
+
+
+@pytest.mark.parametrize("net_name", sorted(NETWORKS))
+@pytest.mark.parametrize("weight_seed", [0, 1])
+class TestBoruvka:
+    def test_outputs_equal_kruskal(self, net_name, weight_seed):
+        net = NETWORKS[net_name]
+        alg = BoruvkaMST(net, random_weights(net, seed=weight_seed))
+        run = solo_run(net, alg)
+        assert run.outputs == alg.expected_outputs(net)
+
+    def test_congestion_logarithmic(self, net_name, weight_seed):
+        """Per-edge round usage is O(phases) = O(log n) — the paper's
+        'Borůvka has congestion Õ(log n)' claim."""
+        net = NETWORKS[net_name]
+        alg = BoruvkaMST(net, random_weights(net, seed=weight_seed))
+        run = solo_run(net, alg)
+        assert run.trace.max_edge_rounds() <= 6 * alg.num_phases
+
+
+@pytest.mark.parametrize("net_name", sorted(NETWORKS))
+@pytest.mark.parametrize("size_target", [1, 3, 8])
+class TestTradeoff:
+    def test_outputs_equal_kruskal(self, net_name, size_target):
+        net = NETWORKS[net_name]
+        alg = TradeoffMST(net, random_weights(net, seed=1), size_target=size_target)
+        run = solo_run(net, alg)
+        assert run.outputs == alg.expected_outputs(net)
+
+
+class TestTradeoffShape:
+    def test_l1_skips_fragment_phases(self, grid4):
+        alg = TradeoffMST(grid4, random_weights(grid4, seed=0), size_target=1)
+        assert alg.num_phases == 0
+
+    def test_invalid_size_target(self, grid4):
+        with pytest.raises(ValueError):
+            TradeoffMST(grid4, random_weights(grid4, seed=0), size_target=0)
+
+    def test_congestion_decreases_with_l(self):
+        """Larger fragments -> fewer upcast items -> lower congestion."""
+        net = topology.grid_graph(6, 6)
+        weights = random_weights(net, seed=3)
+        small = solo_run(net, TradeoffMST(net, weights, size_target=1))
+        large = solo_run(net, TradeoffMST(net, weights, size_target=8))
+        assert large.trace.max_edge_rounds() < small.trace.max_edge_rounds()
+
+    def test_dilation_increases_with_l(self):
+        net = topology.grid_graph(6, 6)
+        weights = random_weights(net, seed=3)
+        small = solo_run(net, TradeoffMST(net, weights, size_target=1))
+        large = solo_run(net, TradeoffMST(net, weights, size_target=8))
+        assert large.rounds > small.rounds
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_tradeoff_correct_on_random_graphs(seed):
+    net = topology.gnp_connected(14, 0.3, seed=seed % 50)
+    alg = TradeoffMST(net, random_weights(net, seed=seed), size_target=4)
+    run = solo_run(net, alg)
+    assert run.outputs == alg.expected_outputs(net)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(10, 22),
+    p_percent=st.integers(20, 45),
+    seed=st.integers(0, 10**6),
+    size_target=st.integers(1, 8),
+)
+def test_tradeoff_fuzz_random_graphs(n, p_percent, seed, size_target):
+    """Heavier fuzz over (graph, weights, L): the output must equal
+    Kruskal's MST in every configuration — exercises the star-merge
+    height budgets, the stage transitions and the pipelined upcast."""
+    net = topology.gnp_connected(n, p_percent / 100, seed=seed % 97)
+    alg = TradeoffMST(net, random_weights(net, seed=seed), size_target=size_target)
+    run = solo_run(net, alg)
+    assert run.outputs == alg.expected_outputs(net)
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(8, 20), seed=st.integers(0, 10**6))
+def test_boruvka_fuzz_random_graphs(n, seed):
+    net = topology.gnp_connected(n, 0.3, seed=seed % 89)
+    alg = BoruvkaMST(net, random_weights(net, seed=seed))
+    run = solo_run(net, alg)
+    assert run.outputs == alg.expected_outputs(net)
+
+
+def test_star_budgets_cover_heights():
+    """The window-budget invariant behind star merging: measured phase
+    completion never needs more rounds than the 3^p budget provides —
+    indirectly verified by correctness above; here we check the budget
+    formula itself is monotone and capped."""
+    from repro.algorithms.mst import star_budgets
+
+    budgets = star_budgets(num_nodes=1000, num_phases=8)
+    assert budgets == sorted(budgets)
+    assert budgets[0] == 3
+    assert all(b <= 1000 for b in budgets)
+    assert budgets[6] == min(3**6 + 2, 1000)

@@ -1,0 +1,67 @@
+"""Tests for packet routing workloads (LMR special case)."""
+
+import pytest
+
+from repro.algorithms import path_parameters, random_packets, shortest_path
+from repro.congest import solo_run, topology
+from repro.core import Workload
+from repro.metrics import measure_params
+
+
+class TestShortestPath:
+    def test_length_matches_distance(self, grid6):
+        path = shortest_path(grid6, 0, 35)
+        assert len(path) - 1 == grid6.distance(0, 35)
+
+    def test_endpoints(self, grid6):
+        path = shortest_path(grid6, 3, 30)
+        assert path[0] == 3 and path[-1] == 30
+
+    def test_edges_exist(self, expander):
+        path = shortest_path(expander, 0, 17)
+        for a, b in zip(path, path[1:]):
+            assert expander.has_edge(a, b)
+
+    def test_deterministic(self, grid6):
+        assert shortest_path(grid6, 0, 35) == shortest_path(grid6, 0, 35)
+
+    def test_trivial(self, grid4):
+        assert shortest_path(grid4, 5, 5) == [5]
+
+
+class TestRandomPackets:
+    def test_count_and_distance(self, grid6):
+        packets = random_packets(grid6, 10, seed=1, min_distance=3)
+        assert len(packets) == 10
+        assert all(len(p.path) - 1 >= 3 for p in packets)
+
+    def test_deterministic(self, grid6):
+        a = random_packets(grid6, 5, seed=2)
+        b = random_packets(grid6, 5, seed=2)
+        assert [p.path for p in a] == [p.path for p in b]
+
+    def test_impossible_distance_raises(self, grid4):
+        with pytest.raises(ValueError):
+            random_packets(grid4, 3, seed=0, min_distance=99)
+
+
+class TestPathParameters:
+    def test_matches_measured_params(self, grid6):
+        """The analytic (C, D) of the paths equals the measured
+        congestion/dilation of the executed workload."""
+        packets = random_packets(grid6, 12, seed=3, min_distance=2)
+        c_analytic, d_analytic = path_parameters(packets)
+        workload = Workload(grid6, packets)
+        params = workload.params()
+        assert params.dilation == d_analytic
+        assert params.congestion == c_analytic
+
+    def test_empty(self):
+        assert path_parameters([]) == (0, 0)
+
+    def test_overlapping_paths_counted(self, path10):
+        from repro.algorithms import PathToken
+
+        packets = [PathToken(list(range(10)), token=i) for i in range(4)]
+        c, d = path_parameters(packets)
+        assert c == 4 and d == 9

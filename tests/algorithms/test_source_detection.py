@@ -1,0 +1,78 @@
+"""Tests for (S, h, k) source detection (Lenzen-Peleg, reference [24])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import SourceDetection, true_source_lists
+from repro.congest import solo_run, topology
+
+
+class TestSourceDetection:
+    def test_outputs_match_truth(self, grid6):
+        alg = SourceDetection(sources={0, 14, 35}, hops=6, top_k=2)
+        run = solo_run(grid6, alg)
+        assert run.outputs == alg.expected_outputs(grid6)
+
+    def test_round_bound_h_plus_k(self, grid6):
+        """The Lenzen-Peleg pipelining bound: h + min(k, |S|) rounds."""
+        alg = SourceDetection(sources={0, 7, 28, 35}, hops=7, top_k=3)
+        run = solo_run(grid6, alg)
+        assert run.rounds <= alg.deadline == 7 + 3
+
+    def test_single_source_is_bfs(self, grid6):
+        alg = SourceDetection(sources={5}, hops=10, top_k=1)
+        run = solo_run(grid6, alg)
+        dist = grid6.bfs_distances(5)
+        for v in grid6.nodes:
+            assert run.outputs[v] == ((dist[v], 5),)
+
+    def test_hop_limit_respected(self, path10):
+        alg = SourceDetection(sources={0}, hops=3, top_k=1)
+        run = solo_run(path10, alg)
+        for v in path10.nodes:
+            if v <= 3:
+                assert run.outputs[v] == ((v, 0),)
+            else:
+                assert run.outputs[v] == ()
+
+    def test_top_k_truncates(self, cycle12):
+        alg = SourceDetection(sources=set(range(6)), hops=12, top_k=2)
+        run = solo_run(cycle12, alg)
+        assert all(len(out) <= 2 for out in run.outputs.values())
+        assert run.outputs == alg.expected_outputs(cycle12)
+
+    def test_congestion_bounded_by_pipelining(self, grid6):
+        """Each node forwards each (distance, source) pair at most once;
+        a source may be re-forwarded when a shorter distance arrives, so
+        the per-edge load is a small multiple of |S|."""
+        alg = SourceDetection(sources={0, 35, 5, 30}, hops=8, top_k=2)
+        run = solo_run(grid6, alg)
+        assert run.trace.max_edge_rounds() <= 2 * len(alg.sources)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SourceDetection(sources=set(), hops=3, top_k=1)
+        with pytest.raises(ValueError):
+            SourceDetection(sources={1}, hops=-1, top_k=1)
+        with pytest.raises(ValueError):
+            SourceDetection(sources={1}, hops=2, top_k=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 30),
+    k=st.integers(1, 4),
+    num_sources=st.integers(1, 6),
+    hops=st.integers(1, 8),
+)
+def test_source_detection_property(seed, k, num_sources, hops):
+    import random
+
+    net = topology.random_regular(18, 3, seed=2)
+    rng = random.Random(seed)
+    sources = set(rng.sample(range(18), num_sources))
+    alg = SourceDetection(sources, hops, k)
+    run = solo_run(net, alg)
+    assert run.outputs == true_source_lists(net, sources, hops, k)
+    assert run.rounds <= alg.deadline

@@ -1,0 +1,83 @@
+"""Tests for k-token dissemination (the classical pipelining result)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.token_broadcast import TokenBroadcast
+from repro.congest import solo_run, topology
+from repro.core import RandomDelayScheduler, Workload
+
+
+class TestTokenBroadcast:
+    def test_everyone_learns_everything(self, grid6):
+        alg = TokenBroadcast.for_network(
+            grid6, {0: (100, 101), 35: (200,), 14: (300,)}
+        )
+        run = solo_run(grid6, alg)
+        assert run.outputs == alg.expected_outputs(grid6)
+
+    def test_k_plus_diameter_rounds(self, cycle12):
+        """The classical O(k + D) pipelining bound, exactly."""
+        placement = {0: tuple(range(10))}
+        alg = TokenBroadcast.for_network(cycle12, placement)
+        run = solo_run(cycle12, alg)
+        assert run.outputs == alg.expected_outputs(cycle12)
+        assert run.rounds <= 10 + cycle12.diameter()
+
+    def test_congestion_theta_k(self, path10):
+        """Every token crosses every edge in each direction at most once
+        (the forward stream plus backward echoes): congestion = Θ(k)."""
+        placement = {0: (1, 2, 3, 4)}
+        alg = TokenBroadcast.for_network(path10, placement)
+        run = solo_run(path10, alg)
+        assert 4 <= run.trace.max_edge_rounds() <= 8
+
+    def test_deadline_too_short_misses_tokens(self, path10):
+        alg = TokenBroadcast({0: (1, 2, 3)}, deadline=2)
+        run = solo_run(path10, alg)
+        assert run.outputs[9] != (1, 2, 3)
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBroadcast({0: (1,), 2: (1,)}, deadline=5)
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBroadcast({}, deadline=5)
+
+    def test_schedulable(self, grid4):
+        work = Workload(
+            grid4,
+            [
+                TokenBroadcast.for_network(grid4, {0: (10, 11)}),
+                TokenBroadcast.for_network(grid4, {15: (20, 21)}),
+            ],
+        )
+        result = RandomDelayScheduler().run(work, seed=1)
+        assert result.correct
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k=st.integers(1, 8),
+    spread=st.integers(1, 4),
+    seed=st.integers(0, 100),
+)
+def test_pipelining_bound_property(k, spread, seed):
+    """k tokens from up to `spread` sources always finish in k + D."""
+    import random
+
+    net = topology.random_regular(16, 3, seed=3)
+    rng = random.Random(seed)
+    sources = rng.sample(range(16), min(spread, k))
+    placement = {}
+    for i in range(k):
+        src = sources[i % len(sources)]
+        placement.setdefault(src, [])
+        placement[src].append(1000 + i)
+    placement = {s: tuple(ts) for s, ts in placement.items()}
+    alg = TokenBroadcast.for_network(net, placement)
+    run = solo_run(net, alg)
+    assert run.outputs == alg.expected_outputs(net)
+    assert run.rounds <= k + net.diameter()

@@ -1,0 +1,97 @@
+"""Tests for synthetic token / fixed-pattern algorithms."""
+
+import pytest
+
+from repro.algorithms import FixedPattern, PathToken, random_pattern, random_walk_pattern
+from repro.congest import CommunicationPattern, solo_run, topology
+
+
+class TestPathToken:
+    def test_token_delivered(self, path10):
+        alg = PathToken(list(range(10)), token=42)
+        run = solo_run(path10, alg)
+        assert run.outputs[9] == 42
+        assert run.outputs[4] == "relayed"
+        assert run.rounds == 9
+
+    def test_expected_outputs(self, grid4):
+        alg = PathToken([0, 1, 5, 6], token="p")
+        run = solo_run(grid4, alg)
+        assert run.outputs == alg.expected_outputs(grid4)
+
+    def test_single_node_path(self, grid4):
+        alg = PathToken([3], token="self")
+        run = solo_run(grid4, alg)
+        assert run.outputs[3] == "self"
+        assert run.rounds == 0
+
+    def test_each_path_edge_used_once(self, path10):
+        run = solo_run(path10, PathToken(list(range(10)), token=1))
+        assert all(c == 1 for c in run.trace.edge_round_counts().values())
+
+    def test_non_simple_path_rejected(self):
+        with pytest.raises(ValueError):
+            PathToken([0, 1, 0], token=1)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            PathToken([], token=1)
+
+
+class TestFixedPattern:
+    def test_replays_exactly(self, grid4):
+        pattern = random_pattern(grid4, length=6, events_per_round=5, seed=3)
+        run = solo_run(grid4, FixedPattern(pattern))
+        assert run.pattern == pattern
+
+    def test_chained_outputs_depend_on_history(self, grid4):
+        """Removing one event changes some downstream output — the
+        tamper-evidence property used by schedule verification."""
+        events = sorted(random_pattern(grid4, 5, 6, seed=1).events)
+        full = CommunicationPattern(events)
+        # find an event with a causal successor to remove
+        pairs = full.causal_pairs()
+        assert pairs, "need at least one causal pair for this test"
+        removed, successor = next(iter(pairs))
+        pruned = CommunicationPattern([e for e in events if e != removed])
+
+        run_full = solo_run(grid4, FixedPattern(full, label="same"))
+        run_pruned = solo_run(grid4, FixedPattern(pruned, label="same"))
+        assert run_full.outputs != run_pruned.outputs
+
+    def test_unchained_payloads_static(self, grid4):
+        pattern = random_pattern(grid4, 4, 4, seed=2)
+        run1 = solo_run(grid4, FixedPattern(pattern, chained=False))
+        run2 = solo_run(grid4, FixedPattern(pattern, chained=False))
+        assert run1.outputs == run2.outputs
+
+    def test_labels_distinguish_algorithms(self, grid4):
+        pattern = random_pattern(grid4, 4, 4, seed=2)
+        a = solo_run(grid4, FixedPattern(pattern, label="A"))
+        b = solo_run(grid4, FixedPattern(pattern, label="B"))
+        assert a.outputs != b.outputs
+
+
+class TestGenerators:
+    def test_random_pattern_event_count(self, grid6):
+        p = random_pattern(grid6, length=7, events_per_round=9, seed=0)
+        assert p.length == 7
+        assert len(p) == 7 * 9
+
+    def test_random_pattern_respects_capacity(self, grid6):
+        p = random_pattern(grid6, length=5, events_per_round=20, seed=1)
+        for r in range(1, 6):
+            events = p.events_at(r)
+            assert len({(u, v) for _, u, v in events}) == len(events)
+
+    def test_random_pattern_deterministic(self, grid6):
+        assert random_pattern(grid6, 3, 5, seed=9) == random_pattern(grid6, 3, 5, seed=9)
+
+    def test_walk_pattern_is_connected_walk(self, grid6):
+        p = random_walk_pattern(grid6, start=0, length=12, seed=4)
+        events = sorted(p.events)
+        here = 0
+        for r, u, v in events:
+            assert u == here
+            assert grid6.has_edge(u, v)
+            here = v

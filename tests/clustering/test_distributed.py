@@ -1,0 +1,100 @@
+"""Tests for the distributed CONGEST carving protocol (Lemmas 4.2-4.3).
+
+The central assertion: the distributed protocol computes *exactly* what
+the centralized oracle computes — same cluster assignment, same contained
+radii, and every node receives its centre's shared random bits.
+"""
+
+import pytest
+
+from repro.clustering import (
+    CarvingProtocol,
+    build_clustering,
+    run_distributed_clustering,
+)
+from repro.congest import Simulator, topology
+
+NETWORKS = {
+    "grid5": topology.grid_graph(5, 5),
+    "cycle10": topology.cycle_graph(10),
+    "star8": topology.star_graph(8),
+    "expander": topology.random_regular(16, 3, seed=2),
+    "path12": topology.path_graph(12),
+    "tree": topology.binary_tree(3),
+    "gnp": topology.gnp_connected(14, 0.3, seed=4),
+}
+
+
+@pytest.mark.parametrize("net_name", sorted(NETWORKS))
+def test_distributed_matches_oracle(net_name):
+    net = NETWORKS[net_name]
+    oracle = build_clustering(net, radius_scale=3, num_layers=4, seed=11)
+    dist = run_distributed_clustering(net, radius_scale=3, num_layers=4, seed=11)
+    horizon = oracle.horizon
+    for lo, ld in zip(oracle.layers, dist.layers):
+        assert lo.center == ld.center
+        assert [min(h, horizon) for h in lo.h_prime] == [
+            min(h, horizon) for h in ld.h_prime
+        ]
+
+
+def test_sharing_verified_by_default(grid4):
+    # run_distributed_clustering raises if any node misses its bits
+    run_distributed_clustering(grid4, radius_scale=2, num_layers=3, seed=4)
+
+
+def test_round_cost_matches_formula(grid4):
+    """Measured protocol rounds match the per-layer window schedule."""
+    protocol = CarvingProtocol(grid4, 2, layer=0, seed=0)
+    expected_per_layer = (
+        2 * protocol.horizon + 1 + 2 * (protocol.horizon + protocol.num_chunks)
+    )
+    clustering = run_distributed_clustering(grid4, 2, num_layers=3, seed=0)
+    assert clustering.precomputation_rounds == 3 * expected_per_layer
+    assert clustering.built_distributed
+
+
+def test_precomputation_linear_in_layers(grid4):
+    two = run_distributed_clustering(grid4, 2, num_layers=2, seed=1)
+    four = run_distributed_clustering(grid4, 2, num_layers=4, seed=1)
+    assert four.precomputation_rounds == 2 * two.precomputation_rounds
+
+
+def test_protocol_respects_congest_budget(grid4):
+    """All protocol messages fit the O(log n)-bit CONGEST budget (the
+    simulator enforces it and would raise)."""
+    protocol = CarvingProtocol(grid4, 2, layer=0, seed=3)
+    Simulator(grid4).run(protocol, seed=3)
+
+
+def test_outputs_have_chunks(grid4):
+    protocol = CarvingProtocol(grid4, 2, layer=0, seed=5)
+    run = Simulator(grid4).run(protocol, seed=5)
+    for v in grid4.nodes:
+        out = run.outputs[v]
+        assert len(out.chunks) == protocol.num_chunks
+        assert out.center in grid4.nodes
+        assert out.h_prime >= 0
+
+
+def test_sharing_verification_catches_tampering(grid4):
+    """The sharing check compares every node's collected chunks against
+    the centre's true bits; feeding it a mismatched expectation raises —
+    the guard that would catch a broken spreading protocol."""
+    import pytest as _pytest
+
+    from repro.clustering import cluster_seed_bits
+    from repro.clustering.distributed import CarvingProtocol
+    from repro.congest import Simulator
+    from repro.errors import ReproError
+
+    protocol = CarvingProtocol(grid4, 2, layer=0, seed=0)
+    run = Simulator(grid4).run(protocol, seed=0, algorithm_id=("t", 0))
+    num_bits = protocol.num_chunks * protocol.chunk_bits
+    v = 0
+    out = run.outputs[v]
+    good = cluster_seed_bits(0, 0, out.center, num_bits)
+    assert out.shared_bits(protocol.chunk_bits) == good
+    # a different master seed yields different expected bits -> detected
+    bad = cluster_seed_bits(999, 0, out.center, num_bits)
+    assert out.shared_bits(protocol.chunk_bits) != bad

@@ -1,0 +1,136 @@
+"""Tests for multi-layer clusterings (Lemma 4.2 properties 1-4)."""
+
+import math
+
+import pytest
+
+from repro.clustering import (
+    build_clustering,
+    carving_horizon,
+    cluster_seed_bits,
+    default_num_layers,
+    default_sharing_chunks,
+    extend_clustering,
+)
+from repro.congest import topology
+from repro.errors import CoverageError
+
+
+@pytest.fixture(scope="module")
+def clustering():
+    net = topology.grid_graph(6, 6)
+    return build_clustering(net, radius_scale=4, num_layers=14, seed=5)
+
+
+class TestProperties:
+    def test_property1_layers_are_partitions(self, clustering):
+        for layer in clustering.layers:
+            assert sorted(
+                v for members in layer.clusters().values() for v in members
+            ) == list(clustering.network.nodes)
+
+    def test_property2_weak_diameter(self, clustering):
+        """Weak diameter O(R log n): bounded by twice the horizon."""
+        assert clustering.max_weak_diameter() <= 2 * clustering.horizon
+
+    def test_property3_coverage_many_layers(self, clustering):
+        """Most nodes' 2-balls (R/2) are covered in several layers."""
+        counts = clustering.coverage_counts(2)
+        assert min(counts) >= 1
+        assert sum(counts) / len(counts) >= 2.0
+
+    def test_property4_h_prime_known(self, clustering):
+        for layer in clustering.layers:
+            assert len(layer.h_prime) == clustering.network.num_nodes
+
+    def test_edge_in_at_most_one_cluster_per_layer(self, clustering):
+        net = clustering.network
+        for u, v in net.edges:
+            containing = clustering.clusters_containing_edge(u, v)
+            layers_seen = [layer for layer, _ in containing]
+            assert len(layers_seen) == len(set(layers_seen))
+            assert len(containing) <= clustering.num_layers
+
+
+class TestCoverageApi:
+    def test_covering_layers_consistent(self, clustering):
+        for v in list(clustering.network.nodes)[:6]:
+            for layer_index in clustering.covering_layers(v, 3):
+                assert clustering.layers[layer_index].covers(v, 3)
+
+    def test_require_coverage_passes_radius_zero(self, clustering):
+        clustering.require_coverage(0)
+
+    def test_require_coverage_fails_absurd_radius(self):
+        # small radii -> many clusters per layer -> finite h' everywhere
+        net = topology.grid_graph(6, 6)
+        tight = build_clustering(net, radius_scale=1, num_layers=2, seed=0)
+        with pytest.raises(CoverageError):
+            tight.require_coverage(10**6)
+
+    def test_extend_improves_coverage(self):
+        net = topology.grid_graph(5, 5)
+        small = build_clustering(net, radius_scale=3, num_layers=2, seed=0)
+        extended = extend_clustering(small, 10)
+        assert extended.num_layers == 12
+        r = 2
+        assert sum(extended.coverage_counts(r)) >= sum(small.coverage_counts(r))
+        assert extended.precomputation_rounds > small.precomputation_rounds
+
+    def test_extend_preserves_existing_layers(self):
+        net = topology.grid_graph(4, 4)
+        small = build_clustering(net, radius_scale=2, num_layers=3, seed=1)
+        extended = extend_clustering(small, 2)
+        for a, b in zip(small.layers, extended.layers):
+            assert a.center == b.center
+
+    def test_extend_invalid(self, clustering):
+        with pytest.raises(ValueError):
+            extend_clustering(clustering, 0)
+
+
+class TestFormulas:
+    def test_default_num_layers_log(self):
+        assert default_num_layers(2) >= 2
+        assert default_num_layers(1024) == math.ceil(3.0 * 10)
+
+    def test_horizon_formula(self):
+        assert carving_horizon(5, 100) == math.ceil(2.0 * 5 * math.log(100))
+        assert carving_horizon(1, 2) >= 1
+
+    def test_sharing_chunks(self):
+        chunks, bits = default_sharing_chunks(256)
+        assert chunks == 8 + 4 and bits == 32
+
+    def test_precomputation_rounds_scale(self):
+        """Pre-computation is Θ(R·log² n): linear in R and layers."""
+        net = topology.grid_graph(5, 5)
+        small = build_clustering(net, radius_scale=2, num_layers=4, seed=0)
+        double_r = build_clustering(net, radius_scale=4, num_layers=4, seed=0)
+        assert 1.5 <= double_r.precomputation_rounds / small.precomputation_rounds <= 2.5
+
+
+class TestSharedBits:
+    def test_deterministic_per_cluster(self):
+        assert cluster_seed_bits(1, 0, 5, 64) == cluster_seed_bits(1, 0, 5, 64)
+
+    def test_varies_by_cluster_and_layer(self):
+        a = cluster_seed_bits(1, 0, 5, 64)
+        b = cluster_seed_bits(1, 0, 6, 64)
+        c = cluster_seed_bits(1, 1, 5, 64)
+        assert len({a, b, c}) == 3
+
+    def test_shared_bits_accessor(self, clustering):
+        v = 7
+        layer = 0
+        center = clustering.layers[layer].center[v]
+        assert clustering.shared_bits(layer, v, 64) == cluster_seed_bits(
+            clustering.seed, layer, center, 64
+        )
+
+    def test_members_agree(self, clustering):
+        layer = 0
+        members = clustering.layers[layer].clusters()
+        for center, nodes in members.items():
+            values = {clustering.shared_bits(layer, v, 96) for v in nodes}
+            assert len(values) == 1

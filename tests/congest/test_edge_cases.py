@@ -1,0 +1,122 @@
+"""Edge-case and failure-injection tests for the simulation substrate."""
+
+import pytest
+
+from repro.algorithms import BFS, HopBroadcast
+from repro.congest import Network, Simulator, solo_run, topology
+from repro.congest.program import Algorithm, NodeContext, NodeProgram
+from repro.core import RandomDelayScheduler, SequentialScheduler, Workload
+from repro.errors import BandwidthViolation
+
+
+class _Silent(NodeProgram):
+    """Computes locally, never communicates."""
+
+    def on_start(self, ctx):
+        self.value = ctx.node * 2
+        self.halt()
+
+    def on_round(self, ctx, inbox):  # pragma: no cover - never called
+        raise AssertionError
+
+    def output(self):
+        return self.value
+
+
+class _SilentAlgorithm(Algorithm):
+    def make_program(self, node, ctx):
+        return _Silent()
+
+
+class _Chatty(NodeProgram):
+    """Violates CONGEST by sending a huge payload."""
+
+    def on_start(self, ctx):
+        ctx.send_all("x" * 10_000)
+
+    def on_round(self, ctx, inbox):
+        self.halt()
+
+
+class _ChattyAlgorithm(Algorithm):
+    def make_program(self, node, ctx):
+        return _Chatty()
+
+
+class _DoubleSender(NodeProgram):
+    def on_start(self, ctx):
+        if ctx.neighbors:
+            ctx.send(ctx.neighbors[0], 1)
+            ctx.send(ctx.neighbors[0], 2)
+
+    def on_round(self, ctx, inbox):
+        self.halt()
+
+
+class _DoubleSenderAlgorithm(Algorithm):
+    def make_program(self, node, ctx):
+        return _DoubleSender()
+
+
+class TestDegenerateNetworks:
+    def test_single_node_network(self):
+        net = Network([], num_nodes=1)
+        run = solo_run(net, _SilentAlgorithm())
+        assert run.outputs == {0: 0}
+        assert run.rounds == 0
+
+    def test_single_edge_network(self):
+        net = Network([(0, 1)])
+        run = solo_run(net, BFS(0))
+        assert run.outputs[1][0] == 1
+
+    def test_silent_algorithm_dilation_zero(self, grid4):
+        run = solo_run(grid4, _SilentAlgorithm())
+        assert run.rounds == 0
+        assert len(run.pattern) == 0
+
+
+class TestSilentAlgorithmScheduling:
+    def test_silent_in_workload(self, grid4):
+        """Zero-dilation algorithms need no covering radius — output
+        selection must still work."""
+        work = Workload(grid4, [_SilentAlgorithm(), BFS(0, hops=3)])
+        for scheduler in (SequentialScheduler(), RandomDelayScheduler()):
+            result = scheduler.run(work, seed=1)
+            assert result.correct
+
+    def test_silent_in_private_scheduler(self, grid4):
+        from repro.core import PrivateScheduler
+
+        work = Workload(grid4, [_SilentAlgorithm(), HopBroadcast(0, "x", 2)])
+        result = PrivateScheduler().run(work, seed=1)
+        assert result.correct
+
+    def test_all_silent_workload(self, grid4):
+        work = Workload(grid4, [_SilentAlgorithm(), _SilentAlgorithm()])
+        params = work.params()
+        assert params.congestion == 0 and params.dilation == 0
+        result = RandomDelayScheduler().run(work, seed=0)
+        assert result.correct
+        assert result.report.length_rounds == 0
+
+
+class TestViolations:
+    def test_oversized_payload_raises(self, grid4):
+        with pytest.raises(BandwidthViolation):
+            solo_run(grid4, _ChattyAlgorithm())
+
+    def test_oversized_allowed_without_budget(self, grid4):
+        solo_run(grid4, _ChattyAlgorithm(), message_bits=None)
+
+    def test_double_send_raises(self, grid4):
+        with pytest.raises(BandwidthViolation):
+            solo_run(grid4, _DoubleSenderAlgorithm())
+
+
+class TestHaltedReceivers:
+    def test_messages_to_halted_nodes_dropped(self, path10):
+        """Broadcast with h beyond eccentricity: late duplicate arrivals
+        at halted nodes are dropped, never crash."""
+        run = solo_run(path10, HopBroadcast(5, "x", hops=30))
+        assert all(v == "x" for v in run.outputs.values())

@@ -1,0 +1,82 @@
+"""Tests for message size accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest import check_payload, default_message_bits, payload_bits
+from repro.errors import BandwidthViolation
+
+
+class TestPayloadBits:
+    def test_none_and_bool(self):
+        assert payload_bits(None) == 1
+        assert payload_bits(True) == 1
+        assert payload_bits(False) == 1
+
+    def test_small_int(self):
+        assert payload_bits(0) == 2
+        assert payload_bits(1) == 2
+
+    def test_int_grows_with_magnitude(self):
+        assert payload_bits(1 << 40) > payload_bits(1 << 10)
+
+    def test_negative_int(self):
+        assert payload_bits(-5) == payload_bits(5)
+
+    def test_float(self):
+        assert payload_bits(3.14) == 64
+
+    def test_string_bytes(self):
+        assert payload_bits("ab") == 16
+        assert payload_bits(b"abc") == 24
+
+    def test_tuple_framing(self):
+        assert payload_bits(()) == 0
+        assert payload_bits((1,)) == payload_bits(1) + 2
+        assert payload_bits(((),)) == 2
+
+    def test_nested(self):
+        nested = (1, ("x", 2))
+        flat = payload_bits(1) + 2 + (payload_bits("x") + 2 + payload_bits(2) + 2) + 2
+        assert payload_bits(nested) == flat
+
+    def test_unsupported_container(self):
+        with pytest.raises(BandwidthViolation):
+            payload_bits({1, 2})
+        with pytest.raises(BandwidthViolation):
+            payload_bits({"a": 1})
+
+
+class TestBudget:
+    def test_default_budget_scales_with_log_n(self):
+        assert default_message_bits(1 << 20) > default_message_bits(16)
+
+    def test_default_budget_fits_typical_message(self):
+        budget = default_message_bits(100)
+        # a typical protocol message: kind tag + three ids + a weight
+        assert payload_bits(("up", 42, 99, 7, 123456)) <= budget
+
+    def test_check_payload_passes(self):
+        assert check_payload(5, 64) == payload_bits(5)
+
+    def test_check_payload_rejects_oversize(self):
+        with pytest.raises(BandwidthViolation):
+            check_payload("x" * 100, 64)
+
+
+@given(st.integers(min_value=-(10**9), max_value=10**9))
+def test_int_bits_positive(value):
+    assert payload_bits(value) >= 1
+
+
+@given(
+    st.recursive(
+        st.one_of(st.integers(-1000, 1000), st.booleans(), st.none()),
+        lambda children: st.tuples(children, children),
+        max_leaves=8,
+    )
+)
+def test_payload_bits_total_function(payload):
+    """Any supported nested payload has a finite positive size."""
+    assert payload_bits(payload) >= 0

@@ -1,0 +1,171 @@
+"""Tests for communication patterns, causality, and simulation mappings."""
+
+import pytest
+
+from repro.algorithms import BFS
+from repro.congest import (
+    CommunicationPattern,
+    Network,
+    retime_by_delay,
+    solo_run,
+    time_expanded_graph,
+    topology,
+    validate_simulation_mapping,
+)
+from repro.errors import ScheduleError
+
+
+@pytest.fixture
+def chain_pattern():
+    """0 -> 1 (round 1), 1 -> 2 (round 2), 2 -> 3 (round 4)."""
+    return CommunicationPattern([(1, 0, 1), (2, 1, 2), (4, 2, 3)])
+
+
+class TestBasics:
+    def test_length(self, chain_pattern):
+        assert chain_pattern.length == 4
+
+    def test_empty_pattern(self):
+        p = CommunicationPattern([])
+        assert p.length == 0
+        assert len(p) == 0
+
+    def test_rounds_one_based(self):
+        with pytest.raises(ValueError):
+            CommunicationPattern([(0, 0, 1)])
+
+    def test_events_at(self, chain_pattern):
+        assert chain_pattern.events_at(2) == [(2, 1, 2)]
+        assert chain_pattern.events_at(3) == []
+
+    def test_contains(self, chain_pattern):
+        assert (1, 0, 1) in chain_pattern
+        assert (1, 1, 0) not in chain_pattern
+
+    def test_edge_round_counts(self):
+        p = CommunicationPattern([(1, 0, 1), (2, 0, 1), (2, 1, 0)])
+        counts = p.edge_round_counts()
+        assert counts[(0, 1)] == 2  # rounds 1 and 2
+
+    def test_equality_and_hash(self, chain_pattern):
+        again = CommunicationPattern(chain_pattern.events)
+        assert again == chain_pattern
+        assert hash(again) == hash(chain_pattern)
+
+
+class TestCausality:
+    def test_chain_precedence(self, chain_pattern):
+        assert chain_pattern.causally_precedes((1, 0, 1), (2, 1, 2))
+        assert chain_pattern.causally_precedes((1, 0, 1), (4, 2, 3))
+        assert chain_pattern.causally_precedes((2, 1, 2), (4, 2, 3))
+
+    def test_no_backwards_precedence(self, chain_pattern):
+        assert not chain_pattern.causally_precedes((2, 1, 2), (1, 0, 1))
+
+    def test_reflexive(self, chain_pattern):
+        assert chain_pattern.causally_precedes((1, 0, 1), (1, 0, 1))
+
+    def test_same_round_not_causal(self):
+        p = CommunicationPattern([(1, 0, 1), (1, 1, 2)])
+        assert not p.causally_precedes((1, 0, 1), (1, 1, 2))
+
+    def test_needs_gap_round(self):
+        # 0->1 in round 2; 1->2 in round 2 cannot depend on it...
+        p = CommunicationPattern([(2, 0, 1), (2, 1, 2), (3, 1, 2)])
+        assert not p.causally_precedes((2, 0, 1), (2, 1, 2))
+        # ... but 1->2 in round 3 can.
+        assert p.causally_precedes((2, 0, 1), (3, 1, 2))
+
+    def test_unknown_event_rejected(self, chain_pattern):
+        with pytest.raises(ValueError):
+            chain_pattern.causally_precedes((1, 0, 1), (9, 9, 9))
+
+    def test_causal_pairs_of_chain(self, chain_pattern):
+        pairs = chain_pattern.causal_pairs()
+        assert ((1, 0, 1), (2, 1, 2)) in pairs
+        assert ((1, 0, 1), (4, 2, 3)) in pairs
+        assert len(pairs) == 3
+
+    def test_causal_reach(self, chain_pattern):
+        reach = chain_pattern.causal_reach((1, 0, 1))
+        assert reach[1] == 2
+        assert reach[3] == 5
+
+
+class TestSimulationMappings:
+    def test_retime_valid(self, chain_pattern):
+        image = validate_simulation_mapping(chain_pattern, retime_by_delay(3))
+        assert image.length == chain_pattern.length + 3
+
+    def test_zero_delay_identity(self, chain_pattern):
+        image = validate_simulation_mapping(chain_pattern, retime_by_delay(0))
+        assert image == chain_pattern
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            retime_by_delay(-1)
+
+    def test_edge_change_rejected(self, chain_pattern):
+        def wrong(event):
+            r, u, v = event
+            return (r, v, u)
+
+        with pytest.raises(ScheduleError):
+            validate_simulation_mapping(chain_pattern, wrong)
+
+    def test_causality_violation_rejected(self, chain_pattern):
+        def scramble(event):
+            r, u, v = event
+            # push the first event after its successor
+            if event == (1, 0, 1):
+                return (9, u, v)
+            return (r, u, v)
+
+        with pytest.raises(ScheduleError):
+            validate_simulation_mapping(chain_pattern, scramble)
+
+    def test_collision_rejected(self):
+        p = CommunicationPattern([(1, 0, 1), (2, 0, 1)])
+        with pytest.raises(ScheduleError):
+            validate_simulation_mapping(p, lambda e: (5, e[1], e[2]))
+
+    def test_span_enforced(self, chain_pattern):
+        with pytest.raises(ScheduleError):
+            validate_simulation_mapping(chain_pattern, retime_by_delay(3), span=5)
+
+    def test_nonuniform_valid_mapping(self):
+        """Stretching gaps arbitrarily (monotonically) is a simulation."""
+        p = CommunicationPattern([(1, 0, 1), (2, 1, 2), (3, 2, 3)])
+        mapping = {(1, 0, 1): (2, 0, 1), (2, 1, 2): (7, 1, 2), (3, 2, 3): (8, 2, 3)}
+        validate_simulation_mapping(p, mapping)
+
+
+class TestTimeExpandedGraph:
+    def test_shape(self):
+        net = Network([(0, 1)])
+        g = time_expanded_graph(net, 3)
+        assert g.number_of_nodes() == 2 * 4
+        assert g.number_of_edges() == 2 * 3  # both directions, 3 steps
+
+    def test_negative_span_rejected(self):
+        net = Network([(0, 1)])
+        with pytest.raises(ValueError):
+            time_expanded_graph(net, -1)
+
+    def test_bfs_pattern_is_subgraph(self, grid4):
+        run = solo_run(grid4, BFS(0))
+        g = time_expanded_graph(grid4, run.rounds)
+        for r, u, v in run.pattern.events:
+            assert g.has_edge((u, r - 1), (v, r))
+
+
+class TestPatternJson:
+    def test_roundtrip(self, chain_pattern):
+        again = CommunicationPattern.from_json(chain_pattern.to_json())
+        assert again == chain_pattern
+
+    def test_roundtrip_real_algorithm(self, grid4):
+        run = solo_run(grid4, BFS(0))
+        again = CommunicationPattern.from_json(run.pattern.to_json())
+        assert again == run.pattern
+        assert again.length == run.pattern.length

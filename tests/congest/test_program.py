@@ -1,0 +1,108 @@
+"""Tests for node programs, contexts, and hosts."""
+
+import pytest
+
+from repro.congest import Network, NodeContext, NodeProgram, ProgramHost
+from repro.congest.program import Algorithm
+from repro.errors import BandwidthViolation
+
+
+class _Echo(NodeProgram):
+    """Sends its round number to all neighbours for two rounds."""
+
+    def on_start(self, ctx):
+        ctx.send_all(0)
+
+    def on_round(self, ctx, inbox):
+        self.last_inbox = dict(inbox)
+        if ctx.round >= 2:
+            self.halt()
+        else:
+            ctx.send_all(ctx.round)
+
+    def output(self):
+        return getattr(self, "last_inbox", None)
+
+
+class _EchoAlgorithm(Algorithm):
+    def make_program(self, node, ctx):
+        return _Echo()
+
+
+@pytest.fixture
+def net():
+    return Network([(0, 1), (1, 2)])
+
+
+class TestNodeContext:
+    def test_send_to_non_neighbor_rejected(self, net):
+        ctx = NodeContext(0, net, seed=1)
+        with pytest.raises(BandwidthViolation):
+            ctx.send(2, "hi")
+
+    def test_double_send_rejected(self, net):
+        ctx = NodeContext(0, net, seed=1)
+        ctx.send(1, "a")
+        with pytest.raises(BandwidthViolation):
+            ctx.send(1, "b")
+
+    def test_oversize_rejected(self, net):
+        ctx = NodeContext(0, net, seed=1, message_bits=8)
+        with pytest.raises(BandwidthViolation):
+            ctx.send(1, "long string payload")
+
+    def test_send_all(self, net):
+        ctx = NodeContext(1, net, seed=1)
+        ctx.send_all("x")
+        assert sorted(ctx._drain()) == [(0, "x"), (2, "x")]
+
+    def test_drain_resets(self, net):
+        ctx = NodeContext(0, net, seed=1)
+        ctx.send(1, "a")
+        assert ctx._drain() == [(1, "a")]
+        # after drain the same destination is allowed again
+        ctx.send(1, "b")
+        assert ctx._drain() == [(1, "b")]
+
+    def test_rng_deterministic(self, net):
+        a = NodeContext(0, net, seed=42).rng.random()
+        b = NodeContext(0, net, seed=42).rng.random()
+        assert a == b
+
+
+class TestProgramHost:
+    def test_lifecycle(self, net):
+        host = ProgramHost(_EchoAlgorithm(), 1, net, seed=0)
+        sends = host.start()
+        assert sorted(sends) == [(0, 0), (2, 0)]
+        sends = host.step(1, {0: 0})
+        assert sorted(sends) == [(0, 1), (2, 1)]
+        assert not host.halted
+        host.step(2, {})
+        assert host.halted
+        assert host.output() == {}
+
+    def test_double_start_rejected(self, net):
+        host = ProgramHost(_EchoAlgorithm(), 0, net, seed=0)
+        host.start()
+        with pytest.raises(RuntimeError):
+            host.start()
+
+    def test_step_before_start_rejected(self, net):
+        host = ProgramHost(_EchoAlgorithm(), 0, net, seed=0)
+        with pytest.raises(RuntimeError):
+            host.step(1, {})
+
+    def test_halted_steps_noop(self, net):
+        host = ProgramHost(_EchoAlgorithm(), 0, net, seed=0)
+        host.start()
+        host.step(1, {})
+        host.step(2, {})
+        assert host.halted
+        assert host.step(3, {1: "ignored"}) == []
+
+    def test_seed_derivation_stable(self):
+        a = ProgramHost.seed_for(1, "alg", 5)
+        b = ProgramHost.seed_for(1, "alg", 5)
+        c = ProgramHost.seed_for(1, "alg", 6)
+        assert a == b != c

@@ -1,0 +1,63 @@
+"""Tests for the Figure-1 ASCII renderers."""
+
+import pytest
+
+from repro.algorithms import BFS
+from repro.congest import CommunicationPattern, Network, solo_run, topology
+from repro.congest.render import render_pattern, render_schedule_timeline
+
+
+class TestRenderPattern:
+    def test_chain(self):
+        net = topology.path_graph(4)
+        pattern = CommunicationPattern([(1, 0, 1), (2, 1, 2), (3, 2, 3)])
+        text = render_pattern(net, pattern)
+        lines = text.splitlines()
+        assert lines[0].startswith("node")
+        assert "->1" in text and "->2" in text and "->3" in text
+
+    def test_empty(self):
+        net = topology.path_graph(2)
+        assert render_pattern(net, CommunicationPattern([])) == "(empty pattern)"
+
+    def test_multi_target_cell(self):
+        net = topology.star_graph(4)
+        pattern = CommunicationPattern([(1, 0, 1), (1, 0, 2), (1, 0, 3)])
+        text = render_pattern(net, pattern)
+        assert "->1,2,3" in text
+
+    def test_max_rounds_truncates(self, grid4):
+        run = solo_run(grid4, BFS(0))
+        text = render_pattern(grid4, run.pattern, max_rounds=2)
+        assert "r3" not in text.splitlines()[0]
+
+    def test_max_nodes_truncates(self, grid6):
+        run = solo_run(grid6, BFS(0))
+        text = render_pattern(grid6, run.pattern, max_nodes=5)
+        assert "more nodes" in text
+
+    def test_every_event_rendered(self, grid4):
+        run = solo_run(grid4, BFS(0))
+        text = render_pattern(grid4, run.pattern)
+        for r, u, v in run.pattern.events:
+            row = next(
+                line for line in text.splitlines() if line.strip().startswith(f"{u} |")
+            )
+            assert str(v) in row
+
+
+class TestRenderTimeline:
+    def test_shape(self):
+        text = render_schedule_timeline([3, 2], [0, 4])
+        lines = text.splitlines()
+        assert lines[0] == "A0 |###...|"
+        assert lines[1] == "A1 |....##|"
+        assert "phases 0..5" in lines[2]
+
+    def test_custom_labels(self):
+        text = render_schedule_timeline([1], [0], labels=["bfs"])
+        assert text.splitlines()[0].startswith("bfs |")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_schedule_timeline([1, 2], [0])

@@ -1,0 +1,112 @@
+"""Tests for the solo simulator."""
+
+import pytest
+
+from repro.algorithms import BFS, Flooding, HopBroadcast
+from repro.congest import Network, Simulator, solo_run, topology
+from repro.congest.program import Algorithm, NodeProgram
+from repro.errors import SimulationLimitExceeded
+
+
+class _NeverHalts(NodeProgram):
+    def on_round(self, ctx, inbox):
+        pass
+
+
+class _NeverHaltsAlgorithm(Algorithm):
+    def make_program(self, node, ctx):
+        return _NeverHalts()
+
+    def max_rounds(self, network):
+        return 10
+
+
+class TestSimulatorBasics:
+    def test_broadcast_rounds_equal_hops(self, grid6):
+        run = solo_run(grid6, HopBroadcast(0, "t", hops=4))
+        assert run.rounds == 4
+
+    def test_flooding_covers_graph(self, grid6):
+        run = solo_run(grid6, Flooding(0, "tok"))
+        assert all(v == "tok" for v in run.outputs.values())
+        assert run.rounds == grid6.diameter()
+
+    def test_max_rounds_enforced(self, grid4):
+        with pytest.raises(SimulationLimitExceeded):
+            solo_run(grid4, _NeverHaltsAlgorithm())
+
+    def test_determinism(self, grid4):
+        a = solo_run(grid4, BFS(0), seed=5)
+        b = solo_run(grid4, BFS(0), seed=5)
+        assert a.outputs == b.outputs
+        assert list(a.trace.events()) == list(b.trace.events())
+
+    def test_completion_after_last_message(self, grid4):
+        run = solo_run(grid4, HopBroadcast(0, "t", hops=3))
+        assert run.completion_round >= run.rounds
+
+    def test_trace_round_one_from_on_start(self, path10):
+        run = solo_run(path10, HopBroadcast(0, "t", hops=2))
+        first = run.trace.events_at(1)
+        assert first == [(0, 1)]
+
+    def test_pattern_matches_trace(self, grid4):
+        run = solo_run(grid4, BFS(5))
+        assert set(run.pattern.events) == set(run.trace.events())
+
+
+class TestBitBudget:
+    def test_budget_disabled(self, grid4):
+        sim = Simulator(grid4, message_bits=None)
+        assert sim.message_bits is None
+
+    def test_budget_default(self, grid4):
+        sim = Simulator(grid4)
+        assert sim.message_bits is not None and sim.message_bits > 0
+
+
+class TestMessageBitsMetric:
+    def test_max_message_bits_recorded(self, grid4):
+        run = solo_run(grid4, BFS(0))
+        assert 0 < run.max_message_bits <= 64
+
+    def test_silent_run_zero_bits(self):
+        from repro.congest import Network
+        from tests.congest.test_edge_cases import _SilentAlgorithm
+
+        net = Network([(0, 1)])
+        run = solo_run(net, _SilentAlgorithm())
+        assert run.max_message_bits == 0
+
+    def test_bits_scale_with_payload(self, grid4):
+        small = solo_run(grid4, HopBroadcast(0, 1, hops=3))
+        big = solo_run(grid4, HopBroadcast(0, 1 << 60, hops=3))
+        assert big.max_message_bits > small.max_message_bits
+
+    def test_all_library_algorithms_within_budget(self, grid6):
+        """CONGEST fidelity audit: every library algorithm's messages fit
+        comfortably inside the O(log n) budget."""
+        from repro.algorithms import (
+            BFS,
+            Aggregation,
+            HopBroadcast,
+            LeaderElection,
+            LubyMIS,
+            PushGossip,
+            SourceDetection,
+        )
+        from repro.congest import default_message_bits
+
+        budget = default_message_bits(grid6.num_nodes)
+        algorithms = [
+            BFS(0),
+            HopBroadcast(0, 123, 5),
+            Aggregation(0, {v: v for v in grid6.nodes}, grid6.diameter()),
+            LeaderElection(grid6.diameter()),
+            LubyMIS(grid6.num_nodes),
+            PushGossip(0, rounds=8),
+            SourceDetection({0, 35}, hops=6, top_k=2),
+        ]
+        for algorithm in algorithms:
+            run = solo_run(grid6, algorithm)
+            assert run.max_message_bits <= budget

@@ -1,0 +1,67 @@
+"""Tests for execution traces."""
+
+import pytest
+
+from repro.congest import ExecutionTrace
+
+
+class TestTrace:
+    def test_empty(self):
+        trace = ExecutionTrace()
+        assert trace.last_round == 0
+        assert trace.num_messages == 0
+        assert len(trace) == 0
+        assert trace.max_edge_rounds() == 0
+
+    def test_record_and_query(self):
+        trace = ExecutionTrace()
+        trace.record(1, 0, 1)
+        trace.record(3, 1, 0)
+        assert trace.last_round == 3
+        assert trace.num_messages == 2
+        assert trace.events_at(1) == [(0, 1)]
+        assert trace.events_at(2) == []
+        assert trace.events_at(99) == []
+
+    def test_round_indexing_one_based(self):
+        trace = ExecutionTrace()
+        with pytest.raises(ValueError):
+            trace.record(0, 0, 1)
+
+    def test_events_iteration_order(self):
+        trace = ExecutionTrace()
+        trace.record(2, 5, 6)
+        trace.record(1, 0, 1)
+        assert list(trace.events()) == [(1, 0, 1), (2, 5, 6)]
+
+    def test_directed_loads(self):
+        trace = ExecutionTrace()
+        trace.record(1, 0, 1)
+        trace.record(2, 0, 1)
+        trace.record(2, 1, 0)
+        loads = trace.directed_loads()
+        assert loads[(0, 1)] == 2
+        assert loads[(1, 0)] == 1
+
+    def test_edge_rounds_counts_rounds_not_messages(self):
+        """c_i(e) is the number of ROUNDS using e: both directions in one
+        round count once (the paper's definition)."""
+        trace = ExecutionTrace()
+        trace.record(1, 0, 1)
+        trace.record(1, 1, 0)
+        trace.record(2, 0, 1)
+        counts = trace.edge_round_counts()
+        assert counts[(0, 1)] == 2
+
+    def test_record_round_bulk(self):
+        trace = ExecutionTrace()
+        trace.record_round(2, [(0, 1), (1, 2)])
+        assert trace.num_messages == 2
+        assert trace.last_round == 2
+
+    def test_max_edge_rounds(self):
+        trace = ExecutionTrace()
+        for r in range(1, 6):
+            trace.record(r, 0, 1)
+        trace.record(1, 1, 2)
+        assert trace.max_edge_rounds() == 5

@@ -1,0 +1,39 @@
+"""Tests for the bounded-independence delay variant of Theorem 1.1."""
+
+import math
+
+import pytest
+
+from repro.core import RandomDelayScheduler
+from repro.experiments import mixed_workload
+
+
+class TestBoundedIndependence:
+    def test_correct_and_comparable(self, grid6):
+        work = mixed_workload(grid6, 10, seed=8)
+        full = RandomDelayScheduler().run(work, seed=4)
+        bounded = RandomDelayScheduler(bounded_independence=True).run(work, seed=4)
+        assert full.correct and bounded.correct
+        # comparable schedule quality (both obey the same bound)
+        assert bounded.report.length_rounds <= 3 * full.report.length_rounds
+
+    def test_seed_bits_are_log_squared(self, grid6):
+        """The paper: O(log² n) shared bits suffice for the delays."""
+        work = mixed_workload(grid6, 10, seed=8)
+        result = RandomDelayScheduler(bounded_independence=True).run(work, seed=4)
+        bits = result.report.notes["shared_seed_bits"]
+        n = grid6.num_nodes
+        assert bits <= 40 * math.log2(n) ** 2
+        assert bits >= math.log2(n)
+
+    def test_deterministic(self, grid6):
+        work = mixed_workload(grid6, 6, seed=8)
+        a = RandomDelayScheduler(bounded_independence=True).run(work, seed=9)
+        b = RandomDelayScheduler(bounded_independence=True).run(work, seed=9)
+        assert a.report.notes["delays"] == b.report.notes["delays"]
+
+    def test_delays_within_range(self, grid6):
+        work = mixed_workload(grid6, 12, seed=3)
+        result = RandomDelayScheduler(bounded_independence=True).run(work, seed=1)
+        delay_range = result.report.notes["delay_range"]
+        assert all(0 <= d < delay_range for d in result.report.notes["delays"])

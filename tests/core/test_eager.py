@@ -1,0 +1,67 @@
+"""Tests for the eager (unsafe) scheduler — the motivation ablation."""
+
+import pytest
+
+from repro.algorithms import BFS, PathToken
+from repro.congest import topology
+from repro.core import EagerScheduler, RandomDelayScheduler, Workload
+from repro.experiments import mixed_workload
+
+
+class TestEagerOnLightWorkloads:
+    def test_disjoint_tokens_correct_and_optimal(self):
+        """With at most one message per edge per round, naive concurrency
+        is both correct and optimally fast (length = dilation)."""
+        net = topology.cycle_graph(24)
+        tokens = [
+            PathToken([(i * 6 + j) % 24 for j in range(5)], token=i)
+            for i in range(4)
+        ]
+        work = Workload(net, tokens)
+        result = EagerScheduler().run(work, seed=0)
+        assert result.correct
+        assert result.report.length_rounds == work.params().dilation
+        assert result.report.notes["inbox_overwrites"] == 0
+
+    def test_single_algorithm_equals_solo(self, grid4):
+        work = Workload(grid4, [BFS(0)])
+        result = EagerScheduler().run(work, seed=0)
+        assert result.correct
+        assert result.report.length_rounds == work.params().dilation
+
+
+class TestEagerCorruption:
+    def test_congested_workload_corrupts(self, grid6):
+        """The Section 2 warning realized: under congestion the naive
+        execution silently produces wrong outputs."""
+        work = mixed_workload(grid6, 12, seed=3)
+        assert work.params().congestion > 1
+        result = EagerScheduler().run(work, seed=0)
+        assert not result.correct
+        assert len(result.mismatches) > 10
+
+    def test_same_workload_fine_with_real_scheduler(self, grid6):
+        work = mixed_workload(grid6, 12, seed=3)
+        result = RandomDelayScheduler().run(work, seed=0)
+        assert result.correct
+
+    def test_overlapping_tokens_lose_messages(self, path10):
+        """k tokens on one path: only one can move per round; the rest
+        arrive late into the wrong algorithm-round and are lost."""
+        tokens = [PathToken(list(range(10)), token=i) for i in range(5)]
+        work = Workload(path10, tokens)
+        result = EagerScheduler().run(work, seed=0)
+        assert not result.correct
+        # exactly one token (the FIFO head each round) gets through clean
+        delivered = sum(
+            1
+            for aid in range(5)
+            if result.outputs[(aid, 9)] == 1000 + aid or result.outputs[(aid, 9)] == tokens[aid].token
+        )
+        assert delivered <= 2
+
+    def test_reports_diagnostics(self, grid6):
+        work = mixed_workload(grid6, 12, seed=3)
+        result = EagerScheduler().run(work, seed=0)
+        notes = result.report.notes
+        assert set(notes) >= {"inbox_overwrites", "late_or_dropped", "cap"}

@@ -1,0 +1,87 @@
+"""Statistical tests for the Chernoff step of Theorem 1.1.
+
+The proof's only probabilistic ingredient: with delays uniform over
+``Θ(C/log n)`` phases, each (edge, phase) pair receives ``O(log n)``
+messages w.h.p. These tests measure the load distribution over many
+seeds and check concentration — mean load near the expectation
+``C / delay_range``, and exponentially few heavily loaded pairs.
+"""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.algorithms import PathToken
+from repro.congest import topology
+from repro.core import Workload
+from repro.core.pattern_schedule import evaluate_delay_schedule
+import random
+
+
+@pytest.fixture(scope="module")
+def stacked_tokens():
+    """k tokens over one shared path: congestion exactly k per edge."""
+    net = topology.path_graph(12)
+    k = 32
+    tokens = [PathToken(list(range(12)), token=i) for i in range(k)]
+    return Workload(net, tokens), k
+
+
+class TestLoadConcentration:
+    def test_mean_load_matches_expectation(self, stacked_tokens):
+        work, k = stacked_tokens
+        patterns = work.patterns()
+        delay_range = 8
+        rng = random.Random(0)
+        loads = Counter()
+        trials = 40
+        for _ in range(trials):
+            delays = [rng.randrange(delay_range) for _ in range(k)]
+            report = evaluate_delay_schedule(patterns, delays)
+            loads.update(report.load_histogram)
+        # each edge-direction sees k messages spread over ~delay_range
+        # phases: loaded pairs should average about k/delay_range
+        total_pairs = sum(loads.values())
+        mean = sum(load * count for load, count in loads.items()) / total_pairs
+        assert mean == pytest.approx(k / delay_range, rel=0.35)
+
+    def test_tail_decays(self, stacked_tokens):
+        """Load counts fall off sharply past the mean (Chernoff)."""
+        work, k = stacked_tokens
+        patterns = work.patterns()
+        delay_range = 8
+        rng = random.Random(1)
+        loads = Counter()
+        for _ in range(60):
+            delays = [rng.randrange(delay_range) for _ in range(k)]
+            loads.update(
+                evaluate_delay_schedule(patterns, delays).load_histogram
+            )
+        total = sum(loads.values())
+        mean = k / delay_range
+        heavy = sum(c for load, c in loads.items() if load >= 3 * mean)
+        assert heavy / total < 0.01
+
+    def test_max_load_scales_with_log_not_congestion(self):
+        """Doubling congestion with a proportionally larger delay range
+        keeps the max load flat — the mechanism behind T1.1."""
+        net = topology.path_graph(10)
+        rng = random.Random(2)
+        max_loads = []
+        for k in (16, 32, 64):
+            tokens = [PathToken(list(range(10)), token=i) for i in range(k)]
+            work = Workload(net, tokens)
+            patterns = work.patterns()
+            delay_range = max(1, k // 4)  # ~ C / phase_size
+            worst = 0
+            for _ in range(15):
+                delays = [rng.randrange(delay_range) for _ in range(k)]
+                worst = max(
+                    worst,
+                    evaluate_delay_schedule(patterns, delays).max_phase_load,
+                )
+            max_loads.append(worst)
+        # max load grows much slower than congestion (4x congestion
+        # growth, load within 2x)
+        assert max_loads[-1] <= 2.0 * max_loads[0]

@@ -1,0 +1,106 @@
+"""Tests for the private-randomness scheduler (Theorem 4.1 / 1.3)."""
+
+import pytest
+
+from repro.algorithms import BFS
+from repro.core import PrivateScheduler, Workload
+from repro.experiments import mixed_workload, packet_workload
+
+
+@pytest.fixture(scope="module")
+def workload(grid6):
+    return mixed_workload(grid6, 6, hops=4, seed=31)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("dedup", [True, False], ids=["dedup", "uniform"])
+    def test_outputs_match_solo(self, workload, dedup):
+        result = PrivateScheduler(dedup=dedup).run(workload, seed=2)
+        assert result.correct, result.mismatches[:3]
+
+    def test_packet_workload(self, grid6):
+        work = packet_workload(grid6, 8, seed=5)
+        result = PrivateScheduler().run(work, seed=1)
+        assert result.correct
+
+    def test_distributed_precomputation_correct(self, grid4):
+        work = Workload(grid4, [BFS(0, hops=3), BFS(15, hops=3)])
+        result = PrivateScheduler(
+            distributed_precomputation=True, layer_constant=2.0
+        ).run(work, seed=3)
+        assert result.correct
+        assert result.report.notes["built_distributed"]
+
+
+class TestReports:
+    def test_precomputation_charged(self, workload):
+        result = PrivateScheduler().run(workload, seed=2)
+        assert result.report.precomputation_rounds > 0
+        assert result.report.total_rounds > result.report.length_rounds
+
+    def test_notes_capture_structure(self, workload):
+        result = PrivateScheduler().run(workload, seed=2)
+        notes = result.report.notes
+        assert notes["num_layers"] >= 2
+        assert notes["num_copies"] > 0
+        assert notes["kwise_independence"] >= 2
+        assert notes["prime"] > notes["delay_support"]
+
+    def test_dedup_shorter_or_equal_uniform(self, workload):
+        """The non-uniform + dedup variant is the upgrade of Lemma 4.4:
+        it should not be longer than the uniform variant."""
+        uniform = PrivateScheduler(dedup=False).run(workload, seed=2)
+        dedup = PrivateScheduler(dedup=True).run(workload, seed=2)
+        assert dedup.report.length_rounds <= uniform.report.length_rounds
+
+    def test_dedup_suppresses_messages(self, workload):
+        result = PrivateScheduler(dedup=True).run(workload, seed=2)
+        assert result.report.messages_deduplicated > 0
+
+    def test_deterministic_given_seed(self, workload):
+        a = PrivateScheduler().run(workload, seed=8)
+        b = PrivateScheduler().run(workload, seed=8)
+        assert a.report.length_rounds == b.report.length_rounds
+
+
+class TestCoverageHandling:
+    def test_auto_extends_on_thin_layers(self, grid6):
+        work = mixed_workload(grid6, 3, hops=3, seed=7)
+        # start with far too few layers; the scheduler must extend
+        scheduler = PrivateScheduler(layer_constant=0.3, max_coverage_retries=4)
+        result = scheduler.run(work, seed=11)
+        assert result.correct
+
+    def test_reuses_prebuilt_clustering(self, workload):
+        from repro.clustering import build_clustering
+
+        clustering = build_clustering(
+            workload.network,
+            radius_scale=2 * workload.params().dilation,
+            num_layers=16,
+            seed=9,
+        )
+        result = PrivateScheduler(clustering=clustering).run(workload, seed=9)
+        assert result.correct
+        assert result.report.precomputation_rounds == pytest.approx(
+            clustering.precomputation_rounds, rel=1.0
+        )
+
+
+class TestDeepDilationWorkloads:
+    def test_mst_workload_schedules_correctly(self):
+        """Algorithms whose dilation far exceeds the diameter (MST) force
+        whole-graph clusters (infinite contained radius); the scheduler
+        must handle them."""
+        from repro.algorithms.mst import TradeoffMST, random_weights
+        from repro.congest import topology
+
+        net = topology.cycle_graph(9)
+        algs = [
+            TradeoffMST(net, random_weights(net, seed=s), size_target=3, salt=s)
+            for s in range(2)
+        ]
+        work = Workload(net, algs)
+        assert work.params().dilation > net.diameter()
+        result = PrivateScheduler(layer_constant=1.5).run(work, seed=1)
+        assert result.correct

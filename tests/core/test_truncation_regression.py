@@ -1,0 +1,79 @@
+"""Regression tests for the truncation-gate off-by-one.
+
+A covered node's round-``dilation`` inbox contains messages from
+neighbours whose contained radius is exactly ``dilation - 1``; those
+senders must still emit their round-``dilation`` messages (the engine's
+``h' + 1`` gate). The original ``h'`` gate silently dropped them and BFS
+parents came out wrong on tightly-covered nodes — this reproduces the
+exact failing configuration (5x5 grid, k=10 mixed workload, hops=3).
+"""
+
+import pytest
+
+from repro.algorithms import BFS
+from repro.clustering import build_clustering
+from repro.congest import topology
+from repro.core import (
+    PrivateScheduler,
+    Workload,
+    run_cluster_copies,
+    verify_outputs,
+)
+from repro.derandomize import run_with_private_randomness
+from repro.experiments import mixed_workload
+
+
+def test_private_scheduler_on_tight_coverage_grid5():
+    net = topology.grid_graph(5, 5)
+    work = mixed_workload(net, 10, hops=3, seed=0)
+    for dedup in (True, False):
+        result = PrivateScheduler(dedup=dedup).run(work, seed=0)
+        assert result.correct, result.mismatches[:4]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_private_scheduler_many_seeds(seed):
+    net = topology.grid_graph(5, 5)
+    work = mixed_workload(net, 8, hops=3, seed=seed)
+    result = PrivateScheduler().run(work, seed=seed)
+    assert result.correct, result.mismatches[:4]
+
+
+def test_boundary_sender_round_d_messages_kept():
+    """Direct check: with a clustering whose chosen layers have h'
+    exactly equal to the BFS depth for some node, outputs still match."""
+    net = topology.grid_graph(5, 5)
+    work = Workload(net, [BFS(src, hops=3) for src in (0, 12, 24, 4, 20)])
+    clustering = build_clustering(net, radius_scale=6, num_layers=20, seed=2)
+    execution = run_cluster_copies(work, clustering, lambda l, c, a: 0)
+    assert verify_outputs(work, execution.outputs) == []
+
+
+def test_derandomized_outputs_equal_full_run_tight():
+    """Harness-side regression: outputs equal a full run with the cluster
+    seed even when coverage is tight."""
+    from repro.congest import solo_run
+    from repro.clustering import cluster_seed_bits
+    from repro.derandomize import DistinctElements
+
+    net = topology.grid_graph(5, 5)
+    values = {v: (v % 5) * 31337 + 1 for v in net.nodes}
+    d = 2
+    make = lambda s: DistinctElements(s, values, d, 0.5, net.num_nodes)
+    locality = make(0).rounds
+    result = run_with_private_randomness(
+        net, make, locality, seed=12, seed_bits=128, radius_factor=1.5
+    )
+    from repro.clustering import build_clustering
+
+    clustering = build_clustering(
+        net, radius_scale=int(1.5 * locality), num_layers=result.num_layers, seed=12
+    )
+    cache = {}
+    for v in net.nodes:
+        layer = result.output_layer[v]
+        center = clustering.layers[layer].center[v]
+        shared = cluster_seed_bits(12, layer, center, 128)
+        if shared not in cache:
+            cache[shared] = solo_run(net, make(shared))
+        assert result.outputs[v] == cache[shared].outputs[v]

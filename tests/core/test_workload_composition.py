@@ -1,0 +1,54 @@
+"""Tests for workload composition (merge / subset) and randomized
+algorithms under the private scheduler."""
+
+import pytest
+
+from repro.algorithms import BFS, HopBroadcast, PushGossip
+from repro.congest import topology
+from repro.core import PrivateScheduler, RandomDelayScheduler, Workload
+
+
+class TestComposition:
+    def test_merged_params_at_least_parts(self, grid4):
+        a = Workload(grid4, [BFS(0)])
+        b = Workload(grid4, [BFS(15)])
+        merged = a.merged(b)
+        assert merged.num_algorithms == 2
+        assert merged.params().congestion >= max(
+            a.params().congestion, b.params().congestion
+        )
+
+    def test_merged_schedules_correctly(self, grid4):
+        a = Workload(grid4, [BFS(0), HopBroadcast(5, "x", 3)])
+        b = Workload(grid4, [BFS(15)])
+        result = RandomDelayScheduler().run(a.merged(b), seed=1)
+        assert result.correct
+
+    def test_merge_requires_same_network(self, grid4, path10):
+        a = Workload(grid4, [BFS(0)])
+        b = Workload(path10, [BFS(0)])
+        with pytest.raises(ValueError):
+            a.merged(b)
+
+    def test_subset(self, grid4):
+        work = Workload(grid4, [BFS(0), BFS(5), BFS(15)])
+        sub = work.subset([0, 2])
+        assert sub.num_algorithms == 2
+        assert sub.algorithms[1] is work.algorithms[2]
+        result = RandomDelayScheduler().run(sub, seed=1)
+        assert result.correct
+
+
+class TestRandomizedUnderPrivateScheduler:
+    def test_gossip_through_cluster_copies(self, grid4):
+        """Randomized algorithms under per-cluster copies: the fixed
+        random tapes keep every copy consistent, so dedup's payload
+        assertion holds and outputs match solo."""
+        work = Workload(
+            grid4,
+            [PushGossip(0, rounds=5), PushGossip(15, rounds=5, rumor="r2")],
+            master_seed=13,
+        )
+        for dedup in (True, False):
+            result = PrivateScheduler(dedup=dedup).run(work, seed=5)
+            assert result.correct, result.mismatches[:3]

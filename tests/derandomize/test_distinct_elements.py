@@ -1,0 +1,98 @@
+"""Tests for the distinct-elements algorithm (Appendix A example)."""
+
+import math
+
+import pytest
+
+from repro.congest import solo_run, topology
+from repro.derandomize import DistinctElements, true_distinct_counts
+
+
+def log_ratio(a: int, b: int) -> float:
+    return abs(math.log(a / b))
+
+
+@pytest.fixture(scope="module")
+def setting():
+    net = topology.grid_graph(6, 6)
+    values = {v: (v % 9) * 104729 + 13 for v in net.nodes}
+    return net, values
+
+
+class TestGroundTruth:
+    def test_true_counts_radius_zero(self, setting):
+        net, values = setting
+        counts = true_distinct_counts(net, values, 0)
+        assert all(c == 1 for c in counts.values())
+
+    def test_true_counts_full_radius(self, setting):
+        net, values = setting
+        counts = true_distinct_counts(net, values, net.diameter())
+        assert all(c == 9 for c in counts.values())
+
+
+class TestAlgorithm:
+    def test_rounds_formula(self, setting):
+        net, values = setting
+        alg = DistinctElements(1, values, radius=3, epsilon=0.5, num_nodes_hint=36)
+        assert alg.rounds == 3 * alg.num_bundles
+        run = solo_run(net, alg)
+        assert run.rounds <= alg.rounds
+
+    def test_estimates_within_band(self, setting):
+        """Every node's estimate is within (1+eps)^2 of the truth, over a
+        couple of seeds (w.h.p. claim, checked at fixed seeds)."""
+        net, values = setting
+        d, eps = 3, 0.5
+        truth = true_distinct_counts(net, values, d)
+        band = 2 * math.log(1 + eps) + 0.2
+        for seed in (7, 1234):
+            alg = DistinctElements(seed, values, d, eps, net.num_nodes)
+            run = solo_run(net, alg)
+            worst = max(log_ratio(run.outputs[v], truth[v]) for v in net.nodes)
+            assert worst <= band
+
+    def test_same_seed_same_outputs(self, setting):
+        net, values = setting
+        a = solo_run(net, DistinctElements(5, values, 2, 0.5, 36))
+        b = solo_run(net, DistinctElements(5, values, 2, 0.5, 36))
+        assert a.outputs == b.outputs
+
+    def test_bellagio_majority(self, setting):
+        """Across many seeds, each node outputs its most common value in
+        a clear majority of runs — the Bellagio property. Checked at a
+        radius where every node sees the same (mid-band) distinct count,
+        away from the ``O(1/ε)`` flippy boundary thresholds."""
+        net, values = setting
+        d = net.diameter()  # all nodes see all 9 values: mid-band count
+        from collections import Counter
+
+        per_node = {v: Counter() for v in net.nodes}
+        seeds = range(9)
+        for seed in seeds:
+            run = solo_run(net, DistinctElements(seed, values, d, 0.5, 36))
+            for v, out in run.outputs.items():
+                per_node[v][out] += 1
+        fractions = [
+            counter.most_common(1)[0][1] / len(seeds)
+            for counter in per_node.values()
+        ]
+        assert sum(fractions) / len(fractions) >= 2 / 3
+
+    def test_radius_zero(self, setting):
+        net, values = setting
+        run = solo_run(net, DistinctElements(1, values, 0, 0.5, 36))
+        # every node sees exactly one value: estimates stay tiny
+        assert all(out <= 2 for out in run.outputs.values())
+
+    def test_invalid_params(self, setting):
+        net, values = setting
+        with pytest.raises(ValueError):
+            DistinctElements(1, values, -1, 0.5)
+        with pytest.raises(ValueError):
+            DistinctElements(1, values, 2, 0.0)
+
+    def test_messages_fit_congest(self, setting):
+        """64-bit OR-masks fit the CONGEST budget (simulator enforces)."""
+        net, values = setting
+        solo_run(net, DistinctElements(3, values, 4, 0.5, 36))

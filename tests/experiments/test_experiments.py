@@ -1,0 +1,109 @@
+"""Tests for the experiment harness helpers."""
+
+import json
+
+import pytest
+
+from repro.core import RandomDelayScheduler, SequentialScheduler
+from repro.experiments import (
+    broadcast_workload,
+    compare_schedulers,
+    fit_log_slope,
+    fit_power_law,
+    format_table,
+    mixed_workload,
+    packet_workload,
+    save_json,
+    summarize,
+    token_workload,
+)
+
+
+class TestWorkloadFactories:
+    def test_broadcast_counts(self, grid6):
+        work = broadcast_workload(grid6, 5, seed=1)
+        assert work.num_algorithms == 5
+        assert all(r.correct is not False for r in [])  # smoke
+
+    def test_mixed_contains_variety(self, grid6):
+        work = mixed_workload(grid6, 6, seed=1)
+        names = {type(a).__name__ for a in work.algorithms}
+        assert names == {"BFS", "HopBroadcast", "PathToken"}
+
+    def test_token_workload_congestion_dials(self, grid6):
+        light = token_workload(grid6, 4, length=5, events_per_round=2, seed=0)
+        heavy = token_workload(grid6, 4, length=5, events_per_round=40, seed=0)
+        assert heavy.params().congestion >= light.params().congestion
+
+    def test_packet_workload_runs(self, grid6):
+        work = packet_workload(grid6, 6, seed=2)
+        assert work.params().dilation >= 2
+
+    def test_factories_deterministic(self, grid6):
+        a = mixed_workload(grid6, 4, seed=9)
+        b = mixed_workload(grid6, 4, seed=9)
+        assert [x.name for x in a.algorithms] == [x.name for x in b.algorithms]
+
+
+class TestCompare:
+    def test_rows_align_with_schedulers(self, grid6):
+        work = broadcast_workload(grid6, 4, seed=3)
+        rows = compare_schedulers(
+            work, [SequentialScheduler(), RandomDelayScheduler()], seed=1
+        )
+        assert [r.scheduler for r in rows] == [
+            "sequential",
+            "random-delay[T1.1]",
+        ]
+        assert all(r.correct for r in rows)
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.mean == 4.0
+        assert s.count == 3
+        assert s.minimum == 2.0 and s.maximum == 6.0
+        assert s.ci95 > 0
+
+    def test_summarize_single(self):
+        assert summarize([5]).ci95 == 0.0
+
+    def test_summarize_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_power_law_exact(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x**0.5 for x in xs]
+        exponent, coefficient, r2 = fit_power_law(xs, ys)
+        assert exponent == pytest.approx(0.5)
+        assert coefficient == pytest.approx(3.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_power_law_requires_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 3])
+
+    def test_log_slope(self):
+        import math
+
+        xs = [2, 4, 8, 16]
+        ys = [5 * math.log(x) + 1 for x in xs]
+        assert fit_log_slope(xs, ys) == pytest.approx(5.0)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_save_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        save_json(path, {"x": 1, "nested": {"y": [1, 2]}})
+        assert json.loads(path.read_text()) == {"x": 1, "nested": {"y": [1, 2]}}

@@ -1,0 +1,66 @@
+"""Tests for the sweep framework."""
+
+import pytest
+
+from repro.algorithms import BFS
+from repro.congest import topology
+from repro.core import RandomDelayScheduler, SequentialScheduler, Workload
+from repro.experiments import repeat, sweep
+
+
+def _factory(side: int, k: int, seed: int) -> Workload:
+    net = topology.grid_graph(side, side)
+    return Workload(
+        net,
+        [BFS((seed + 7 * i) % net.num_nodes, hops=3) for i in range(k)],
+        master_seed=seed,
+    )
+
+
+class TestSweep:
+    def test_grid_of_points(self):
+        points = sweep(
+            configs=[{"side": 4, "k": 2}, {"side": 5, "k": 3}],
+            workload_factory=_factory,
+            schedulers=[SequentialScheduler(), RandomDelayScheduler()],
+            seeds=[0, 1],
+        )
+        assert len(points) == 2 * 2 * 2
+        assert all(p.correct for p in points)
+        assert {p.scheduler for p in points} == {
+            "sequential",
+            "random-delay[T1.1]",
+        }
+
+    def test_rows_carry_config(self):
+        points = sweep(
+            configs=[{"side": 4, "k": 2}],
+            workload_factory=_factory,
+            schedulers=[SequentialScheduler()],
+        )
+        row = points[0].as_row()
+        assert row[0] == 4 and row[1] == 2
+        assert row[-1] is True
+
+    def test_repeat_aggregates_over_seeds(self):
+        points = sweep(
+            configs=[{"side": 4, "k": 3}],
+            workload_factory=_factory,
+            schedulers=[RandomDelayScheduler()],
+            seeds=[0, 1, 2, 3],
+        )
+        summaries = repeat(points)
+        assert len(summaries) == 1
+        summary = next(iter(summaries.values()))
+        assert summary.count == 4
+        assert summary.minimum <= summary.mean <= summary.maximum
+
+    def test_repeat_other_metric(self):
+        points = sweep(
+            configs=[{"side": 4, "k": 2}],
+            workload_factory=_factory,
+            schedulers=[SequentialScheduler()],
+            seeds=[0, 1],
+        )
+        summaries = repeat(points, metric="competitive_ratio")
+        assert all(s.mean > 0 for s in summaries.values())

@@ -1,0 +1,155 @@
+"""Tests for crossing patterns and the lower-bound analysis formulas."""
+
+import math
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.lowerbound import (
+    CrossingPattern,
+    average_layer_phase_load,
+    crossing_from_delays,
+    edge_overload_probability,
+    empirical_min_schedule,
+    heaviest_layer_phase,
+    layer_overload_probability,
+    log_crossing_pattern_count,
+    lower_bound_formula,
+    sample_hard_instance,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return sample_hard_instance(
+        num_layers=6, width=8, num_algorithms=5, edge_probability=0.3, seed=1
+    )
+
+
+class TestCrossingPattern:
+    def test_monotone_valid(self):
+        cp = CrossingPattern(assignment=[[0, 0, 1, 2]], num_phases=3)
+        cp.validate()
+
+    def test_non_monotone_rejected(self):
+        cp = CrossingPattern(assignment=[[1, 0]], num_phases=2)
+        with pytest.raises(ScheduleError):
+            cp.validate()
+
+    def test_too_many_unassigned_rejected(self):
+        cp = CrossingPattern(
+            assignment=[[None, None, None, 0, 1]], num_phases=2
+        )
+        with pytest.raises(ScheduleError):
+            cp.validate(min_assigned_fraction=0.9)
+
+    def test_phase_out_of_range_rejected(self):
+        cp = CrossingPattern(assignment=[[5]], num_phases=3)
+        with pytest.raises(ScheduleError):
+            cp.validate()
+
+    def test_loads(self):
+        cp = CrossingPattern(assignment=[[0, 1], [0, 1], [0, 2]], num_phases=3)
+        loads = cp.loads()
+        assert loads[(1, 0)] == 3
+        assert loads[(2, 1)] == 2
+        ((j, t), value) = heaviest_layer_phase(cp)
+        assert (j, t) == (1, 0) and value == 3
+
+    def test_empty_heaviest_raises(self):
+        with pytest.raises(ScheduleError):
+            heaviest_layer_phase(CrossingPattern(assignment=[[None]], num_phases=1))
+
+    def test_max_edge_load(self, instance):
+        # everyone crossing everything in phase 0: load = sum over algs
+        cp = CrossingPattern(
+            assignment=[[0] * instance.num_layers] * instance.num_algorithms,
+            num_phases=1,
+        )
+        # the most shared layer-node determines the edge load
+        expected = 0
+        for j in range(1, instance.num_layers + 1):
+            from collections import Counter
+
+            counts = Counter()
+            for i in range(instance.num_algorithms):
+                counts.update(instance.subsets[i][j - 1])
+            if counts:
+                expected = max(expected, max(counts.values()))
+        assert cp.max_edge_load(instance) == expected
+
+
+class TestCrossingFromDelays:
+    def test_zero_delays_aligned_phases(self, instance):
+        cp = crossing_from_delays(instance, [0] * instance.num_algorithms, 2)
+        cp.validate(min_assigned_fraction=1.0)
+        # with phase length 2, layer j occupies exactly phase j-1
+        for layers in cp.assignment:
+            assert layers == list(range(instance.num_layers))
+
+    def test_odd_delay_straddles(self, instance):
+        cp = crossing_from_delays(instance, [1] * instance.num_algorithms, 2)
+        # every crossing straddles two phases now
+        assert all(t is None for layers in cp.assignment for t in layers)
+
+    def test_wrong_count(self, instance):
+        with pytest.raises(ValueError):
+            crossing_from_delays(instance, [0], 2)
+
+
+class TestFormulas:
+    def test_lower_bound_formula_grows(self):
+        assert lower_bound_formula(10, 10, 1 << 20) > lower_bound_formula(
+            10, 10, 1 << 8
+        )
+
+    def test_average_load(self):
+        # paper's regime: k algorithms over L layers and 0.1L phases
+        avg = average_layer_phase_load(100, 10, 1)
+        assert avg == pytest.approx(90.0)
+
+    def test_edge_overload_zero_below_capacity(self):
+        assert edge_overload_probability(5, 0.3, 10) == 0.0
+
+    def test_edge_overload_is_binomial_tail(self):
+        # Binom(4, 0.5) > 2: P(3) + P(4) = 4/16 + 1/16
+        assert edge_overload_probability(4, 0.5, 2) == pytest.approx(5 / 16)
+
+    def test_layer_overload_union(self):
+        p_edge = edge_overload_probability(4, 0.5, 2)
+        p_layer = layer_overload_probability(4, 0.5, 2, width=3)
+        assert p_layer == pytest.approx(1 - (1 - p_edge) ** 3)
+
+    def test_layer_overload_monotone_in_width(self):
+        a = layer_overload_probability(20, 0.2, 6, width=10)
+        b = layer_overload_probability(20, 0.2, 6, width=100)
+        assert b > a
+
+    def test_union_bound_count_positive_and_monotone(self):
+        a = log_crossing_pattern_count(4, 10, 5)
+        b = log_crossing_pattern_count(8, 10, 5)
+        assert 0 < a < b
+
+    def test_paper_scale_inequality(self):
+        """At the paper's parameters the union bound loses to the failure
+        probability: ln(#patterns) = Θ(n^0.3) << n^0.7."""
+        n = 10**10
+        k = round(n**0.2)
+        L = round(n**0.1)
+        phases = round(0.1 * n**0.1)
+        log_patterns = log_crossing_pattern_count(k, L, max(phases, 2))
+        assert log_patterns < n**0.7
+
+
+class TestEmpiricalSearch:
+    def test_search_returns_best(self, instance):
+        res = empirical_min_schedule(
+            instance.patterns(), max_delay=10, trials=20, seed=0
+        )
+        assert res.best_length == min(res.lengths)
+        assert res.trials == 21  # includes the all-zero assignment
+
+    def test_more_trials_never_worse(self, instance):
+        few = empirical_min_schedule(instance.patterns(), 10, trials=5, seed=2)
+        many = empirical_min_schedule(instance.patterns(), 10, trials=50, seed=2)
+        assert many.best_length <= few.best_length

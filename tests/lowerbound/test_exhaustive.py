@@ -1,0 +1,74 @@
+"""Tests for the exact crossing-pattern search (certified small bounds)."""
+
+import pytest
+
+from repro.lowerbound import sample_hard_instance
+from repro.lowerbound.exhaustive import (
+    certified_min_phases,
+    search_crossing_patterns,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return sample_hard_instance(3, 6, 5, 0.4, seed=3)
+
+
+class TestSearch:
+    def test_feasibility_monotone_in_phases(self, tiny):
+        """More phases can only help."""
+        feasible = [
+            search_crossing_patterns(tiny, phases, capacity=2).feasible
+            for phases in range(1, 7)
+        ]
+        # once feasible, stays feasible
+        first_true = feasible.index(True)
+        assert all(feasible[first_true:])
+        assert not any(feasible[:first_true])
+
+    def test_feasibility_monotone_in_capacity(self, tiny):
+        at_two = search_crossing_patterns(tiny, 3, capacity=2).feasible
+        at_six = search_crossing_patterns(tiny, 3, capacity=6).feasible
+        assert (not at_two) or at_six  # capacity 6 at least as feasible
+
+    def test_witness_is_valid(self, tiny):
+        p_star, results = certified_min_phases(tiny, capacity=4)
+        result = results[-1]
+        assert result.feasible
+        witness = result.witness
+        assert len(witness) == tiny.num_algorithms
+        # monotone per algorithm, within phase range
+        for assignment in witness:
+            assert list(assignment) == sorted(assignment)
+            assert all(0 <= p < p_star for p in assignment)
+        # per-algorithm per-phase multiplicity respects capacity // 2
+        from collections import Counter
+
+        for assignment in witness:
+            counts = Counter(assignment)
+            assert max(counts.values()) <= max(1, 4 // 2)
+        # and the joint edge loads respect the capacity
+        loads = Counter()
+        for i, assignment in enumerate(witness):
+            for j, phase in enumerate(assignment, start=1):
+                for u in tiny.subsets[i][j - 1]:
+                    loads[((tiny.spine(j - 1), u), phase)] += 1
+                    loads[((u, tiny.spine(j)), phase)] += 1
+        assert max(loads.values()) <= 4
+
+    def test_certified_implied_rounds_at_least_trivial(self, tiny):
+        """The certified minimum never dips below max(C, D) once the
+        per-algorithm sequencing constraint is modelled."""
+        params = tiny.params()
+        for capacity in (2, 4, 6):
+            p_star, _ = certified_min_phases(tiny, capacity=capacity)
+            assert p_star * capacity >= params.trivial_lower_bound - 1
+
+    def test_node_budget_enforced(self, tiny):
+        with pytest.raises(RuntimeError):
+            search_crossing_patterns(tiny, 4, capacity=2, max_nodes=3)
+
+    def test_infeasible_at_one_phase_thin_capacity(self, tiny):
+        """One phase of capacity 2 cannot host 3 sequential crossings."""
+        result = search_crossing_patterns(tiny, 1, capacity=2)
+        assert not result.feasible

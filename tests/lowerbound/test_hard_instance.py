@@ -1,0 +1,94 @@
+"""Tests for the Theorem 3.1 hard-instance machinery."""
+
+import math
+
+import pytest
+
+from repro.core import RandomDelayScheduler, verify_outputs
+from repro.lowerbound import (
+    HardInstance,
+    paper_parameters,
+    sample_hard_instance,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return sample_hard_instance(
+        num_layers=5, width=10, num_algorithms=8, edge_probability=0.3, seed=3
+    )
+
+
+class TestSampling:
+    def test_network_shape(self, instance):
+        assert instance.network.num_nodes == 6 + 5 * 10
+        assert instance.dilation == 10
+
+    def test_subsets_within_layers(self, instance):
+        for i in range(instance.num_algorithms):
+            for j in range(1, instance.num_layers + 1):
+                layer_nodes = set(instance.layer_nodes(j))
+                assert set(instance.subsets[i][j - 1]) <= layer_nodes
+                assert instance.subsets[i][j - 1]  # never empty
+
+    def test_deterministic(self):
+        a = sample_hard_instance(3, 6, 4, 0.4, seed=1)
+        b = sample_hard_instance(3, 6, 4, 0.4, seed=1)
+        assert a.subsets == b.subsets
+
+    def test_subset_density(self):
+        inst = sample_hard_instance(4, 200, 6, 0.25, seed=2)
+        sizes = [
+            len(s) for subsets in inst.subsets for s in subsets
+        ]
+        mean = sum(sizes) / len(sizes)
+        assert 0.15 * 200 < mean < 0.35 * 200
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            sample_hard_instance(2, 4, 2, 0.0)
+
+
+class TestPatterns:
+    def test_pattern_rounds_alternate(self, instance):
+        pattern = instance.pattern(0)
+        for r, u, v in pattern.events:
+            j = (r + 1) // 2
+            if r % 2 == 1:  # fan-out: v_{j-1} -> U_j
+                assert u == j - 1
+                assert v in instance.layer_nodes(j)
+            else:  # fan-in: U_j -> v_j
+                assert v == j
+                assert u in instance.layer_nodes(j)
+
+    def test_params_match_structure(self, instance):
+        params = instance.params()
+        assert params.dilation == 2 * instance.num_layers
+        # congestion concentrates around k * q on spine-to-layer edges
+        assert params.congestion <= instance.num_algorithms
+
+    def test_pattern_causality_chain(self, instance):
+        """Layer j's fan-in causally precedes layer j+1's fan-out."""
+        p = instance.pattern(0)
+        first_in = next(e for e in sorted(p.events) if e[0] == 2)
+        later_out = next(e for e in sorted(p.events) if e[0] == 3)
+        assert p.causally_precedes(first_in, later_out)
+
+
+class TestWorkload:
+    def test_executable_and_schedulable(self, instance):
+        work = instance.workload()
+        result = RandomDelayScheduler().run(work, seed=5)
+        assert result.correct
+
+    def test_measured_params_match_analytic(self, instance):
+        work = instance.workload()
+        assert work.params() == instance.params()
+
+
+class TestPaperParameters:
+    def test_shapes(self):
+        params = paper_parameters(10**10)
+        assert params["num_layers"] == 10
+        assert params["num_algorithms"] == 100
+        assert params["width"] == 10**9

@@ -1,0 +1,68 @@
+"""Tests for the Section 5 design objective."""
+
+import math
+
+import pytest
+
+from repro.algorithms.mst import TradeoffMST, random_weights
+from repro.congest import solo_run, topology
+from repro.metrics.objective import (
+    design_objective,
+    pick_best_parameter,
+    score_solo_run,
+)
+
+
+class TestObjective:
+    def test_formula(self):
+        assert design_objective(10, 2, 16) == 10 + 2 * 4
+
+    def test_score_scales_with_shots(self, grid4):
+        from repro.algorithms import BFS
+
+        run = solo_run(grid4, BFS(0))
+        one = score_solo_run(run, grid4, shots=1)
+        many = score_solo_run(run, grid4, shots=10)
+        assert many > one
+        # only the congestion term scales
+        assert many - one == pytest.approx(9 * run.trace.max_edge_rounds())
+
+
+class TestPickBestParameter:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        net = topology.grid_graph(6, 6)
+        weights = random_weights(net, seed=1)
+        return net, weights
+
+    def test_single_shot_prefers_small_l(self, setting):
+        """With one shot, dilation·log n dominates: small L wins."""
+        net, weights = setting
+        best, scores = pick_best_parameter(
+            net,
+            lambda L: TradeoffMST(net, weights, size_target=L),
+            candidates=[1, 4, 16],
+            shots=1,
+        )
+        assert best == 1
+
+    def test_many_shots_prefer_larger_l(self, setting):
+        """With many shots, congestion dominates: the winner moves to a
+        larger L — the paper's L = √(n/k) effect, empirically."""
+        net, weights = setting
+        best_one, _ = pick_best_parameter(
+            net,
+            lambda L: TradeoffMST(net, weights, size_target=L),
+            candidates=[1, 4, 16],
+            shots=1,
+        )
+        best_many, scores = pick_best_parameter(
+            net,
+            lambda L: TradeoffMST(net, weights, size_target=L),
+            candidates=[1, 4, 16],
+            shots=64,
+        )
+        assert best_many > best_one
+        # scores expose the full tradeoff for reporting
+        assert len(scores) == 3
+        assert all(s.objective > 0 for s in scores)

@@ -1,0 +1,62 @@
+"""Tests for congestion profiling."""
+
+import pytest
+
+from repro.algorithms import BFS, PathToken
+from repro.congest import CommunicationPattern, solo_run, topology
+from repro.metrics import profile_patterns
+
+
+class TestCongestionProfile:
+    def test_empty_patterns(self, grid4):
+        profile = profile_patterns(grid4, [])
+        assert profile.congestion == 0
+        assert profile.message_complexity == 0
+        assert profile.gini == 0.0
+        assert profile.concentration == 0.0
+
+    def test_uniform_load_concentration_one(self):
+        net = topology.cycle_graph(6)
+        # one message on every edge, same round
+        pattern = CommunicationPattern(
+            [(1, u, v) for u, v in net.edges]
+        )
+        profile = profile_patterns(net, [pattern])
+        assert profile.concentration == pytest.approx(1.0)
+        assert profile.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_hotspot_detected(self, path10):
+        tokens = [PathToken([4, 5], token=i) for i in range(6)]
+        runs = [solo_run(path10, t, algorithm_id=i) for i, t in enumerate(tokens)]
+        profile = profile_patterns(path10, [r.pattern for r in runs])
+        assert profile.hottest_edges(1) == [((4, 5), 6)]
+        assert profile.congestion == 6
+        assert profile.gini > 0.5
+
+    def test_paper_point_message_complexity_underdetermines(self, path10):
+        """Same message complexity, wildly different congestion — the
+        paper's Section 5 observation."""
+        spread = [PathToken([i, i + 1], token=i) for i in range(6)]
+        stacked = [PathToken([4, 5], token=i) for i in range(6)]
+        p_spread = profile_patterns(
+            path10,
+            [solo_run(path10, t, algorithm_id=i).pattern for i, t in enumerate(spread)],
+        )
+        p_stacked = profile_patterns(
+            path10,
+            [solo_run(path10, t, algorithm_id=i).pattern for i, t in enumerate(stacked)],
+        )
+        assert p_spread.message_complexity == p_stacked.message_complexity
+        assert p_stacked.congestion == 6 * p_spread.congestion
+
+    def test_histogram_counts_edges(self, grid4):
+        run = solo_run(grid4, BFS(0))
+        profile = profile_patterns(grid4, [run.pattern])
+        histogram = profile.load_histogram()
+        assert sum(histogram.values()) == grid4.num_edges
+
+    def test_mean_and_congestion_consistent(self, grid6):
+        runs = [solo_run(grid6, BFS(s), algorithm_id=s) for s in (0, 14, 35)]
+        profile = profile_patterns(grid6, [r.pattern for r in runs])
+        assert profile.congestion >= profile.mean_load
+        assert profile.concentration >= 1.0

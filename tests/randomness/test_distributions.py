@@ -1,0 +1,166 @@
+"""Tests for the paper's delay / radius distributions."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RandomnessError
+from repro.randomness import BlockDelay, TruncatedExponential, UniformDelay
+
+
+class TestUniformDelay:
+    def test_quantile_endpoints(self):
+        d = UniformDelay(10)
+        assert d.quantile(0.0) == 0
+        assert d.quantile(0.999) == 9
+        assert d.max_delay == 9
+
+    def test_quantile_uniform(self):
+        d = UniformDelay(4)
+        assert [d.quantile(u / 4 + 0.01) for u in range(4)] == [0, 1, 2, 3]
+
+    def test_pmf(self):
+        d = UniformDelay(5)
+        assert d.pmf(2) == pytest.approx(0.2)
+        assert d.pmf(5) == 0.0
+
+    def test_invalid_range(self):
+        with pytest.raises(RandomnessError):
+            UniformDelay(0)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(RandomnessError):
+            UniformDelay(3).quantile(1.0)
+
+
+class TestTruncatedExponential:
+    def test_pmf_sums_to_one(self):
+        d = TruncatedExponential(scale=3.0, cutoff=20)
+        assert sum(d.pmf(z) for z in range(21)) == pytest.approx(1.0)
+
+    def test_pmf_decays_geometrically(self):
+        d = TruncatedExponential(scale=2.0, cutoff=30)
+        ratio = d.pmf(5) / d.pmf(3)
+        assert ratio == pytest.approx(math.exp(-2 / 2.0), rel=1e-9)
+
+    def test_quantile_inverts_cdf(self):
+        d = TruncatedExponential(scale=4.0, cutoff=25)
+        for u in (0.0, 0.3, 0.62, 0.99):
+            z = d.quantile(u)
+            below = sum(d.pmf(x) for x in range(z))
+            upto = below + d.pmf(z)
+            assert below <= u < upto + 1e-12
+
+    def test_for_ball_carving_cutoff(self):
+        d = TruncatedExponential.for_ball_carving(5, 100, horizon_constant=2.0)
+        assert d.cutoff == math.ceil(2.0 * 5 * math.log(100))
+
+    def test_sample_within_support(self):
+        d = TruncatedExponential(scale=2.0, cutoff=10)
+        rng = random.Random(0)
+        assert all(0 <= d.sample(rng) <= 10 for _ in range(200))
+
+    def test_memoryless_tail_ratio(self):
+        """The coverage argument: Pr[r >= t+d]/Pr[r >= t] ~ e^{-d/R}."""
+        scale, cutoff = 6.0, 200
+        d = TruncatedExponential(scale, cutoff)
+        tail = lambda t: sum(d.pmf(z) for z in range(t, cutoff + 1))
+        assert tail(10) / tail(4) == pytest.approx(math.exp(-6 / scale), rel=1e-6)
+
+    def test_invalid_params(self):
+        with pytest.raises(RandomnessError):
+            TruncatedExponential(0, 5)
+        with pytest.raises(RandomnessError):
+            TruncatedExponential(1.0, -1)
+
+
+class TestBlockDelay:
+    def test_block_structure(self):
+        d = BlockDelay(base_block=8, num_blocks=4, alpha=0.5)
+        sizes = [size for _, size in d.blocks]
+        assert sizes == [8, 4, 2, 1]
+        assert d.support_size == 15
+        assert d.max_delay == 14
+
+    def test_blocks_geometrically_thin(self):
+        d = BlockDelay(base_block=100, num_blocks=6, alpha=0.7)
+        sizes = [size for _, size in d.blocks]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_total_mass_one(self):
+        d = BlockDelay(base_block=7, num_blocks=5, alpha=0.6)
+        assert sum(d.pmf(x) for x in range(d.support_size)) == pytest.approx(1.0)
+
+    def test_equal_mass_per_block(self):
+        d = BlockDelay(base_block=9, num_blocks=3, alpha=0.5)
+        for offset, size in d.blocks:
+            mass = sum(d.pmf(x) for x in range(offset, offset + size))
+            assert mass == pytest.approx(1 / 3)
+
+    def test_per_point_density_rises_in_later_blocks(self):
+        """Later (thinner) blocks give each point MORE mass — the
+        shape that compensates for later copies rarely being first."""
+        d = BlockDelay(base_block=64, num_blocks=5, alpha=0.5)
+        densities = [d.pmf(offset) for offset, _ in d.blocks]
+        assert all(a < b for a, b in zip(densities, densities[1:]))
+
+    def test_quantile_block_mapping(self):
+        d = BlockDelay(base_block=4, num_blocks=4, alpha=0.5)
+        # u in [0, 1/4) lands in block 0, etc.
+        assert d.block_of(d.quantile(0.1)) == 0
+        assert d.block_of(d.quantile(0.30)) == 1
+        assert d.block_of(d.quantile(0.60)) == 2
+        assert d.block_of(d.quantile(0.95)) == 3
+
+    def test_block_of_out_of_support(self):
+        d = BlockDelay(base_block=2, num_blocks=2, alpha=0.5)
+        with pytest.raises(RandomnessError):
+            d.block_of(d.support_size)
+
+    def test_for_schedule_support_theta_c_over_logn(self):
+        d = BlockDelay.for_schedule(congestion=1000, num_nodes=256, copies=16)
+        # support is Θ(C / log n) up to the 1/(1-α) factor
+        assert d.support_size < 1000
+        assert d.support_size >= 1000 / math.log2(256) * 0.9
+
+    def test_first_copy_probability_bound(self):
+        """The heart of Lemma 4.4: for ANY delay value δ, the probability
+        that one copy draws δ *and* all other copies draw later is
+        O(1/support of first block) = O(log n / congestion)."""
+        copies = 12
+        d = BlockDelay.for_schedule(congestion=600, num_nodes=4096, copies=copies)
+        bound = 4.0 / d.base_block
+        for delay in range(d.support_size):
+            block = d.block_of(delay)
+            p_point = d.pmf(delay)
+            # Pr[all other copies in strictly later blocks] <= gamma^block
+            p_all_later_blocks = ((1 - (block + 1) / d.num_blocks)) ** (copies - 1) if block + 1 < d.num_blocks else 0
+            # paper's estimate: gamma^{i-1} with gamma = (1-1/beta)^copies
+            gamma = (1 - 1 / d.num_blocks) ** copies
+            estimate = p_point * gamma ** block
+            assert estimate <= bound
+
+    def test_invalid_params(self):
+        with pytest.raises(RandomnessError):
+            BlockDelay(0, 3, 0.5)
+        with pytest.raises(RandomnessError):
+            BlockDelay(3, 0, 0.5)
+        with pytest.raises(RandomnessError):
+            BlockDelay(3, 3, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base=st.integers(1, 50),
+    blocks=st.integers(1, 10),
+    alpha=st.floats(0.1, 0.9),
+    u=st.floats(0, 0.999999),
+)
+def test_block_quantile_total(base, blocks, alpha, u):
+    d = BlockDelay(base, blocks, alpha)
+    delay = d.quantile(u)
+    assert 0 <= delay < d.support_size
+    assert d.pmf(delay) > 0

@@ -1,0 +1,118 @@
+"""Tests for the k-wise independent generator (Lemma 4.3's PRG)."""
+
+import itertools
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import RandomnessError
+from repro.randomness import KWiseGenerator, prime_for_buckets, seed_bits_required
+
+
+class TestConstruction:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(RandomnessError):
+            KWiseGenerator(10, [1, 2])
+
+    def test_rejects_empty_seed(self):
+        with pytest.raises(RandomnessError):
+            KWiseGenerator(7, [])
+
+    def test_rejects_out_of_field(self):
+        with pytest.raises(RandomnessError):
+            KWiseGenerator(7, [7])
+
+    def test_from_bits_deterministic(self):
+        a = KWiseGenerator.from_bits(101, 4, bits=0xDEADBEEFCAFE)
+        b = KWiseGenerator.from_bits(101, 4, bits=0xDEADBEEFCAFE)
+        assert a.coefficients == b.coefficients
+
+    def test_from_bits_independence_count(self):
+        g = KWiseGenerator.from_bits(101, 5, bits=12345)
+        assert g.independence == 5
+
+    def test_seed_bits_required(self):
+        assert seed_bits_required(4, 101) == 4 * 7
+
+
+class TestEvaluation:
+    def test_horner_matches_naive(self):
+        g = KWiseGenerator(97, [3, 14, 15, 92])
+        for x in range(10):
+            naive = sum(c * x**i for i, c in enumerate(g.coefficients)) % 97
+            assert g.value(x) == naive
+
+    def test_values_in_field(self):
+        g = KWiseGenerator.sample(101, 6, random.Random(0))
+        assert all(0 <= g.value(x) < 101 for x in range(200))
+
+    def test_uniform_in_unit_interval(self):
+        g = KWiseGenerator.sample(101, 3, random.Random(1))
+        assert all(0 <= g.uniform(x) < 1 for x in range(50))
+
+
+class TestIndependence:
+    def test_pairwise_independence_exact(self):
+        """Over all degree-1 polynomials, pairs of evaluations at two
+        fixed distinct points are exactly uniform on GF(p)^2."""
+        p = 11
+        counts = Counter()
+        for a in range(p):
+            for b in range(p):
+                g = KWiseGenerator(p, [b, a])
+                counts[(g.value(2), g.value(5))] += 1
+        assert all(c == 1 for c in counts.values())
+        assert len(counts) == p * p
+
+    def test_three_wise_independence_exact(self):
+        """Degree-2 polynomials: triples at 3 points are uniform."""
+        p = 5
+        counts = Counter()
+        for coeffs in itertools.product(range(p), repeat=3):
+            g = KWiseGenerator(p, list(coeffs))
+            counts[(g.value(0), g.value(1), g.value(2))] += 1
+        assert all(c == 1 for c in counts.values())
+
+    def test_not_kplus1_wise(self):
+        """k evaluations determine the polynomial: the (k+1)-th value is a
+        function of the first k — the construction is tight."""
+        p = 7
+        fixed = {}
+        for coeffs in itertools.product(range(p), repeat=2):
+            g = KWiseGenerator(p, list(coeffs))
+            key = (g.value(1), g.value(2))
+            third = g.value(3)
+            if key in fixed:
+                assert fixed[key] == third
+            fixed[key] = third
+
+
+class TestBuckets:
+    def test_bucket_points_distinct(self):
+        g = KWiseGenerator.sample(prime_for_buckets(4, 8), 3, random.Random(2))
+        values = [(aid, i, g.bucket_value(aid, i, 8)) for aid in range(4) for i in range(8)]
+        assert len(values) == 32
+
+    def test_bucket_exhaustion(self):
+        g = KWiseGenerator(101, [1, 2])
+        with pytest.raises(RandomnessError):
+            g.bucket_value(0, 9, bucket_size=8)
+
+    def test_bucket_point_overflow(self):
+        g = KWiseGenerator(101, [1, 2])
+        with pytest.raises(RandomnessError):
+            g.bucket_value(50, 3, bucket_size=8)
+
+    def test_bucket_uniform_range(self):
+        g = KWiseGenerator(prime_for_buckets(2), [5, 9])
+        assert 0 <= g.bucket_uniform(1, 0) < 1
+
+    def test_consistency_same_seed_same_delays(self):
+        """Two nodes deriving from the same shared bits agree — the
+        within-cluster consistency requirement."""
+        bits = 0xABCDEF0123456789ABCDEF
+        a = KWiseGenerator.from_bits(1031, 5, bits)
+        b = KWiseGenerator.from_bits(1031, 5, bits)
+        for aid in range(20):
+            assert a.bucket_value(aid, 0, 4) == b.bucket_value(aid, 0, 4)

@@ -1,0 +1,102 @@
+"""Tests for the Newman-style shared-randomness reduction (Appendix A)."""
+
+import pytest
+
+from repro._util import stable_digest
+from repro.errors import RandomnessError
+from repro.randomness import find_good_subcollection, majority_fraction
+
+
+def _noisy_equality(seed_index: int, pair) -> bool:
+    """A toy Bellagio algorithm: randomized equality test.
+
+    Correct with probability ~7/8 per seed: compares 3-bit fingerprints
+    h_seed(x) vs h_seed(y) — false positives only.
+    """
+    x, y = pair
+    hx = stable_digest("eq", seed_index, x)[0] & 0x7
+    hy = stable_digest("eq", seed_index, y)[0] & 0x7
+    return hx == hy
+
+
+class TestMajorityFraction:
+    def test_empty(self):
+        assert majority_fraction([]) == 0.0
+
+    def test_unanimous(self):
+        assert majority_fraction([1, 1, 1]) == 1.0
+
+    def test_split(self):
+        assert majority_fraction([1, 2, 1, 2]) == 0.5
+
+
+class TestFindGoodSubcollection:
+    INPUTS = [(i, j) for i in range(6) for j in range(6)]
+
+    def test_finds_subcollection(self):
+        result = find_good_subcollection(
+            run=_noisy_equality,
+            num_seeds=256,
+            inputs=self.INPUTS,
+            subcollection_size=15,
+            majority_threshold=0.6,
+            canonical=lambda pair: pair[0] == pair[1],
+            search_seed=0,
+        )
+        assert len(result.seeds) == 15
+        assert result.worst_majority >= 0.6
+
+    def test_deterministic_search(self):
+        """All nodes running the same deterministic search agree on F' —
+        the paper's consistency-without-communication argument."""
+        kwargs = dict(
+            run=_noisy_equality,
+            num_seeds=256,
+            inputs=self.INPUTS,
+            subcollection_size=15,
+            canonical=lambda pair: pair[0] == pair[1],
+            search_seed=7,
+        )
+        a = find_good_subcollection(**kwargs)
+        b = find_good_subcollection(**kwargs)
+        assert a.seeds == b.seeds
+        assert a.attempts == b.attempts
+
+    def test_majority_without_canonical(self):
+        result = find_good_subcollection(
+            run=_noisy_equality,
+            num_seeds=128,
+            inputs=self.INPUTS,
+            subcollection_size=11,
+            majority_threshold=0.6,
+            search_seed=1,
+        )
+        # without ground truth the majority must merely be consistent
+        for pair in self.INPUTS:
+            outputs = [_noisy_equality(s, pair) for s in result.seeds]
+            assert majority_fraction(outputs) >= 0.6
+
+    def test_impossible_request_raises(self):
+        # an adversarial 'algorithm' with no majority anywhere
+        def coin(seed_index, value):
+            return stable_digest(seed_index, value)[0] & 1
+
+        with pytest.raises(RandomnessError):
+            find_good_subcollection(
+                run=coin,
+                num_seeds=64,
+                inputs=list(range(64)),
+                subcollection_size=8,
+                majority_threshold=0.95,
+                search_seed=0,
+                max_attempts=10,
+            )
+
+    def test_invalid_size(self):
+        with pytest.raises(RandomnessError):
+            find_good_subcollection(
+                run=_noisy_equality,
+                num_seeds=4,
+                inputs=self.INPUTS,
+                subcollection_size=5,
+            )

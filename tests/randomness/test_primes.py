@@ -1,0 +1,57 @@
+"""Tests for prime utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RandomnessError
+from repro.randomness import bertrand_prime, is_prime, next_prime
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41}
+        for n in range(-2, 42):
+            assert is_prime(n) == (n in primes)
+
+    def test_large_prime(self):
+        assert is_prime(2**61 - 1)  # Mersenne prime
+
+    def test_large_composite(self):
+        assert not is_prime((2**31 - 1) * (2**31 + 11))
+
+    def test_carmichael_number(self):
+        assert not is_prime(561)
+        assert not is_prime(41041)
+
+
+class TestNextPrime:
+    def test_from_prime(self):
+        assert next_prime(7) == 7
+
+    def test_from_composite(self):
+        assert next_prime(8) == 11
+        assert next_prime(90) == 97
+
+    def test_small(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 2
+
+
+class TestBertrand:
+    def test_interval(self):
+        for a in (1, 2, 10, 100, 1000, 12345):
+            p = bertrand_prime(a)
+            assert a <= p <= 2 * a
+            assert is_prime(p)
+
+    def test_invalid(self):
+        with pytest.raises(RandomnessError):
+            bertrand_prime(0)
+
+
+@given(st.integers(min_value=2, max_value=10**6))
+def test_next_prime_is_prime_and_minimal(n):
+    p = next_prime(n)
+    assert is_prime(p)
+    assert all(not is_prime(m) for m in range(n, min(p, n + 50)))

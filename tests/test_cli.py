@@ -1,0 +1,30 @@
+"""Smoke tests for the ``python -m repro`` demo CLI."""
+
+import pytest
+
+from repro.__main__ import SCENARIOS, main
+
+
+def test_scenarios_registered():
+    assert {"quickstart", "figure1", "schedulers", "lowerbound", "mst"} <= set(
+        SCENARIOS
+    )
+
+
+def test_figure1_runs(capsys):
+    assert main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "communication pattern" in out
+    assert "->1" in out
+
+
+def test_quickstart_runs(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "random-delay" in out
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-demo"])

@@ -1,0 +1,37 @@
+"""Smoke tests keeping the example scripts honest.
+
+Each example must run to completion (they all self-verify internally via
+``raise_on_mismatch`` / assertions). The slowest ones are exercised by
+the CLI tests and benchmarks instead.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "concurrent_bfs_broadcast.py",
+    "packet_routing.py",
+    "congestion_profiling.py",
+    "datacenter_mix.py",
+    "lower_bound_instance.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_all_examples_present():
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert found >= set(FAST_EXAMPLES)
+    # the heavyweight ones exist too
+    assert {"kshot_mst.py", "derandomized_distinct_elements.py",
+            "private_scheduler_tour.py"} <= found

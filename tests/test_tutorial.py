@@ -1,0 +1,107 @@
+"""The tutorial's custom algorithm, tested end to end.
+
+Keeps docs/TUTORIAL.md honest: the eccentricity algorithm written there
+must actually work solo and under every scheduler.
+"""
+
+import pytest
+
+from repro.congest import Network, NodeContext, NodeProgram, solo_run, topology
+from repro.congest.program import Algorithm
+from repro.core import (
+    PrivateScheduler,
+    RandomDelayScheduler,
+    Workload,
+    capture_delay_schedule,
+)
+from repro.metrics import profile_patterns
+
+
+class _EccentricityProgram(NodeProgram):
+    def __init__(self, deadline: int):
+        super().__init__()
+        self._deadline = deadline
+        self._dist = {}
+        self._forwarded = set()
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._dist[ctx.node] = 0
+        ctx.send_all((0, ctx.node))
+
+    def _forward(self, ctx: NodeContext) -> None:
+        candidates = [
+            (d, o)
+            for o, d in self._dist.items()
+            if (d, o) not in self._forwarded
+        ]
+        if candidates:
+            best = min(candidates)
+            self._forwarded.add(best)
+            ctx.send_all(best)
+
+    def on_round(self, ctx: NodeContext, inbox) -> None:
+        for sender, (dist, origin) in sorted(inbox.items()):
+            if origin not in self._dist or dist + 1 < self._dist[origin]:
+                self._dist[origin] = dist + 1
+        if ctx.round >= self._deadline:
+            self.halt()
+        else:
+            self._forward(ctx)
+
+    def output(self):
+        return max(self._dist.values())
+
+
+class Eccentricity(Algorithm):
+    def __init__(self, deadline: int):
+        self.deadline = deadline
+
+    @property
+    def name(self):
+        return f"Eccentricity(T={self.deadline})"
+
+    def make_program(self, node: int, ctx: NodeContext) -> NodeProgram:
+        return _EccentricityProgram(self.deadline)
+
+    def max_rounds(self, network: Network) -> int:
+        return self.deadline + 2
+
+
+@pytest.fixture(scope="module")
+def net():
+    return topology.grid_graph(5, 5)
+
+
+def test_solo_outputs_are_eccentricities(net):
+    run = solo_run(net, Eccentricity(2 * net.num_nodes))
+    for v in net.nodes:
+        assert run.outputs[v] == net.eccentricity(v)
+
+
+def test_profile_works(net):
+    work = Workload(net, [Eccentricity(2 * net.num_nodes) for _ in range(4)])
+    profile = profile_patterns(net, work.patterns())
+    assert profile.congestion >= 4  # four copies stack on hot edges
+
+
+def test_scheduled_matches_solo(net):
+    work = Workload(net, [Eccentricity(2 * net.num_nodes) for _ in range(4)])
+    result = RandomDelayScheduler().run(work, seed=1)
+    assert result.correct
+
+
+def test_private_scheduler_handles_it(net):
+    work = Workload(net, [Eccentricity(2 * net.num_nodes) for _ in range(2)])
+    result = PrivateScheduler().run(work, seed=1)
+    assert result.correct
+
+
+def test_artifact_roundtrip(net, tmp_path):
+    from repro.core import ScheduleArtifact
+
+    work = Workload(net, [Eccentricity(2 * net.num_nodes) for _ in range(3)])
+    result = RandomDelayScheduler().run(work, seed=2)
+    artifact = capture_delay_schedule(work, result)
+    artifact.save(tmp_path / "sched.json")
+    replay = ScheduleArtifact.load(tmp_path / "sched.json").replay(work)
+    assert replay.correct
