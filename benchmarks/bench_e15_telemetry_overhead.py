@@ -1,0 +1,152 @@
+"""E15 — telemetry overhead: the NullRecorder must be free.
+
+Claims measured:
+
+* with the default ``NULL_RECORDER``, the instrumentation's entire cost
+  on a quickstart-sized workload — every ``span()`` context and every
+  ``recorder.enabled`` guard the run executes — is **under 2%** of the
+  run's wall-clock time, so observability can never silently regress the
+  hot path;
+* outputs are bit-identical with and without a live recorder (telemetry
+  is purely observational).
+
+The 2% bound is asserted structurally rather than by diffing two runs of
+the same code (which would measure only noise): we count exactly how
+many recorder touchpoints one scheduled run executes on the Null path,
+time that many no-op calls (with a 10x safety factor for the attribute
+checks), and compare against the measured run time.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms import BFS, HopBroadcast
+from repro.congest import topology
+from repro.core import PrivateScheduler, Workload
+from repro.telemetry import NULL_RECORDER, InMemoryRecorder, NullRecorder
+
+from conftest import emit
+
+
+class _CountingNullRecorder(NullRecorder):
+    """Counts recorder touchpoints while staying on the disabled path."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def span(self, name, category="phase", **attrs):
+        """Count and delegate to the no-op span."""
+        self.calls += 1
+        return super().span(name, category=category, **attrs)
+
+    def event(self, name, **attrs):
+        """Count instant events (not reached when disabled)."""
+        self.calls += 1
+
+    def counter(self, name, value=1.0):
+        """Count counter touches (not reached when disabled)."""
+        self.calls += 1
+
+    def gauge(self, name, value):
+        """Count gauge touches (not reached when disabled)."""
+        self.calls += 1
+
+    def observe(self, name, value):
+        """Count histogram touches (not reached when disabled)."""
+        self.calls += 1
+
+    def sample(self, name, value):
+        """Count samples (not reached when disabled)."""
+        self.calls += 1
+
+
+def _quickstart_workload():
+    net = topology.grid_graph(8, 8)
+    return Workload(
+        net,
+        [
+            BFS(0, hops=6),
+            BFS(63, hops=6),
+            HopBroadcast(27, "hello", 6),
+            HopBroadcast(36, "world", 6),
+        ],
+    )
+
+
+def _timed_run(work, recorder):
+    scheduler = PrivateScheduler().with_recorder(recorder)
+    start = time.perf_counter()
+    result = scheduler.run(work, seed=1)
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_null_recorder_overhead_under_2_percent(benchmark, results_dir):
+    work = _quickstart_workload()
+    work.params()  # warm the solo-run cache, as any repeated caller would
+
+    # How many touchpoints does one run execute on the Null path?
+    counting = _CountingNullRecorder()
+    _, counted_result = _timed_run(work, counting)
+    assert counted_result.correct
+
+    # Baseline: the run with the production NULL_RECORDER.
+    run_times = []
+    for _ in range(3):
+        elapsed, result = _timed_run(work, NULL_RECORDER)
+        assert result.correct
+        run_times.append(elapsed)
+    run_time = min(run_times)
+
+    # Cost of the touchpoints themselves: time 10x the counted number of
+    # no-op span entries (the dominant call shape) to bound the guards too.
+    reps = max(1, counting.calls) * 10
+    null = NULL_RECORDER
+    start = time.perf_counter()
+    for _ in range(reps):
+        with null.span("overhead", category="bench"):
+            pass
+        if null.enabled:  # pragma: no cover - never true
+            null.counter("unreachable")
+    null_ops_time = time.perf_counter() - start
+
+    overhead = null_ops_time / run_time
+    rows = [
+        [
+            counting.calls,
+            reps,
+            f"{run_time * 1e3:.1f}",
+            f"{null_ops_time * 1e6:.1f}",
+            f"{overhead * 100:.3f}%",
+        ]
+    ]
+
+    # The live recorder, for scale (reported, not asserted: it is opt-in).
+    live_time, live_result = _timed_run(work, InMemoryRecorder())
+    assert live_result.outputs == counted_result.outputs
+    rows.append(
+        [
+            "-",
+            "-",
+            f"{live_time * 1e3:.1f}",
+            "-",
+            f"{(live_time / run_time - 1) * 100:.1f}% (live)",
+        ]
+    )
+
+    emit(
+        results_dir,
+        "e15_telemetry_overhead",
+        ["touchpoints", "timed reps", "run ms", "ops us", "overhead"],
+        rows,
+        notes="NullRecorder: 10x the per-run touchpoints must cost <2% of a run",
+    )
+    assert overhead < 0.02, (
+        f"NullRecorder overhead {overhead:.2%} exceeds the 2% budget "
+        f"({counting.calls} touchpoints, run {run_time * 1e3:.1f} ms)"
+    )
+
+    benchmark.pedantic(
+        _timed_run, args=(work, NULL_RECORDER), rounds=1, iterations=1
+    )

@@ -16,20 +16,23 @@ from repro.congest import topology
 from repro.core import PrivateScheduler
 from repro.experiments import mixed_workload
 
-from conftest import emit
+from conftest import emit, make_recorder
 
 SIZES = [(5, 5), (7, 7), (9, 9), (11, 11)]
 K = 10
 
 
-def _run(net, dedup, seed=0):
+def _run(net, dedup, seed=0, recorder=None):
     work = mixed_workload(net, K, hops=3, seed=seed)
     scheduler = PrivateScheduler(dedup=dedup)
+    if recorder is not None:
+        scheduler.with_recorder(recorder)
     return work, scheduler.run(work, seed=seed)
 
 
 @pytest.mark.benchmark(group="e3")
 def test_e3_private_scheduler_bounds(benchmark, results_dir):
+    recorder = make_recorder()
     rows = []
     length_ratios = []
     pre_ratios = []
@@ -37,7 +40,7 @@ def test_e3_private_scheduler_bounds(benchmark, results_dir):
         net = topology.grid_graph(*size)
         n = net.num_nodes
         log_n = math.log2(n)
-        work, result = _run(net, dedup=True)
+        work, result = _run(net, dedup=True, recorder=recorder)
         assert result.correct
         params = work.params()
         length_bound = params.congestion + params.dilation * log_n
@@ -64,6 +67,7 @@ def test_e3_private_scheduler_bounds(benchmark, results_dir):
         ["n", "C", "D", "len", "len/(C+DlogN)", "pre", "pre/(Dlog²N)", "load", "layers"],
         rows,
         notes="T4.1: both ratios must stay O(1) as n grows",
+        recorder=recorder,
     )
     assert max(length_ratios) <= 6.0
     assert length_ratios[-1] <= 2.0 * length_ratios[0] + 0.5

@@ -4,16 +4,27 @@ Every benchmark prints a plain-text table of the experiment's rows
 (visible with ``pytest benchmarks/ --benchmark-only -s``) and stores the
 raw rows as JSON under ``benchmarks/results/`` so EXPERIMENTS.md can be
 regenerated from artifacts.
+
+Telemetry is opt-in: run with ``REPRO_TRACE=1`` and any bench that
+attaches :func:`make_recorder` to its schedulers emits a Chrome trace
+(``<name>.trace.json``, phase timings and per-round counters) next to
+its results JSON. Without the env var, :func:`make_recorder` returns the
+zero-overhead :data:`~repro.telemetry.NULL_RECORDER`, so timings stay
+untouched.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Environment variable gating trace emission.
+TRACE_ENV = "REPRO_TRACE"
 
 
 @pytest.fixture(scope="session")
@@ -22,8 +33,20 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def emit(results_dir: Path, name: str, headers, rows, notes=None) -> None:
-    """Print a table and persist it as JSON."""
+def trace_enabled() -> bool:
+    """Whether ``REPRO_TRACE`` asks benches to record telemetry."""
+    return os.environ.get(TRACE_ENV, "") not in ("", "0")
+
+
+def make_recorder():
+    """An :class:`InMemoryRecorder` when tracing is on, else the null one."""
+    from repro.telemetry import NULL_RECORDER, InMemoryRecorder
+
+    return InMemoryRecorder() if trace_enabled() else NULL_RECORDER
+
+
+def emit(results_dir: Path, name: str, headers, rows, notes=None, recorder=None) -> None:
+    """Print a table and persist it as JSON (plus a trace when recording)."""
     from repro.experiments import format_table
 
     print()
@@ -38,3 +61,12 @@ def emit(results_dir: Path, name: str, headers, rows, notes=None) -> None:
         "notes": notes or "",
     }
     (results_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+
+    if recorder is not None and recorder.enabled:
+        from repro.telemetry import summary_table, write_chrome_trace
+
+        path = write_chrome_trace(
+            recorder, results_dir / f"{name}.trace.json", process_name=name
+        )
+        print(f"--- phase timings ({path}) ---")
+        print(summary_table(recorder))

@@ -17,7 +17,10 @@ The package provides:
   and the paper's delay distributions;
 * :mod:`repro.lowerbound` — the hard instances of Theorem 3.1;
 * :mod:`repro.derandomize` — Appendix A: removing shared randomness from
-  Bellagio (pseudo-deterministic) distributed algorithms.
+  Bellagio (pseudo-deterministic) distributed algorithms;
+* :mod:`repro.telemetry` — round-level observability: recorders, a
+  metrics registry, and Chrome-trace/JSONL exporters (see
+  ``docs/OBSERVABILITY.md``).
 
 Quickstart::
 
@@ -31,10 +34,10 @@ Quickstart::
     print(result.report.summary())
 """
 
-from . import congest, metrics
+from . import congest, metrics, telemetry
 from .congest import Network, solo_run
 from .core import Workload
 
 __version__ = "1.0.0"
 
-__all__ = ["Network", "Workload", "congest", "metrics", "solo_run"]
+__all__ = ["Network", "Workload", "congest", "metrics", "solo_run", "telemetry"]

@@ -7,6 +7,15 @@ Scenarios:
 * ``schedulers``  — the full baseline comparison table
 * ``lowerbound``  — sample and attack a Theorem 3.1 hard instance
 * ``mst``         — the Section 5 congestion/dilation tradeoff
+
+Plus the telemetry subcommand::
+
+    python -m repro trace <scenario> --out trace.json [--jsonl out.jsonl]
+
+which re-runs a scenario's schedulers with an
+:class:`~repro.telemetry.InMemoryRecorder` attached and exports the
+phase spans and per-round counters as a Chrome ``trace_event`` file
+(open it in ``chrome://tracing`` or https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -15,18 +24,13 @@ import argparse
 import sys
 
 
-def _quickstart() -> None:
+def _quickstart_workload():
     from repro.algorithms import BFS, HopBroadcast
     from repro.congest import topology
-    from repro.core import (
-        PrivateScheduler,
-        RandomDelayScheduler,
-        SequentialScheduler,
-        Workload,
-    )
+    from repro.core import Workload
 
     net = topology.grid_graph(8, 8)
-    work = Workload(
+    return Workload(
         net,
         [
             BFS(0, hops=6),
@@ -35,6 +39,16 @@ def _quickstart() -> None:
             HopBroadcast(36, "world", 6),
         ],
     )
+
+
+def _quickstart() -> None:
+    from repro.core import (
+        PrivateScheduler,
+        RandomDelayScheduler,
+        SequentialScheduler,
+    )
+
+    work = _quickstart_workload()
     print(f"8x8 grid; workload {work.params()}")
     for scheduler in (
         SequentialScheduler(),
@@ -126,6 +140,73 @@ def _derandomize() -> None:
     _run_example("derandomized_distinct_elements.py")
 
 
+def _trace_targets(scenario: str, seed: int):
+    """Workload + schedulers to run under the recorder for a scenario."""
+    from repro.core import (
+        PrivateScheduler,
+        RandomDelayScheduler,
+        SequentialScheduler,
+    )
+    from repro.experiments import mixed_workload
+
+    if scenario == "quickstart":
+        return _quickstart_workload(), [
+            SequentialScheduler(),
+            RandomDelayScheduler(),
+            PrivateScheduler(),
+        ]
+    if scenario == "schedulers":
+        from repro.congest import topology
+
+        work = mixed_workload(topology.grid_graph(8, 8), 16, seed=42)
+        return work, [
+            RandomDelayScheduler(),
+            PrivateScheduler(),
+            PrivateScheduler(dedup=False),
+        ]
+    if scenario == "distributed":
+        from repro.congest import topology
+
+        work = mixed_workload(topology.grid_graph(6, 6), 8, seed=7)
+        return work, [PrivateScheduler(distributed_precomputation=True)]
+    raise SystemExit(f"scenario {scenario!r} is not traceable")
+
+
+#: Scenarios ``python -m repro trace`` accepts.
+TRACEABLE = ("quickstart", "schedulers", "distributed")
+
+
+def _trace(args) -> None:
+    from repro.telemetry import (
+        InMemoryRecorder,
+        summary_table,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    workload, schedulers = _trace_targets(args.scenario, args.seed)
+    recorder = InMemoryRecorder()
+    print(f"tracing {args.scenario}: {workload.params()}")
+    for scheduler in schedulers:
+        with recorder.span(scheduler.name, category="run"):
+            result = scheduler.with_recorder(recorder).run(
+                workload, seed=args.seed
+            )
+        result.raise_on_mismatch()
+        print(result.report.summary())
+
+    print()
+    print(summary_table(recorder))
+    path = write_chrome_trace(recorder, args.out, process_name=args.scenario)
+    print(
+        f"\nwrote {len(recorder.spans)} spans / {len(recorder.samples)} "
+        f"samples to {path}"
+    )
+    print("open it in chrome://tracing or https://ui.perfetto.dev")
+    if args.jsonl:
+        print(f"wrote JSONL event stream to {write_jsonl(recorder, args.jsonl)}")
+
+
 SCENARIOS = {
     "quickstart": _quickstart,
     "figure1": _figure1,
@@ -137,6 +218,34 @@ SCENARIOS = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro trace",
+            description="Run a scenario with telemetry and export the trace.",
+        )
+        parser.add_argument(
+            "scenario",
+            nargs="?",
+            default="quickstart",
+            choices=TRACEABLE,
+            help="which scenario to trace",
+        )
+        parser.add_argument(
+            "--out",
+            default="trace.json",
+            help="Chrome trace-event output path (default: trace.json)",
+        )
+        parser.add_argument(
+            "--jsonl", default=None, help="also write a JSONL event stream here"
+        )
+        parser.add_argument(
+            "--seed", type=int, default=1, help="scheduler seed (default: 1)"
+        )
+        _trace(parser.parse_args(argv[1:]))
+        return 0
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Demos for the Ghaffari PODC'15 scheduling reproduction.",
@@ -146,7 +255,7 @@ def main(argv=None) -> int:
         nargs="?",
         default="quickstart",
         choices=sorted(SCENARIOS),
-        help="which demo to run",
+        help="which demo to run (or 'trace' for the telemetry exporter)",
     )
     args = parser.parse_args(argv)
     SCENARIOS[args.scenario]()

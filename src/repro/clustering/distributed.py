@@ -48,6 +48,7 @@ from ..congest.program import Algorithm, NodeContext, NodeProgram
 from ..congest.simulator import Simulator
 from ..errors import ReproError
 from ..randomness.distributions import TruncatedExponential
+from ..telemetry import NULL_RECORDER, Recorder
 from .carving import ClusterLayer, draw_radii_and_labels
 from .layers import (
     Clustering,
@@ -313,6 +314,7 @@ def run_distributed_clustering(
     seed: int = 0,
     horizon_constant: float = 2.0,
     verify_sharing: bool = True,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Clustering:
     """Build the Lemma 4.2 clustering by actually running the protocol.
 
@@ -326,7 +328,7 @@ def run_distributed_clustering(
     if num_layers is None:
         num_layers = default_num_layers(network.num_nodes)
 
-    simulator = Simulator(network)
+    simulator = Simulator(network, recorder=recorder)
     layers: List[ClusterLayer] = []
     total_rounds = 0
     sharing_bits = 0
@@ -335,8 +337,15 @@ def run_distributed_clustering(
             network, radius_scale, layer_index, seed, horizon_constant
         )
         sharing_bits = protocol.num_chunks * protocol.chunk_bits
-        run = simulator.run(protocol, seed=seed, algorithm_id=("carve", layer_index))
+        with recorder.span(
+            "carve-layer-distributed", category="clustering", layer=layer_index
+        ):
+            run = simulator.run(
+                protocol, seed=seed, algorithm_id=("carve", layer_index)
+            )
         total_rounds += run.completion_round
+        if recorder.enabled:
+            recorder.counter("clustering.protocol_rounds", run.completion_round)
 
         radii, labels = draw_radii_and_labels(
             network, radius_scale, seed, layer_index, horizon_constant
@@ -351,16 +360,21 @@ def run_distributed_clustering(
 
         if verify_sharing:
             num_bits = protocol.num_chunks * protocol.chunk_bits
-            for v in network.nodes:
-                out: CarvingOutput = run.outputs[v]
-                expected = cluster_seed_bits(seed, layer_index, out.center, num_bits)
-                if len(out.chunks) != protocol.num_chunks or (
-                    out.shared_bits(protocol.chunk_bits) != expected
-                ):
-                    raise ReproError(
-                        f"sharing failed at node {v} layer {layer_index}: "
-                        f"{len(out.chunks)}/{protocol.num_chunks} chunks"
+            with recorder.span(
+                "verify-sharing", category="clustering", layer=layer_index
+            ):
+                for v in network.nodes:
+                    out: CarvingOutput = run.outputs[v]
+                    expected = cluster_seed_bits(
+                        seed, layer_index, out.center, num_bits
                     )
+                    if len(out.chunks) != protocol.num_chunks or (
+                        out.shared_bits(protocol.chunk_bits) != expected
+                    ):
+                        raise ReproError(
+                            f"sharing failed at node {v} layer {layer_index}: "
+                            f"{len(out.chunks)}/{protocol.num_chunks} chunks"
+                        )
 
     return Clustering(
         network=network,

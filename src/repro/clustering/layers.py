@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 from .._util import derive_seed
 from ..congest.network import Network
 from ..errors import CoverageError
+from ..telemetry import NULL_RECORDER, Recorder
 from .carving import ClusterLayer, carve_layer, draw_radii_and_labels
 
 __all__ = [
@@ -158,6 +159,7 @@ def build_clustering(
     seed: int = 0,
     horizon_constant: float = 2.0,
     sharing_chunks: Optional[int] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Clustering:
     """Centralized-oracle construction of the Lemma 4.2 clustering.
 
@@ -181,10 +183,15 @@ def build_clustering(
 
     layers = []
     for layer_index in range(num_layers):
-        radii, labels = draw_radii_and_labels(
-            network, radius_scale, seed, layer_index, horizon_constant
-        )
-        layers.append(carve_layer(network, radii, labels))
+        with recorder.span(
+            "carve-layer", category="clustering", layer=layer_index
+        ):
+            radii, labels = draw_radii_and_labels(
+                network, radius_scale, seed, layer_index, horizon_constant
+            )
+            layers.append(carve_layer(network, radii, labels))
+    if recorder.enabled:
+        recorder.counter("clustering.layers_built", num_layers)
 
     per_layer = horizon + (1 + horizon) + 2 * (horizon + sharing_chunks)
     return Clustering(

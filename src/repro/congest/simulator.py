@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..errors import SimulationLimitExceeded
+from ..telemetry import NULL_RECORDER, Recorder
 from .message import default_message_bits, payload_bits
 from .network import Network
 from .pattern import CommunicationPattern
@@ -75,17 +76,23 @@ class Simulator:
     message_bits:
         Per-message bit budget. ``None`` disables size enforcement;
         the default applies the ``Θ(log n)`` CONGEST budget.
+    recorder:
+        Telemetry sink; defaults to the zero-overhead
+        :data:`~repro.telemetry.NULL_RECORDER`. When enabled, each run
+        becomes a span and per-round message counts are sampled.
     """
 
     def __init__(
         self,
         network: Network,
         message_bits: Optional[int] = -1,
+        recorder: Recorder = NULL_RECORDER,
     ):
         self.network = network
         if message_bits == -1:
             message_bits = default_message_bits(network.num_nodes)
         self.message_bits = message_bits
+        self.recorder = recorder
 
     def run(
         self,
@@ -106,6 +113,20 @@ class Simulator:
         if max_rounds is None:
             max_rounds = algorithm.max_rounds(self.network)
 
+        recorder = self.recorder
+        with recorder.span(
+            f"solo:{algorithm.name}", category="simulator", algorithm_id=algorithm_id
+        ):
+            return self._run_traced(algorithm, seed, algorithm_id, max_rounds)
+
+    def _run_traced(
+        self,
+        algorithm: Algorithm,
+        seed: int,
+        algorithm_id: Any,
+        max_rounds: int,
+    ) -> SoloRun:
+        recorder = self.recorder
         network = self.network
         hosts: List[ProgramHost] = [
             ProgramHost(
@@ -138,12 +159,20 @@ class Simulator:
 
         round_index = 0
         completion_round = 0
+        previous_messages = 0
         while True:
             if all(host.halted for host in hosts):
                 completion_round = round_index
                 break
             round_index += 1
             if round_index > max_rounds:
+                if recorder.enabled:
+                    recorder.counter("sim.limit_exceeded")
+                    recorder.event(
+                        "limit-exceeded",
+                        algorithm=algorithm.name,
+                        max_rounds=max_rounds,
+                    )
                 raise SimulationLimitExceeded(
                     f"{algorithm.name} exceeded {max_rounds} rounds "
                     f"(n={network.num_nodes})"
@@ -154,7 +183,16 @@ class Simulator:
                     continue
                 inbox = deliveries.get(host.node, {})
                 enqueue(host.node, host.step(round_index, inbox), round_index + 1)
+            if recorder.enabled:
+                recorder.sample(
+                    "sim.round_messages", trace.num_messages - previous_messages
+                )
+                previous_messages = trace.num_messages
 
+        if recorder.enabled:
+            recorder.counter("sim.runs")
+            recorder.counter("sim.rounds", completion_round)
+            recorder.counter("sim.messages", trace.num_messages)
         outputs = {host.node: host.output() for host in hosts}
         return SoloRun(
             algorithm=algorithm,
@@ -173,9 +211,10 @@ def solo_run(
     algorithm_id: Any = None,
     max_rounds: Optional[int] = None,
     message_bits: Optional[int] = -1,
+    recorder: Recorder = NULL_RECORDER,
 ) -> SoloRun:
     """Convenience wrapper: ``Simulator(network).run(algorithm, ...)``."""
-    sim = Simulator(network, message_bits=message_bits)
+    sim = Simulator(network, message_bits=message_bits, recorder=recorder)
     return sim.run(
         algorithm, seed=seed, algorithm_id=algorithm_id, max_rounds=max_rounds
     )

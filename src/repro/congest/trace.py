@@ -40,7 +40,18 @@ class ExecutionTrace:
         self._num_messages += 1
 
     def record_round(self, round_index: int, sends: List[DirectedEdge]) -> None:
-        """Record a whole round's worth of directed sends."""
+        """Record a whole round's worth of directed sends.
+
+        The round slot is reserved even when ``sends`` is empty, so a
+        silent round still appears in the trace's round structure
+        (``events_at`` returns ``[]`` rather than the round being
+        indistinguishable from out-of-range). ``last_round`` still counts
+        only rounds that carried messages.
+        """
+        if round_index < 1:
+            raise ValueError("round indices are 1-based")
+        while len(self._rounds) < round_index:
+            self._rounds.append([])
         for sender, receiver in sends:
             self.record(round_index, sender, receiver)
 

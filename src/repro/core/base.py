@@ -15,6 +15,7 @@ from typing import Any, List
 
 from ..errors import VerificationError
 from ..metrics.schedule import ScheduleReport
+from ..telemetry import NULL_RECORDER, Recorder
 from .workload import OutputMap, Workload
 
 __all__ = ["ScheduleResult", "Scheduler", "verify_outputs", "Mismatch"]
@@ -79,6 +80,19 @@ class Scheduler(ABC):
     #: Human-readable scheduler name for reports.
     name: str = "scheduler"
 
+    #: Telemetry sink. The class-level default is the zero-overhead
+    #: :data:`~repro.telemetry.NULL_RECORDER`; attach an
+    #: :class:`~repro.telemetry.InMemoryRecorder` via
+    #: :meth:`with_recorder` to collect phase spans and round metrics.
+    #: Recorders never touch randomness, so attaching one cannot change
+    #: outputs or reports (beyond filling ``report.telemetry``).
+    recorder: Recorder = NULL_RECORDER
+
+    def with_recorder(self, recorder: Recorder) -> "Scheduler":
+        """Attach a telemetry recorder; returns ``self`` for chaining."""
+        self.recorder = recorder
+        return self
+
     @abstractmethod
     def run(self, workload: Workload, seed: int = 0) -> ScheduleResult:
         """Schedule the workload; return outputs and a report.
@@ -92,6 +106,15 @@ class Scheduler(ABC):
         self, workload: Workload, outputs: OutputMap, report: ScheduleReport
     ) -> ScheduleResult:
         """Verify outputs, stamp the report, and wrap up."""
-        mismatches = verify_outputs(workload, outputs)
+        recorder = self.recorder
+        with recorder.span("verify-outputs", category="scheduler"):
+            mismatches = verify_outputs(workload, outputs)
         report.correct = not mismatches
+        if recorder.enabled:
+            recorder.counter("scheduler.mismatches", len(mismatches))
+            recorder.gauge("scheduler.length_rounds", report.length_rounds)
+            recorder.gauge(
+                "scheduler.precomputation_rounds", report.precomputation_rounds
+            )
+            report.telemetry = recorder.snapshot()
         return ScheduleResult(outputs=outputs, report=report, mismatches=mismatches)

@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..clustering.layers import Clustering
 from ..congest.program import ProgramHost
 from ..errors import CoverageError, ReproError, SimulationLimitExceeded
+from ..telemetry import NULL_RECORDER, Recorder
 from .workload import OutputMap, Workload
 
 __all__ = ["ClusterExecution", "run_cluster_copies", "select_output_layers"]
@@ -146,6 +147,7 @@ def run_cluster_copies(
     dedup: bool = True,
     output_layers: Optional[Dict[Tuple[int, int], int]] = None,
     max_big_rounds: Optional[int] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> ClusterExecution:
     """Execute every (layer, cluster, algorithm) copy under big-round delays.
 
@@ -153,6 +155,10 @@ def run_cluster_copies(
     function of the cluster's shared randomness only (the same value for
     every member), which the callers guarantee by deriving it from
     :func:`repro.clustering.layers.cluster_seed_bits`.
+
+    When ``recorder`` is enabled, each big-round samples the number of
+    active copies, messages transmitted, and the max directed-edge load,
+    and the dedup/truncation totals become counters.
     """
     network = workload.network
     solo = workload.solo_runs()
@@ -240,6 +246,11 @@ def run_cluster_copies(
     while remaining > 0:
         big_round += 1
         if big_round > max_big_rounds:
+            if recorder.enabled:
+                recorder.counter("cluster.limit_exceeded")
+                recorder.event(
+                    "limit-exceeded", engine="cluster", cap=max_big_rounds
+                )
             raise SimulationLimitExceeded(
                 f"cluster engine exceeded {max_big_rounds} big-rounds"
             )
@@ -338,12 +349,26 @@ def run_cluster_copies(
             top = max(loads.values())
             max_load = max(max_load, top)
             load_histogram.update(loads.values())
+        if recorder.enabled:
+            recorder.sample("cluster.active_copies", len(active))
+            recorder.sample("cluster.round_messages", sum(loads.values()))
+            recorder.sample(
+                "cluster.max_edge_load", max(loads.values()) if loads else 0
+            )
     if carried:
         # Final emissions that never traversed (all receivers done) still
         # occupied their big-round.
         last_active = big_round + 1
         max_load = max(max_load, max(carried.values()))
         load_histogram.update(carried.values())
+
+    if recorder.enabled:
+        recorder.counter("cluster.big_rounds", last_active + 1)
+        recorder.counter("cluster.messages_sent", messages_sent)
+        recorder.counter("cluster.messages_deduplicated", messages_deduplicated)
+        recorder.counter("cluster.messages_truncated", messages_truncated)
+        recorder.counter("cluster.copies", len(copies))
+        recorder.observe("cluster.max_load", max_load)
 
     # Collect outputs from the chosen layers.
     outputs: OutputMap = {}

@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence
 
 
 from ..metrics.schedule import ScheduleReport, phase_schedule_length
+from ..telemetry import NULL_RECORDER, Recorder
 from .base import Scheduler
 from .phase_engine import run_delayed_phases
 from .workload import Workload
@@ -37,13 +38,17 @@ def execute_with_delays(
     phase_size: int,
     precomputation_rounds: int = 0,
     notes: Optional[Dict] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> tuple:
     """Run the phase engine and build the report (not yet verified).
 
     Returns ``(outputs, report)``; the caller passes them through
     :meth:`Scheduler._finish` for verification.
     """
-    execution = run_delayed_phases(workload, delays)
+    with recorder.span(
+        "phase-execution", category="scheduler", scheduler=scheduler_name
+    ):
+        execution = run_delayed_phases(workload, delays, recorder=recorder)
     params = workload.params()
     report = ScheduleReport(
         scheduler=scheduler_name,

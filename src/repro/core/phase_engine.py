@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..congest.program import ProgramHost
 from ..errors import SimulationLimitExceeded
+from ..telemetry import NULL_RECORDER, Recorder
 from .workload import OutputMap, Workload
 
 __all__ = ["PhaseExecution", "run_delayed_phases"]
@@ -58,6 +59,7 @@ def run_delayed_phases(
     delays: Sequence[int],
     max_phases: Optional[int] = None,
     collect_histogram: bool = True,
+    recorder: Recorder = NULL_RECORDER,
 ) -> PhaseExecution:
     """Execute all algorithms with per-algorithm phase delays.
 
@@ -73,6 +75,9 @@ def run_delayed_phases(
         Safety cap (defaults to a generous bound from the workload).
     collect_histogram:
         Disable to save memory on very large runs (max load still kept).
+    recorder:
+        Telemetry sink; when enabled, per-phase message counts, active
+        algorithm counts, and max loads are sampled.
     """
     network = workload.network
     k = workload.num_algorithms
@@ -111,6 +116,9 @@ def run_delayed_phases(
     while not all(done):
         phase += 1
         if phase > max_phases:
+            if recorder.enabled:
+                recorder.counter("phase.limit_exceeded")
+                recorder.event("limit-exceeded", engine="phase", cap=max_phases)
             raise SimulationLimitExceeded(
                 f"phase engine exceeded {max_phases} phases"
             )
@@ -174,6 +182,18 @@ def run_delayed_phases(
             max_phase_load = max(max_phase_load, top)
             if collect_histogram:
                 load_histogram.update(phase_loads.values())
+        if recorder.enabled:
+            recorder.sample("phase.messages", sum(phase_loads.values()))
+            recorder.sample("phase.active_algorithms", sum(active))
+            recorder.sample(
+                "phase.max_edge_load",
+                max(phase_loads.values()) if phase_loads else 0,
+            )
+
+    if recorder.enabled:
+        recorder.counter("phase.phases", last_active_phase + 1)
+        recorder.counter("phase.messages", messages)
+        recorder.observe("phase.max_load", max_phase_load)
 
     outputs: OutputMap = {}
     for aid in range(k):

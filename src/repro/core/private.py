@@ -117,23 +117,40 @@ class PrivateScheduler(Scheduler):
         )
         if self.distributed_precomputation:
             return run_distributed_clustering(
-                workload.network, radius_scale, num_layers, seed=seed
+                workload.network,
+                radius_scale,
+                num_layers,
+                seed=seed,
+                recorder=self.recorder,
             )
         return build_clustering(
-            workload.network, radius_scale, num_layers, seed=seed
+            workload.network,
+            radius_scale,
+            num_layers,
+            seed=seed,
+            recorder=self.recorder,
         )
 
     def _ensure_coverage(self, workload: Workload, clustering: Clustering):
         """Select output layers, extending the clustering on coverage gaps."""
+        recorder = self.recorder
         for attempt in range(self.max_coverage_retries + 1):
             try:
                 return clustering, select_output_layers(workload, clustering)
             except CoverageError:
+                if recorder.enabled:
+                    recorder.counter("scheduler.coverage_retries")
+                    recorder.event(
+                        "coverage-retry",
+                        attempt=attempt,
+                        num_layers=clustering.num_layers,
+                    )
                 if attempt == self.max_coverage_retries:
                     raise
-                clustering = extend_clustering(
-                    clustering, max(2, clustering.num_layers)
-                )
+                with recorder.span("extend-clustering", category="clustering"):
+                    clustering = extend_clustering(
+                        clustering, max(2, clustering.num_layers)
+                    )
         raise AssertionError("unreachable")
 
     def _delay_distribution(self, workload: Workload, num_layers: int):
@@ -152,24 +169,44 @@ class PrivateScheduler(Scheduler):
     # ------------------------------------------------------------------
 
     def run(self, workload: Workload, seed: int = 0) -> ScheduleResult:
-        params = workload.params()
+        recorder = self.recorder
+        with recorder.span("measure-params", category="scheduler"):
+            params = workload.params()
         n = workload.network.num_nodes
 
-        clustering = self.clustering or self._build_clustering(workload, seed)
-        clustering, output_layers = self._ensure_coverage(workload, clustering)
+        with recorder.span(
+            "clustering",
+            category="scheduler",
+            distributed=self.distributed_precomputation,
+            prebuilt=self.clustering is not None,
+        ):
+            clustering = self.clustering or self._build_clustering(workload, seed)
+        with recorder.span("select-output-layers", category="scheduler"):
+            clustering, output_layers = self._ensure_coverage(workload, clustering)
 
-        distribution = self._delay_distribution(workload, clustering.num_layers)
-        sampler = ClusterDelaySampler(
-            clustering, workload.num_algorithms, distribution
-        )
+        with recorder.span(
+            "delay-sampling", category="scheduler", dedup=self.dedup
+        ):
+            distribution = self._delay_distribution(
+                workload, clustering.num_layers
+            )
+            sampler = ClusterDelaySampler(
+                clustering, workload.num_algorithms, distribution
+            )
 
-        execution = run_cluster_copies(
-            workload,
-            clustering,
-            sampler.delay,
-            dedup=self.dedup,
-            output_layers=output_layers,
-        )
+        with recorder.span(
+            "cluster-copies",
+            category="scheduler",
+            num_layers=clustering.num_layers,
+        ):
+            execution = run_cluster_copies(
+                workload,
+                clustering,
+                sampler.delay,
+                dedup=self.dedup,
+                output_layers=output_layers,
+                recorder=recorder,
+            )
 
         phase_size = phase_size_log(n, self.phase_constant)
         report = ScheduleReport(

@@ -98,17 +98,25 @@ class RandomDelayScheduler(Scheduler):
         return delays, bits_needed
 
     def run(self, workload: Workload, seed: int = 0) -> ScheduleResult:
-        params = workload.params()
+        recorder = self.recorder
+        with recorder.span("measure-params", category="scheduler"):
+            params = workload.params()
         n = workload.network.num_nodes
         phase_size = self.phase_size_override or phase_size_log(
             n, self.phase_constant
         )
         delay_range = self.delay_range(params.congestion, phase_size)
-        delays, bits = self._sample_delays(workload, delay_range, seed)
+        with recorder.span(
+            "sample-delays",
+            category="scheduler",
+            delay_range=delay_range,
+            bounded_independence=self.bounded_independence,
+        ):
+            delays, bits = self._sample_delays(workload, delay_range, seed)
         notes = {"delay_range": delay_range}
         if bits is not None:
             notes["shared_seed_bits"] = bits
         outputs, report = execute_with_delays(
-            self.name, workload, delays, phase_size, notes=notes
+            self.name, workload, delays, phase_size, notes=notes, recorder=recorder
         )
         return self._finish(workload, outputs, report)

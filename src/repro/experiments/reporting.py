@@ -10,19 +10,30 @@ __all__ = ["format_table", "save_json"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
-    """Render an aligned plain-text table (benches print these)."""
+    """Render an aligned plain-text table (benches print these).
+
+    Ragged rows are tolerated: rows shorter than the widest row (or the
+    header) are padded with empty cells, and rows longer than the header
+    simply widen the table.
+    """
     cells = [[str(h) for h in headers]] + [
         [str(c) for c in row] for row in rows
     ]
-    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    num_columns = max(len(row) for row in cells)
+    if num_columns == 0:
+        return ""
+    cells = [row + [""] * (num_columns - len(row)) for row in cells]
+    widths = [max(len(row[i]) for row in cells) for i in range(num_columns)]
     lines = []
     for index, row in enumerate(cells):
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
         if index == 0:
-            lines.append("  ".join("-" * w for w in widths))
+            lines.append("  ".join("-" * w for w in widths).rstrip())
     return "\n".join(lines)
 
 
 def save_json(path: str | Path, payload: Dict[str, Any]) -> None:
-    """Write experiment results as pretty JSON."""
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    """Write experiment results as pretty JSON, creating parent dirs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))

@@ -53,6 +53,9 @@ class ScheduleReport:
     messages_deduplicated: Optional[int] = None
     load_histogram: Optional[Counter] = None
     notes: Dict[str, Any] = field(default_factory=dict)
+    #: Metrics snapshot from the run's recorder (``None`` when the run
+    #: used the default :data:`~repro.telemetry.NULL_RECORDER`).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def total_rounds(self) -> int:

@@ -1,0 +1,53 @@
+"""Round-level telemetry: spans, metrics, and trace exporters.
+
+The paper's concluding remarks argue that congestion must be tracked
+*alongside* dilation — message complexity alone "does not characterize
+the related congestion". This package gives every run the machinery to
+see where rounds, messages, and wall-clock time actually go:
+
+* :class:`Recorder` — the interface; :data:`NULL_RECORDER` (the default
+  everywhere) records nothing at zero cost, :class:`InMemoryRecorder`
+  collects spans, events, per-round samples, and metrics;
+* :class:`MetricsRegistry` — counters / gauges / histograms with a
+  JSON-friendly snapshot, merged into
+  :class:`~repro.metrics.schedule.ScheduleReport` when recording;
+* exporters — Chrome ``trace_event`` JSON (open in ``chrome://tracing``
+  or Perfetto), JSONL, and an aligned text summary.
+
+See ``docs/OBSERVABILITY.md`` for the full guide, or try::
+
+    python -m repro trace quickstart --out trace.json
+"""
+
+from .export import (
+    chrome_trace,
+    jsonl_records,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import HistogramStats, MetricsRegistry
+from .recorder import (
+    NULL_RECORDER,
+    EventRecord,
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    SpanRecord,
+)
+
+__all__ = [
+    "EventRecord",
+    "HistogramStats",
+    "InMemoryRecorder",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SpanRecord",
+    "chrome_trace",
+    "jsonl_records",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+]

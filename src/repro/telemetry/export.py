@@ -1,0 +1,199 @@
+"""Exporters: turn an :class:`InMemoryRecorder` into shareable artifacts.
+
+Three formats:
+
+* **Chrome trace events** (:func:`chrome_trace` / :func:`write_chrome_trace`)
+  — the ``trace_event`` JSON understood by ``chrome://tracing`` and
+  `Perfetto <https://ui.perfetto.dev>`_. Spans become complete (``"X"``)
+  events, instant events become ``"i"``, and per-round samples become
+  counter (``"C"``) tracks, so a scheduled execution renders as a real
+  timeline: clustering, sharing, per-round load curves.
+* **JSONL** (:func:`jsonl_records` / :func:`write_jsonl`) — one JSON
+  object per record, trivially greppable and streamable.
+* **Plain-text summary** (:func:`summary_table`) — spans aggregated by
+  name plus the metrics snapshot, rendered with
+  :func:`repro.experiments.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+from .recorder import InMemoryRecorder
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_records",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _micros(recorder: InMemoryRecorder, ts: float) -> float:
+    """Chrome traces use microseconds; anchor at the recorder's origin."""
+    return recorder.relative(ts) * 1e6
+
+
+def chrome_trace(
+    recorder: InMemoryRecorder, process_name: str = "repro"
+) -> Dict[str, Any]:
+    """The recorder's data as a Chrome ``trace_event`` JSON object."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in recorder.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": _micros(recorder, span.start),
+                "dur": max(span.duration, 0.0) * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": {str(k): v for k, v in span.attrs.items()},
+            }
+        )
+    for event in recorder.events:
+        events.append(
+            {
+                "name": event.name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": _micros(recorder, event.ts),
+                "pid": 0,
+                "tid": 0,
+                "args": {str(k): v for k, v in event.attrs.items()},
+            }
+        )
+    for name, ts, value in recorder.samples:
+        events.append(
+            {
+                "name": name,
+                "cat": "sample",
+                "ph": "C",
+                "ts": _micros(recorder, ts),
+                "pid": 0,
+                "args": {"value": value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    recorder: InMemoryRecorder,
+    path: Union[str, Path],
+    process_name: str = "repro",
+) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(recorder, process_name), default=str))
+    return path
+
+
+def jsonl_records(recorder: InMemoryRecorder) -> Iterator[Dict[str, Any]]:
+    """Yield every record as a JSON-friendly dict, metrics last."""
+    for span in recorder.spans:
+        yield {
+            "type": "span",
+            "name": span.name,
+            "category": span.category,
+            "start": recorder.relative(span.start),
+            "duration": span.duration,
+            "depth": span.depth,
+            "attrs": span.attrs,
+        }
+    for event in recorder.events:
+        yield {
+            "type": "event",
+            "name": event.name,
+            "ts": recorder.relative(event.ts),
+            "attrs": event.attrs,
+        }
+    for name, ts, value in recorder.samples:
+        yield {
+            "type": "sample",
+            "name": name,
+            "ts": recorder.relative(ts),
+            "value": value,
+        }
+    yield {"type": "metrics", **recorder.snapshot()}
+
+
+def write_jsonl(recorder: InMemoryRecorder, path: Union[str, Path]) -> Path:
+    """Write the JSONL event stream; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in jsonl_records(recorder):
+            handle.write(json.dumps(record, default=str))
+            handle.write("\n")
+    return path
+
+
+def summary_table(recorder: InMemoryRecorder) -> str:
+    """Aggregated spans + metrics as aligned plain-text tables."""
+    from ..experiments.reporting import format_table
+
+    by_name: Dict[str, List[float]] = {}
+    categories: Dict[str, str] = {}
+    for span in recorder.spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+        categories.setdefault(span.name, span.category)
+
+    sections: List[str] = []
+    if by_name:
+        rows = [
+            [
+                name,
+                categories[name],
+                len(durations),
+                f"{sum(durations) * 1e3:.3f}",
+                f"{sum(durations) / len(durations) * 1e3:.3f}",
+                f"{max(durations) * 1e3:.3f}",
+            ]
+            for name, durations in sorted(
+                by_name.items(), key=lambda kv: -sum(kv[1])
+            )
+        ]
+        sections.append(
+            format_table(
+                ["span", "category", "count", "total ms", "mean ms", "max ms"],
+                rows,
+            )
+        )
+
+    snapshot = recorder.snapshot()
+    counter_rows = [
+        [name, value] for name, value in sorted(snapshot["counters"].items())
+    ] + [[name, value] for name, value in sorted(snapshot["gauges"].items())]
+    if counter_rows:
+        sections.append(format_table(["metric", "value"], counter_rows))
+    histogram_rows = [
+        [
+            name,
+            stats["count"],
+            stats["min"],
+            f"{stats['mean']:.2f}",
+            stats["max"],
+        ]
+        for name, stats in sorted(snapshot["histograms"].items())
+    ]
+    if histogram_rows:
+        sections.append(
+            format_table(["histogram", "count", "min", "mean", "max"], histogram_rows)
+        )
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n\n".join(sections)

@@ -1,0 +1,107 @@
+"""A small metrics registry: counters, gauges, histograms.
+
+The registry is deliberately simple — plain dicts keyed by metric name,
+no labels, no time — because its job is to summarize *one* run (one
+scheduled execution, one benchmark) into a JSON-friendly snapshot that
+:class:`~repro.metrics.schedule.ScheduleReport` can carry. Time-series
+data (per-round message counts and loads) lives in the recorder's
+``samples`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["HistogramStats", "MetricsRegistry"]
+
+
+@dataclass
+class HistogramStats:
+    """Streaming summary of one histogram's observations."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Average of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary dict."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Counters (monotonic sums), gauges (last value), histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramStats] = {}
+
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one observation into histogram ``name``."""
+        stats = self.histograms.get(name)
+        if stats is None:
+            stats = self.histograms[name] = HistogramStats()
+        stats.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters add, gauges
+        overwrite, histograms combine)."""
+        for name, value in other.counters.items():
+            self.counter_add(name, value)
+        self.gauges.update(other.gauges)
+        for name, stats in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = HistogramStats()
+            mine.count += stats.count
+            mine.total += stats.total
+            mine.minimum = min(mine.minimum, stats.minimum)
+            mine.maximum = max(mine.maximum, stats.maximum)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dict of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: stats.as_dict() for name, stats in self.histograms.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )

@@ -59,6 +59,29 @@ class TestTrace:
         assert trace.num_messages == 2
         assert trace.last_round == 2
 
+    def test_record_round_empty_reserves_slot(self):
+        """An empty round still occupies a slot in the round structure,
+        without counting as traffic."""
+        trace = ExecutionTrace()
+        trace.record_round(3, [])
+        assert trace.num_messages == 0
+        assert trace.last_round == 0
+        assert trace.events_at(3) == []
+        # the reserved slot is then fillable in any order
+        trace.record_round(3, [(0, 1)])
+        trace.record_round(1, [(1, 2)])
+        assert trace.last_round == 3
+        assert trace.events_at(1) == [(1, 2)]
+
+    def test_record_round_validates_one_based_index(self):
+        trace = ExecutionTrace()
+        with pytest.raises(ValueError):
+            trace.record_round(0, [])
+        with pytest.raises(ValueError):
+            trace.record_round(0, [(0, 1)])
+        with pytest.raises(ValueError):
+            trace.record(-1, 0, 1)
+
     def test_max_edge_rounds(self):
         trace = ExecutionTrace()
         for r in range(1, 6):

@@ -107,3 +107,22 @@ class TestReporting:
         path = tmp_path / "out.json"
         save_json(path, {"x": 1, "nested": {"y": [1, 2]}})
         assert json.loads(path.read_text()) == {"x": 1, "nested": {"y": [1, 2]}}
+
+    def test_save_json_creates_parent_dirs(self, tmp_path):
+        """Fresh result dirs must not crash the first save."""
+        path = tmp_path / "results" / "2026" / "out.json"
+        save_json(path, {"x": 1})
+        assert json.loads(path.read_text()) == {"x": 1}
+
+    def test_format_table_pads_short_rows(self):
+        text = format_table(["a", "bb", "ccc"], [[1], [1, 2, 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[2] == "1"
+
+    def test_format_table_tolerates_long_rows(self):
+        text = format_table(["a"], [[1, "overflow"]])
+        assert "overflow" in text
+
+    def test_format_table_empty(self):
+        assert format_table([], []) == ""

@@ -5,6 +5,7 @@ import pytest
 from repro.algorithms import BFS, PathToken
 from repro.congest import CommunicationPattern, solo_run, topology
 from repro.metrics import profile_patterns
+from repro.metrics.profile import CongestionProfile
 
 
 class TestCongestionProfile:
@@ -14,6 +15,25 @@ class TestCongestionProfile:
         assert profile.message_complexity == 0
         assert profile.gini == 0.0
         assert profile.concentration == 0.0
+
+    def test_gini_degenerate_empty_profile(self):
+        """No edges at all: every statistic collapses to zero."""
+        profile = CongestionProfile(per_edge={}, message_complexity=0)
+        assert profile.gini == 0.0
+        assert profile.congestion == 0
+        assert profile.mean_load == 0.0
+        assert profile.concentration == 0.0
+
+    def test_gini_degenerate_single_edge(self):
+        """One edge carrying all load is 'perfectly equal' among itself."""
+        profile = CongestionProfile(per_edge={(0, 1): 7}, message_complexity=7)
+        assert profile.gini == pytest.approx(0.0)
+        assert profile.congestion == 7
+        assert profile.concentration == pytest.approx(1.0)
+
+    def test_gini_single_zero_load_edge(self):
+        profile = CongestionProfile(per_edge={(0, 1): 0}, message_complexity=0)
+        assert profile.gini == 0.0
 
     def test_uniform_load_concentration_one(self):
         net = topology.cycle_graph(6)

@@ -1,0 +1,92 @@
+"""Tests for the Chrome-trace, JSONL, and summary exporters."""
+
+import json
+
+from repro.telemetry import (
+    InMemoryRecorder,
+    chrome_trace,
+    jsonl_records,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_recorder() -> InMemoryRecorder:
+    recorder = InMemoryRecorder()
+    with recorder.span("clustering", category="scheduler", layers=4):
+        with recorder.span("carve-layer", category="clustering", layer=0):
+            pass
+    recorder.event("coverage-retry", attempt=0)
+    recorder.sample("round_messages", 12)
+    recorder.sample("round_messages", 7)
+    recorder.counter("messages", 19)
+    recorder.gauge("length", 42)
+    recorder.observe("load", 3)
+    return recorder
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        trace = chrome_trace(_sample_recorder(), process_name="unit")
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        meta = [e for e in events if e["ph"] == "M"][0]
+        assert meta["args"]["name"] == "unit"
+
+    def test_span_events_are_complete_events(self):
+        trace = chrome_trace(_sample_recorder())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {s["name"] for s in spans} == {"clustering", "carve-layer"}
+        for span in spans:
+            assert span["ts"] >= 0.0
+            assert span["dur"] >= 0.0
+            assert span["pid"] == 0 and span["tid"] == 0
+        carve = next(s for s in spans if s["name"] == "carve-layer")
+        assert carve["args"]["layer"] == 0
+        assert carve["cat"] == "clustering"
+
+    def test_counter_samples(self):
+        trace = chrome_trace(_sample_recorder())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert [c["args"]["value"] for c in counters] == [12, 7]
+        # timestamps are monotonically non-decreasing
+        assert counters[0]["ts"] <= counters[1]["ts"]
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = write_chrome_trace(
+            _sample_recorder(), tmp_path / "sub" / "trace.json"
+        )
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+        assert len(loaded["traceEvents"]) == 1 + 2 + 1 + 2
+
+
+class TestJsonl:
+    def test_records_cover_everything(self):
+        records = list(jsonl_records(_sample_recorder()))
+        kinds = [r["type"] for r in records]
+        assert kinds.count("span") == 2
+        assert kinds.count("event") == 1
+        assert kinds.count("sample") == 2
+        assert kinds[-1] == "metrics"
+        assert records[-1]["counters"] == {"messages": 19}
+
+    def test_write_jsonl(self, tmp_path):
+        path = write_jsonl(_sample_recorder(), tmp_path / "events.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 6
+        assert lines[-1]["type"] == "metrics"
+
+
+class TestSummaryTable:
+    def test_contains_spans_and_metrics(self):
+        text = summary_table(_sample_recorder())
+        assert "clustering" in text
+        assert "messages" in text
+        assert "load" in text
+
+    def test_empty_recorder(self):
+        assert summary_table(InMemoryRecorder()) == "(no telemetry recorded)"

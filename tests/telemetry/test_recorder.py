@@ -1,0 +1,144 @@
+"""Tests for the recorder implementations and the metrics registry."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import (
+    NULL_RECORDER,
+    InMemoryRecorder,
+    MetricsRegistry,
+    NullRecorder,
+)
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert NullRecorder().enabled is False
+
+    def test_every_method_is_a_noop(self):
+        recorder = NullRecorder()
+        with recorder.span("anything", category="x", foo=1):
+            recorder.event("e", detail="d")
+            recorder.counter("c")
+            recorder.counter("c", 5)
+            recorder.gauge("g", 1.5)
+            recorder.observe("h", 2.0)
+            recorder.sample("s", 3)
+        assert recorder.snapshot() == {}
+
+    def test_span_reusable_and_exception_transparent(self):
+        recorder = NullRecorder()
+        span = recorder.span("a")
+        with span:
+            pass
+        with pytest.raises(ReproError):
+            with recorder.span("b"):
+                raise ReproError("propagates")
+
+
+class TestInMemoryRecorder:
+    def test_spans_record_timing_and_attrs(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("outer", category="test", layer=3):
+            with recorder.span("inner"):
+                pass
+        names = [s.name for s in recorder.spans]
+        # inner closes first
+        assert names == ["inner", "outer"]
+        inner, outer = recorder.spans
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.attrs == {"layer": 3}
+        assert outer.category == "test"
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.start <= inner.start
+
+    def test_span_records_exception_and_propagates(self):
+        recorder = InMemoryRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("failing"):
+                raise ValueError("boom")
+        (span,) = recorder.spans
+        assert span.attrs["error"] == "ValueError"
+
+    def test_span_set_attaches_attrs(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("s") as span:
+            span.set(result=42)
+        assert recorder.spans[0].attrs["result"] == 42
+
+    def test_events_and_samples_are_timestamped(self):
+        recorder = InMemoryRecorder()
+        recorder.event("tick", round=1)
+        recorder.sample("load", 7)
+        (event,) = recorder.events
+        assert event.name == "tick"
+        assert recorder.relative(event.ts) >= 0.0
+        ((name, ts, value),) = recorder.samples
+        assert (name, value) == ("load", 7)
+        assert recorder.relative(ts) >= 0.0
+
+    def test_metrics_snapshot(self):
+        recorder = InMemoryRecorder()
+        recorder.counter("msgs", 3)
+        recorder.counter("msgs")
+        recorder.gauge("depth", 2)
+        recorder.observe("lat", 1.0)
+        recorder.observe("lat", 3.0)
+        snap = recorder.snapshot()
+        assert snap["counters"]["msgs"] == 4
+        assert snap["gauges"]["depth"] == 2
+        assert snap["histograms"]["lat"] == {
+            "count": 2,
+            "total": 4.0,
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+        }
+
+    def test_query_helpers(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("a"):
+            pass
+        with recorder.span("a"):
+            pass
+        with recorder.span("b"):
+            pass
+        assert len(recorder.spans_named("a")) == 2
+        assert recorder.total_seconds("a") >= 0.0
+        assert recorder.spans_named("missing") == []
+
+
+class TestMetricsRegistry:
+    def test_empty_snapshot(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_empty_histogram_as_dict_is_finite(self):
+        from repro.telemetry import HistogramStats
+
+        stats = HistogramStats()
+        assert stats.as_dict() == {
+            "count": 0,
+            "total": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+        }
+
+    def test_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter_add("c", 1)
+        b.counter_add("c", 2)
+        b.counter_add("only_b")
+        a.gauge_set("g", 1)
+        b.gauge_set("g", 9)
+        a.observe("h", 1.0)
+        b.observe("h", 5.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"] == {"c": 3, "only_b": 1}
+        assert snap["gauges"]["g"] == 9
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["max"] == 5.0

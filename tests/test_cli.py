@@ -28,3 +28,29 @@ def test_quickstart_runs(capsys):
 def test_unknown_scenario_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-demo"])
+
+
+def test_trace_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "events.jsonl"
+    assert main(["trace", "quickstart", "--out", str(out), "--jsonl", str(jsonl)]) == 0
+    trace = json.loads(out.read_text())
+    span_names = {
+        e["name"] for e in trace["traceEvents"] if e["ph"] == "X"
+    }
+    # scheduler phases appear as spans...
+    assert {"clustering", "cluster-copies", "phase-execution", "verify-outputs"} <= span_names
+    # ... and per-round counters as counter tracks
+    counter_names = {
+        e["name"] for e in trace["traceEvents"] if e["ph"] == "C"
+    }
+    assert "cluster.round_messages" in counter_names
+    assert jsonl.exists()
+    assert "perfetto" in capsys.readouterr().out
+
+
+def test_trace_rejects_untraceable_scenario(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "figure1", "--out", str(tmp_path / "t.json")])

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "congestion_profiling.py",
     "datacenter_mix.py",
     "lower_bound_instance.py",
+    "traced_schedule.py",
 ]
 
 
