@@ -1,0 +1,112 @@
+"""E16 — fault sweep: survival and verification under seeded message loss.
+
+Claims measured:
+
+* a **raw** schedule degrades as the per-message drop probability grows
+  — some (algorithm, node) outputs diverge from the solo references;
+* the **resilient** schedule (every algorithm wrapped in the
+  ACK/retransmission transport of :mod:`repro.faults.retransmit`) keeps
+  verifying at moderate loss: at the canonical 5% drop rate the wrapped
+  workload must pass output verification exactly (asserted);
+* the fault-free point of the sweep is bit-identical for raw and
+  resilient modes (transparency of the wrapper, asserted);
+* all of it is exactly reproducible: the injected faults are a pure
+  function of the plan seed, so the emitted survival curve is stable.
+
+The sweep emits ``benchmarks/results/e16_fault_sweep.json`` with one row
+per (drop probability, mode): verification status, per-algorithm
+survival, fault counters, and retransmission totals — the survival
+curve EXPERIMENTS.md plots.
+"""
+
+import pytest
+
+from repro.congest import topology
+from repro.core import RandomDelayScheduler
+from repro.experiments import mixed_workload
+from repro.faults import FaultPlan, wrap_workload
+
+from conftest import emit, make_recorder
+
+#: Drop probabilities swept (the survival-curve x-axis).
+DROPS = (0.0, 0.02, 0.05, 0.10, 0.20)
+
+#: Retransmissions per message for the resilient mode.
+MAX_RETRIES = 3
+
+#: Fault-plan seed — the whole sweep is a pure function of it.
+FAULT_SEED = 7
+
+
+def _run_point(workload, drop, seed):
+    plan = FaultPlan.message_drop(drop, seed=FAULT_SEED)
+    scheduler = RandomDelayScheduler().with_faults(plan)
+    result = scheduler.run_resilient(workload, seed=seed)
+    return result
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_fault_sweep_survival_curve(benchmark, results_dir):
+    net = topology.grid_graph(5, 5)
+    work = mixed_workload(net, 4, seed=11)
+    work.params()  # warm the solo-run cache (the pristine references)
+    wrapped = wrap_workload(work, max_retries=MAX_RETRIES)
+    wrapped.params()
+    k = work.num_algorithms
+
+    rows = []
+    curve = {}
+    for drop in DROPS:
+        for mode, workload in (("raw", work), ("resilient", wrapped)):
+            result = _run_point(workload, drop, seed=3)
+            survived = len(result.verified_algorithms)
+            if result.failure is not None:
+                status = "failed"
+            elif result.correct:
+                status = "ok"
+            else:
+                status = "diverged"
+            faults = (result.report.telemetry or {}).get("faults", {})
+            rows.append(
+                [
+                    f"{drop:.2f}",
+                    mode,
+                    status,
+                    f"{survived}/{k}",
+                    faults.get("faults.drops", 0),
+                    result.report.length_rounds,
+                ]
+            )
+            curve[(drop, mode)] = (status, survived)
+
+            # Reproducibility: the same plan yields the same survival.
+            again = _run_point(workload, drop, seed=3)
+            assert len(again.verified_algorithms) == survived
+            assert again.correct == result.correct
+
+    # Fault-free transparency: both modes verify fully at drop=0.
+    assert curve[(0.0, "raw")] == ("ok", k)
+    assert curve[(0.0, "resilient")] == ("ok", k)
+    # The acceptance point: 5% drop + retransmission wrapper verifies.
+    assert curve[(0.05, "resilient")] == ("ok", k), (
+        "resilient schedule must survive 5% message drop"
+    )
+    # Resilience dominates raw survival everywhere on the curve.
+    for drop in DROPS:
+        assert curve[(drop, "resilient")][1] >= curve[(drop, "raw")][1]
+
+    emit(
+        results_dir,
+        "e16_fault_sweep",
+        ["drop", "mode", "status", "verified", "drops injected", "rounds"],
+        rows,
+        notes=(
+            f"5x5 grid, k={k}, fault seed {FAULT_SEED}, "
+            f"{MAX_RETRIES} retries; resilient = ACK/retransmission wrapper"
+        ),
+        recorder=make_recorder(),
+    )
+
+    benchmark.pedantic(
+        _run_point, args=(wrapped, 0.05, 3), rounds=1, iterations=1
+    )

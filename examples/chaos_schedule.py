@@ -1,0 +1,92 @@
+"""Chaos walkthrough: seeded faults, divergence, and resilient recovery.
+
+The paper's guarantees are stated for a reliable synchronous CONGEST
+network; this example probes what happens when that assumption is
+relaxed. The fault layer (:mod:`repro.faults`) perturbs an execution
+with *seeded* message drops, delays, duplicates, edge outages, and node
+crashes — every fault is a pure function of the plan seed, so a chaotic
+run is exactly as reproducible as a clean one.
+
+This example
+
+1. runs a scheduler with the default zero-overhead ``NULL_INJECTOR`` and
+   with a compiled-but-empty :class:`~repro.faults.FaultPlan`, and
+   verifies the results are identical (the chaos layer is invisible
+   until you arm it);
+2. arms a 5% message-drop plan and shows the raw schedule diverging from
+   the solo references — plus which algorithms survived;
+3. wraps every algorithm in the ACK/retransmission transport
+   (:func:`~repro.faults.wrap_workload`) and shows the same faulty
+   network now verifying end to end;
+4. kills an edge outright and uses
+   :meth:`~repro.core.base.Scheduler.run_resilient` to turn the
+   resulting retry exhaustion into a structured partial failure instead
+   of an exception.
+
+Run:  python examples/chaos_schedule.py
+"""
+
+from repro.algorithms import BFS, HopBroadcast
+from repro.congest import topology
+from repro.core import RandomDelayScheduler, Workload
+from repro.faults import FaultPlan, wrap_workload
+
+
+def main() -> None:
+    net = topology.grid_graph(6, 6)
+    work = Workload(
+        net,
+        [
+            BFS(0, hops=6),
+            BFS(35, hops=6),
+            HopBroadcast(14, "hello", 6),
+            HopBroadcast(21, "world", 6),
+        ],
+    )
+    print(f"6x6 grid; workload {work.params()}\n")
+
+    # 1. the chaos layer is invisible until armed.
+    plain = RandomDelayScheduler().run(work, seed=3)
+    nulled = RandomDelayScheduler().with_faults(FaultPlan()).run(work, seed=3)
+    assert nulled.outputs == plain.outputs
+    assert nulled.report.length_rounds == plain.report.length_rounds
+    print("null fault plan: bit-identical to the fault-free run")
+
+    # 2. a raw schedule under 5% seeded message loss.
+    plan = FaultPlan.message_drop(0.05, seed=7)
+    raw = RandomDelayScheduler().with_faults(plan).run_resilient(work, seed=3)
+    faults = raw.report.telemetry["faults"]
+    print(
+        f"raw @ 5% drop:       correct={raw.correct}, "
+        f"survived {len(raw.verified_algorithms)}/{work.num_algorithms} "
+        f"algorithms ({faults.get('faults.drops', 0)} messages dropped)"
+    )
+
+    # 3. the same network, every algorithm wrapped for reliable delivery.
+    wrapped = wrap_workload(work, max_retries=3)
+    resilient = (
+        RandomDelayScheduler().with_faults(plan).run_resilient(wrapped, seed=3)
+    )
+    resilient.raise_on_mismatch()
+    print(
+        f"resilient @ 5% drop: correct={resilient.correct}, "
+        f"survived {len(resilient.verified_algorithms)}/"
+        f"{work.num_algorithms} algorithms "
+        f"(schedule stretched to {resilient.report.length_rounds} rounds)"
+    )
+
+    # 4. an unrecoverable fault becomes a structured partial failure.
+    severed = plan.with_edge_drop((0, 1), 1.0)
+    doomed = (
+        RandomDelayScheduler().with_faults(severed).run_resilient(wrapped, seed=3)
+    )
+    assert doomed.failure is not None
+    print(f"\nsevered edge (0,1):  {doomed.failure}")
+    print(
+        "the failure names the stage, exception, node, edge, and inner "
+        "round —\nno hang, no bare traceback. See docs/ROBUSTNESS.md."
+    )
+
+
+if __name__ == "__main__":
+    main()

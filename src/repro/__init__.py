@@ -20,7 +20,11 @@ The package provides:
   Bellagio (pseudo-deterministic) distributed algorithms;
 * :mod:`repro.telemetry` — round-level observability: recorders, a
   metrics registry, and Chrome-trace/JSONL exporters (see
-  ``docs/OBSERVABILITY.md``).
+  ``docs/OBSERVABILITY.md``);
+* :mod:`repro.faults` — seeded fault injection (message drop /
+  duplication / delay, edge outages, node crash-stop) and the ACK-based
+  retransmission wrapper for resilient execution (see
+  ``docs/ROBUSTNESS.md`` and ``python -m repro chaos``).
 
 Quickstart::
 
@@ -34,10 +38,20 @@ Quickstart::
     print(result.report.summary())
 """
 
-from . import congest, metrics, telemetry
+from . import congest, faults, metrics, telemetry
 from .congest import Network, solo_run
 from .core import Workload
+from .faults import FaultPlan
 
 __version__ = "1.0.0"
 
-__all__ = ["Network", "Workload", "congest", "metrics", "solo_run", "telemetry"]
+__all__ = [
+    "FaultPlan",
+    "Network",
+    "Workload",
+    "congest",
+    "faults",
+    "metrics",
+    "solo_run",
+    "telemetry",
+]

@@ -16,6 +16,15 @@ which re-runs a scenario's schedulers with an
 :class:`~repro.telemetry.InMemoryRecorder` attached and exports the
 phase spans and per-round counters as a Chrome ``trace_event`` file
 (open it in ``chrome://tracing`` or https://ui.perfetto.dev).
+
+And the chaos subcommand::
+
+    python -m repro chaos [--quick] [--drops 0,0.02,0.05] [--retries 3]
+
+which sweeps seeded message-drop probabilities over a scheduled
+workload — raw (to show divergence) and under the ACK/retransmission
+wrapper (to show recovery) — printing a survival table. See
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -207,6 +216,57 @@ def _trace(args) -> None:
         print(f"wrote JSONL event stream to {write_jsonl(recorder, args.jsonl)}")
 
 
+def _chaos(args) -> None:
+    from repro.congest import topology
+    from repro.core import RandomDelayScheduler, Workload
+    from repro.experiments import mixed_workload
+    from repro.faults import FaultPlan, wrap_workload
+
+    if args.quick:
+        net = topology.grid_graph(4, 4)
+        work = mixed_workload(net, 2, seed=11)
+    else:
+        net = topology.grid_graph(6, 6)
+        work = mixed_workload(net, 4, seed=11)
+    drops = [float(d) for d in args.drops.split(",") if d.strip() != ""]
+    wrapped = wrap_workload(work, max_retries=args.retries)
+    print(
+        f"chaos sweep on {net!r}: k={work.num_algorithms}, "
+        f"retries={args.retries}, fault seed={args.seed}"
+    )
+    header = f"{'drop':>6}  {'mode':<9} {'status':<9} {'verified':>8}  faults"
+    print(header)
+    print("-" * len(header))
+    for drop in drops:
+        plan = FaultPlan.message_drop(drop, seed=args.seed)
+        for mode, workload in (("raw", work), ("resilient", wrapped)):
+            scheduler = RandomDelayScheduler().with_faults(plan)
+            result = scheduler.run_resilient(workload, seed=args.seed)
+            if result.failure is not None:
+                status = "failed"
+            elif result.correct:
+                status = "ok"
+            else:
+                status = "diverged"
+            verified = (
+                f"{len(result.verified_algorithms)}/"
+                f"{result.report.params.num_algorithms}"
+            )
+            faults = (result.report.telemetry or {}).get("faults", {})
+            shown = (
+                ", ".join(
+                    f"{k.split('.')[-1]}={v}" for k, v in sorted(faults.items())
+                )
+                or "-"
+            )
+            print(f"{drop:>6.3f}  {mode:<9} {status:<9} {verified:>8}  {shown}")
+    print(
+        "\n'raw' shows what unprotected schedules lose; 'resilient' wraps "
+        "every algorithm\nin the ACK/retransmission transport "
+        "(repro.faults.wrap_workload)."
+    )
+
+
 SCENARIOS = {
     "quickstart": _quickstart,
     "figure1": _figure1,
@@ -244,6 +304,36 @@ def main(argv=None) -> int:
             "--seed", type=int, default=1, help="scheduler seed (default: 1)"
         )
         _trace(parser.parse_args(argv[1:]))
+        return 0
+
+    if argv and argv[0] == "chaos":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro chaos",
+            description="Sweep seeded message-drop faults over a schedule.",
+        )
+        parser.add_argument(
+            "--quick",
+            action="store_true",
+            help="small workload + short sweep (CI smoke test)",
+        )
+        parser.add_argument(
+            "--drops",
+            default=None,
+            help="comma-separated drop probabilities (default: 0,0.02,0.05)",
+        )
+        parser.add_argument(
+            "--retries",
+            type=int,
+            default=3,
+            help="retransmissions per message for the resilient mode",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=7, help="fault-plan seed (default: 7)"
+        )
+        args = parser.parse_args(argv[1:])
+        if args.drops is None:
+            args.drops = "0,0.02" if args.quick else "0,0.02,0.05"
+        _chaos(args)
         return 0
 
     parser = argparse.ArgumentParser(

@@ -48,16 +48,24 @@ class Network:
         max_node = -1
         for u, v in edges:
             if u == v:
-                raise NetworkError(f"self loop at node {u}")
+                raise NetworkError(f"self loop at node {u}", node=u)
             if u < 0 or v < 0:
-                raise NetworkError("node ids must be non-negative")
-            edge_set.add((min(u, v), max(u, v)))
+                raise NetworkError("node ids must be non-negative", edge=(u, v))
+            edge = (u, v) if u < v else (v, u)
+            if edge in edge_set:
+                raise NetworkError(
+                    f"duplicate edge {edge}: each undirected edge may be "
+                    f"listed only once",
+                    edge=edge,
+                )
+            edge_set.add(edge)
             max_node = max(max_node, u, v)
         if num_nodes is None:
             num_nodes = max_node + 1
         if max_node >= num_nodes:
             raise NetworkError(
-                f"edge mentions node {max_node} but num_nodes={num_nodes}"
+                f"edge mentions node {max_node} but num_nodes={num_nodes}",
+                node=max_node,
             )
         if num_nodes <= 0:
             raise NetworkError("a network needs at least one node")

@@ -91,11 +91,16 @@ class NodeContext:
         """
         if neighbor in self._sent_to:
             raise BandwidthViolation(
-                f"node {self.node} sent twice to {neighbor} in round {self.round}"
+                f"node {self.node} sent twice to {neighbor} in round {self.round}",
+                node=self.node,
+                round=self.round,
+                edge=(self.node, neighbor),
             )
         if neighbor not in self.neighbors:
             raise BandwidthViolation(
-                f"node {self.node} tried to send to non-neighbour {neighbor}"
+                f"node {self.node} tried to send to non-neighbour {neighbor}",
+                node=self.node,
+                round=self.round,
             )
         if self._message_bits is not None:
             check_payload(payload, self._message_bits)

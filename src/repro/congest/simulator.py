@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..errors import SimulationLimitExceeded
+from ..faults import NULL_INJECTOR, FaultInjector
 from ..telemetry import NULL_RECORDER, Recorder
 from .message import default_message_bits, payload_bits
 from .network import Network
@@ -51,6 +52,9 @@ class SoloRun:
         Size of the largest payload sent (CONGEST fidelity metric: must
         stay ``O(log n)``; the engine enforces the budget when one is
         set, this records how much of it was used).
+    truncated:
+        Whether the run was cut off at its round cap instead of halting
+        (only possible with ``on_limit="truncate"``).
     """
 
     algorithm: Algorithm
@@ -59,6 +63,7 @@ class SoloRun:
     completion_round: int
     trace: ExecutionTrace = field(repr=False)
     max_message_bits: int = 0
+    truncated: bool = False
 
     @property
     def pattern(self) -> CommunicationPattern:
@@ -80,6 +85,11 @@ class Simulator:
         Telemetry sink; defaults to the zero-overhead
         :data:`~repro.telemetry.NULL_RECORDER`. When enabled, each run
         becomes a span and per-round message counts are sampled.
+    injector:
+        Fault injector; defaults to the zero-overhead
+        :data:`~repro.faults.NULL_INJECTOR`, under which the execution is
+        bit-identical to an injector-free build. A seeded injector may
+        drop, duplicate or delay messages and crash-stop nodes.
     """
 
     def __init__(
@@ -87,12 +97,14 @@ class Simulator:
         network: Network,
         message_bits: Optional[int] = -1,
         recorder: Recorder = NULL_RECORDER,
+        injector: FaultInjector = NULL_INJECTOR,
     ):
         self.network = network
         if message_bits == -1:
             message_bits = default_message_bits(network.num_nodes)
         self.message_bits = message_bits
         self.recorder = recorder
+        self.injector = injector
 
     def run(
         self,
@@ -100,24 +112,31 @@ class Simulator:
         seed: int = 0,
         algorithm_id: Any = None,
         max_rounds: Optional[int] = None,
+        on_limit: str = "raise",
     ) -> SoloRun:
         """Execute ``algorithm`` alone until all node programs halt.
 
         ``seed`` is the master seed; each node's random tape is derived
         from ``(seed, algorithm_id, node)`` so re-running with the same
         arguments is fully deterministic. ``algorithm_id`` defaults to the
-        algorithm's name.
+        algorithm's name. ``on_limit`` selects what happens past
+        ``max_rounds``: ``"raise"`` (the default)
+        :class:`~repro.errors.SimulationLimitExceeded`, or ``"truncate"``
+        to return the partial run with ``truncated=True`` — the graceful
+        option for fault-injected executions that may never converge.
         """
         if algorithm_id is None:
             algorithm_id = algorithm.name
         if max_rounds is None:
             max_rounds = algorithm.max_rounds(self.network)
+        if on_limit not in ("raise", "truncate"):
+            raise ValueError(f"on_limit must be 'raise' or 'truncate', got {on_limit!r}")
 
         recorder = self.recorder
         with recorder.span(
             f"solo:{algorithm.name}", category="simulator", algorithm_id=algorithm_id
         ):
-            return self._run_traced(algorithm, seed, algorithm_id, max_rounds)
+            return self._run_traced(algorithm, seed, algorithm_id, max_rounds, on_limit)
 
     def _run_traced(
         self,
@@ -125,6 +144,7 @@ class Simulator:
         seed: int,
         algorithm_id: Any,
         max_rounds: int,
+        on_limit: str = "raise",
     ) -> SoloRun:
         recorder = self.recorder
         network = self.network
@@ -141,15 +161,35 @@ class Simulator:
 
         trace = ExecutionTrace()
         max_bits = 0
+        injector = self.injector
+        faults = injector.enabled
 
         # Sends buffered for the upcoming round: receiver -> {sender: payload}.
         pending: Dict[int, Dict[int, Any]] = {}
+        # Fault-delayed deliveries: round -> receiver -> {sender: payload}.
+        delayed: Dict[int, Dict[int, Dict[int, Any]]] = {}
 
         def enqueue(sender: int, sends: List, round_index: int) -> None:
+            # ``round_index`` is the round the messages traverse edges in.
             nonlocal max_bits
             for receiver, payload in sends:
-                pending.setdefault(receiver, {})[sender] = payload
-                trace.record(round_index, sender, receiver)
+                if faults:
+                    offsets = injector.deliveries(
+                        round_index, sender, receiver, stream=algorithm_id
+                    )
+                    # The send occupies the edge (and the trace) even when
+                    # the message is subsequently lost or delayed.
+                    trace.record(round_index, sender, receiver)
+                    for offset in offsets:
+                        if offset == 0:
+                            pending.setdefault(receiver, {})[sender] = payload
+                        else:
+                            delayed.setdefault(
+                                round_index + offset, {}
+                            ).setdefault(receiver, {})[sender] = payload
+                else:
+                    pending.setdefault(receiver, {})[sender] = payload
+                    trace.record(round_index, sender, receiver)
                 bits = payload_bits(payload)
                 if bits > max_bits:
                     max_bits = bits
@@ -160,8 +200,13 @@ class Simulator:
         round_index = 0
         completion_round = 0
         previous_messages = 0
+        truncated = False
         while True:
-            if all(host.halted for host in hosts):
+            if all(
+                host.halted
+                or (faults and injector.crashed(host.node, round_index + 1))
+                for host in hosts
+            ):
                 completion_round = round_index
                 break
             round_index += 1
@@ -173,13 +218,27 @@ class Simulator:
                         algorithm=algorithm.name,
                         max_rounds=max_rounds,
                     )
+                if on_limit == "truncate":
+                    truncated = True
+                    completion_round = round_index - 1
+                    break
                 raise SimulationLimitExceeded(
                     f"{algorithm.name} exceeded {max_rounds} rounds "
-                    f"(n={network.num_nodes})"
+                    f"(n={network.num_nodes})",
+                    round=max_rounds,
+                    algorithm=algorithm.name,
                 )
             deliveries, pending = pending, {}
+            if faults and delayed:
+                # Late duplicates lose to any fresher same-sender message.
+                for receiver, stale in delayed.pop(round_index, {}).items():
+                    box = deliveries.setdefault(receiver, {})
+                    for sender, payload in stale.items():
+                        box.setdefault(sender, payload)
             for host in hosts:
                 if host.halted:
+                    continue
+                if faults and injector.crashed(host.node, round_index):
                     continue
                 inbox = deliveries.get(host.node, {})
                 enqueue(host.node, host.step(round_index, inbox), round_index + 1)
@@ -201,6 +260,7 @@ class Simulator:
             completion_round=completion_round,
             trace=trace,
             max_message_bits=max_bits,
+            truncated=truncated,
         )
 
 

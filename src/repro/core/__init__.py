@@ -8,7 +8,13 @@ measured against.
 """
 
 from .artifact import ScheduleArtifact, capture_delay_schedule
-from .base import Mismatch, ScheduleResult, Scheduler, verify_outputs
+from .base import (
+    Mismatch,
+    ScheduleFailure,
+    ScheduleResult,
+    Scheduler,
+    verify_outputs,
+)
 from .cluster_delays import ClusterDelaySampler
 from .cluster_engine import (
     ClusterExecution,
@@ -53,6 +59,7 @@ __all__ = [
     "RandomDelayScheduler",
     "RoundRobinScheduler",
     "ScheduleArtifact",
+    "ScheduleFailure",
     "ScheduleResult",
     "Scheduler",
     "SequentialScheduler",

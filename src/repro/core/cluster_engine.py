@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..clustering.layers import Clustering
 from ..congest.program import ProgramHost
 from ..errors import CoverageError, ReproError, SimulationLimitExceeded
+from ..faults import NULL_INJECTOR, FaultInjector
 from ..telemetry import NULL_RECORDER, Recorder
 from .workload import OutputMap, Workload
 
@@ -76,6 +77,9 @@ class ClusterExecution:
     #: Messages discarded by the truncation gates.
     messages_truncated: int
     num_copies: int
+    #: Whether the execution was cut off at its big-round cap instead of
+    #: running to completion (only possible with ``on_limit="truncate"``).
+    truncated: bool = False
 
 
 def select_output_layers(
@@ -148,6 +152,8 @@ def run_cluster_copies(
     output_layers: Optional[Dict[Tuple[int, int], int]] = None,
     max_big_rounds: Optional[int] = None,
     recorder: Recorder = NULL_RECORDER,
+    injector: FaultInjector = NULL_INJECTOR,
+    on_limit: str = "raise",
 ) -> ClusterExecution:
     """Execute every (layer, cluster, algorithm) copy under big-round delays.
 
@@ -159,8 +165,20 @@ def run_cluster_copies(
     When ``recorder`` is enabled, each big-round samples the number of
     active copies, messages transmitted, and the max directed-edge load,
     and the dedup/truncation totals become counters.
+
+    Faults here attach to the **logical** message: the injector's tick is
+    the message's algorithm round (and crash checks use the copy's
+    algorithm round), so every copy of the same message shares one fate
+    and the copies stay mutually consistent. Because faulted copies can
+    still observe genuinely different inboxes (a delayed message reaches
+    late copies only), the copy-consistency check downgrades from a hard
+    error to first-payload-wins while faults are enabled. ``on_limit``
+    as in :func:`~repro.core.phase_engine.run_delayed_phases`.
     """
     network = workload.network
+    if on_limit not in ("raise", "truncate"):
+        raise ValueError(f"on_limit must be 'raise' or 'truncate', got {on_limit!r}")
+    faults = injector.enabled
     solo = workload.solo_runs()
     dilations = [run.rounds for run in solo]
     hard_caps = [
@@ -225,7 +243,9 @@ def run_cluster_copies(
     # its big-round: emissions made *during* processing traverse the next
     # big-round and are therefore deferred (physical timing fidelity).
     pool: Dict[Tuple[int, int], Dict[int, Dict[int, Any]]] = {}
-    deferred: List[Tuple[int, int, int, int, Any]] = []
+    # Deposits keyed by the big-round at which they become visible
+    # (fault delays push a message's visibility further out).
+    deferred: Dict[int, List[Tuple[int, int, int, int, Any]]] = {}
     # Dedup registry: (aid, round, sender, receiver) -> payload.
     sent: Dict[Tuple[int, int, int, int], Any] = {}
 
@@ -243,6 +263,7 @@ def run_cluster_copies(
 
     big_round = -1
     remaining = len(copies)
+    truncated = False
     while remaining > 0:
         big_round += 1
         if big_round > max_big_rounds:
@@ -251,18 +272,23 @@ def run_cluster_copies(
                 recorder.event(
                     "limit-exceeded", engine="cluster", cap=max_big_rounds
                 )
+            if on_limit == "truncate":
+                truncated = True
+                break
             raise SimulationLimitExceeded(
-                f"cluster engine exceeded {max_big_rounds} big-rounds"
+                f"cluster engine exceeded {max_big_rounds} big-rounds",
+                round=max_big_rounds,
             )
         loads, carried = carried, Counter()
 
-        # Messages that finished traversing at the previous big-round
-        # become visible now.
-        for aid_, msg_round_, sender_, receiver_, payload_ in deferred:
+        # Messages that finished traversing (plus any whose fault delay
+        # expires now) become visible this big-round.
+        for aid_, msg_round_, sender_, receiver_, payload_ in deferred.pop(
+            big_round, ()
+        ):
             pool.setdefault((aid_, receiver_), {}).setdefault(msg_round_, {})[
                 sender_
             ] = payload_
-        deferred.clear()
 
         def transmit(
             copy: _Copy,
@@ -290,7 +316,10 @@ def run_cluster_copies(
                 key = (aid, msg_round, sender, receiver)
                 previous = sent.get(key, _MISSING)
                 if previous is not _MISSING:
-                    if previous != payload:
+                    if previous != payload and not faults:
+                        # Under faults a late copy may legitimately have
+                        # seen a different (delayed/depleted) inbox; the
+                        # first emission wins.
                         raise ReproError(
                             "copy-consistency violated: two copies emitted "
                             f"different payloads for {key}: "
@@ -301,12 +330,24 @@ def run_cluster_copies(
                         continue
                 else:
                     sent[key] = payload
-                    if deposit_now:
-                        pool.setdefault((aid, receiver), {}).setdefault(
-                            msg_round, {}
-                        )[sender] = payload
+                    # Fate is decided once per *logical* message (the tick
+                    # is its algorithm round), so all copies agree on it.
+                    if faults:
+                        offsets = injector.deliveries(
+                            msg_round, sender, receiver, stream=aid
+                        )
                     else:
-                        deferred.append((aid, msg_round, sender, receiver, payload))
+                        offsets = (0,)
+                    visible_at = big_round if deposit_now else big_round + 1
+                    for offset in offsets:
+                        if offset == 0 and deposit_now:
+                            pool.setdefault((aid, receiver), {}).setdefault(
+                                msg_round, {}
+                            )[sender] = payload
+                        else:
+                            deferred.setdefault(visible_at + offset, []).append(
+                                (aid, msg_round, sender, receiver, payload)
+                            )
                 loads_out[(sender, receiver)] += 1
                 messages_sent += 1
 
@@ -331,6 +372,9 @@ def run_cluster_copies(
             any_alive = False
             for host, limit in zip(copy.hosts, copy.limits):
                 if host.halted or algo_round > limit:
+                    continue
+                if faults and injector.crashed(host.node, algo_round):
+                    # Crash-stop (in logical time, so every copy agrees).
                     continue
                 inbox = inbox_pool.get((aid, host.node), {}).get(algo_round, {})
                 sends = host.step(algo_round, inbox)
@@ -394,6 +438,7 @@ def run_cluster_copies(
         messages_deduplicated=messages_deduplicated,
         messages_truncated=messages_truncated,
         num_copies=len(copies),
+        truncated=truncated,
     )
 
 

@@ -11,6 +11,7 @@ import math
 from typing import Dict, Optional, Sequence
 
 
+from ..faults import NULL_INJECTOR, FaultInjector
 from ..metrics.schedule import ScheduleReport, phase_schedule_length
 from ..telemetry import NULL_RECORDER, Recorder
 from .base import Scheduler
@@ -39,16 +40,29 @@ def execute_with_delays(
     precomputation_rounds: int = 0,
     notes: Optional[Dict] = None,
     recorder: Recorder = NULL_RECORDER,
+    injector: FaultInjector = NULL_INJECTOR,
+    max_phases: Optional[int] = None,
+    on_limit: str = "raise",
 ) -> tuple:
     """Run the phase engine and build the report (not yet verified).
 
     Returns ``(outputs, report)``; the caller passes them through
-    :meth:`Scheduler._finish` for verification.
+    :meth:`Scheduler._finish` for verification. ``max_phases`` lets a
+    scheduler's round budget cap the execution; combined with
+    ``on_limit="truncate"`` the cap yields a partial result (flagged in
+    ``report.notes["truncated"]``) instead of an exception.
     """
     with recorder.span(
         "phase-execution", category="scheduler", scheduler=scheduler_name
     ):
-        execution = run_delayed_phases(workload, delays, recorder=recorder)
+        execution = run_delayed_phases(
+            workload,
+            delays,
+            max_phases=max_phases,
+            recorder=recorder,
+            injector=injector,
+            on_limit=on_limit,
+        )
     params = workload.params()
     report = ScheduleReport(
         scheduler=scheduler_name,
@@ -65,4 +79,6 @@ def execute_with_delays(
         notes=dict(notes or {}),
     )
     report.notes.setdefault("delays", list(delays))
+    if execution.truncated:
+        report.notes["truncated"] = True
     return execution.outputs, report

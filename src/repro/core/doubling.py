@@ -66,7 +66,14 @@ class DoublingScheduler(Scheduler):
                 raise RuntimeError("doubling failed to converge")
             delay_range = max(1, math.ceil(guess / phase_size))
             delays = [rng.randrange(delay_range) for _ in workload.aids]
-            execution = run_delayed_phases(workload, delays)
+            execution = run_delayed_phases(
+                workload,
+                delays,
+                max_phases=self.round_budget,
+                recorder=self.recorder,
+                injector=self.injector,
+                on_limit="truncate" if self.round_budget is not None else "raise",
+            )
             planned = execution.num_phases * phase_size
             if execution.max_phase_load <= capacity:
                 break
@@ -94,4 +101,6 @@ class DoublingScheduler(Scheduler):
                 "true_congestion": params.congestion,
             },
         )
+        if execution.truncated:
+            report.notes["truncated"] = True
         return self._finish(workload, execution.outputs, report)

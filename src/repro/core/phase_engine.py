@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..congest.program import ProgramHost
 from ..errors import SimulationLimitExceeded
+from ..faults import NULL_INJECTOR, FaultInjector
 from ..telemetry import NULL_RECORDER, Recorder
 from .workload import OutputMap, Workload
 
@@ -48,6 +49,9 @@ class PhaseExecution:
     load_histogram: Counter
     #: Total messages sent.
     messages: int
+    #: Whether the execution was cut off at its phase cap instead of
+    #: running to completion (only possible with ``on_limit="truncate"``).
+    truncated: bool = False
 
     def required_phase_size(self) -> int:
         """Smallest phase size (in rounds) making this schedule feasible."""
@@ -60,6 +64,8 @@ def run_delayed_phases(
     max_phases: Optional[int] = None,
     collect_histogram: bool = True,
     recorder: Recorder = NULL_RECORDER,
+    injector: FaultInjector = NULL_INJECTOR,
+    on_limit: str = "raise",
 ) -> PhaseExecution:
     """Execute all algorithms with per-algorithm phase delays.
 
@@ -78,6 +84,17 @@ def run_delayed_phases(
     recorder:
         Telemetry sink; when enabled, per-phase message counts, active
         algorithm counts, and max loads are sampled.
+    injector:
+        Fault injector (default: the zero-overhead
+        :data:`~repro.faults.NULL_INJECTOR`). The injector's tick is the
+        1-based phase index; each algorithm is an independent fault
+        stream (its ``aid``), so two algorithms' messages over the same
+        edge fault independently.
+    on_limit:
+        ``"raise"`` (default) raises
+        :class:`~repro.errors.SimulationLimitExceeded` past
+        ``max_phases``; ``"truncate"`` returns the partial execution
+        with ``truncated=True``.
     """
     network = workload.network
     k = workload.num_algorithms
@@ -85,6 +102,9 @@ def run_delayed_phases(
         raise ValueError(f"need {k} delays, got {len(delays)}")
     if any(d < 0 for d in delays):
         raise ValueError("delays must be non-negative")
+    if on_limit not in ("raise", "truncate"):
+        raise ValueError(f"on_limit must be 'raise' or 'truncate', got {on_limit!r}")
+    faults = injector.enabled
 
     if max_phases is None:
         max_phases = (
@@ -96,6 +116,8 @@ def run_delayed_phases(
     hosts: List[Optional[List[ProgramHost]]] = [None] * k
     # Inboxes waiting to be processed: pending[aid][node] = {sender: payload}.
     pending: List[Dict[int, Dict[int, Any]]] = [dict() for _ in range(k)]
+    # Fault-delayed deliveries: delayed[aid][phase][node] = {sender: payload}.
+    delayed: List[Dict[int, Dict[int, Dict[int, Any]]]] = [dict() for _ in range(k)]
     active: List[bool] = [False] * k
     done: List[bool] = [False] * k
 
@@ -113,26 +135,49 @@ def run_delayed_phases(
     carried_loads: Counter = Counter()
 
     phase = -1
+    truncated = False
     while not all(done):
         phase += 1
         if phase > max_phases:
             if recorder.enabled:
                 recorder.counter("phase.limit_exceeded")
                 recorder.event("limit-exceeded", engine="phase", cap=max_phases)
+            if on_limit == "truncate":
+                truncated = True
+                break
             raise SimulationLimitExceeded(
-                f"phase engine exceeded {max_phases} phases"
+                f"phase engine exceeded {max_phases} phases",
+                round=max_phases,
             )
 
         # Messages traversing during this phase: last phase's step sends...
         phase_loads, carried_loads = carried_loads, Counter()
 
         def ship(
-            aid: int, sender: int, sends: List[Tuple[int, Any]], loads: Counter
+            aid: int,
+            sender: int,
+            sends: List[Tuple[int, Any]],
+            loads: Counter,
+            traverse: int,
         ) -> None:
+            # ``traverse`` is the phase the messages cross edges in; a
+            # dropped or delayed message still occupies the edge there.
             nonlocal messages
             box = pending[aid]
             for receiver, payload in sends:
-                box.setdefault(receiver, {})[sender] = payload
+                if faults:
+                    offsets = injector.deliveries(
+                        traverse + 1, sender, receiver, stream=aid
+                    )
+                    for offset in offsets:
+                        if offset == 0:
+                            box.setdefault(receiver, {})[sender] = payload
+                        else:
+                            delayed[aid].setdefault(
+                                traverse + offset, {}
+                            ).setdefault(receiver, {})[sender] = payload
+                else:
+                    box.setdefault(receiver, {})[sender] = payload
                 loads[(sender, receiver)] += 1
                 messages += 1
 
@@ -152,7 +197,7 @@ def run_delayed_phases(
             ]
             active[aid] = True
             for host in hosts[aid]:
-                ship(aid, host.node, host.start(), phase_loads)
+                ship(aid, host.node, host.start(), phase_loads, phase)
 
         # Every running algorithm processes the inbox of its current round
         # (delivered during this phase) and emits next round's messages,
@@ -162,17 +207,29 @@ def run_delayed_phases(
                 continue
             algo_round = phase - delays[aid] + 1
             deliveries, pending[aid] = pending[aid], {}
+            if faults and delayed[aid]:
+                # Late duplicates lose to any fresher same-sender message.
+                for receiver, stale in delayed[aid].pop(phase, {}).items():
+                    box = deliveries.setdefault(receiver, {})
+                    for sender, payload in stale.items():
+                        box.setdefault(sender, payload)
             algorithm_hosts = hosts[aid]
             assert algorithm_hosts is not None
             all_halted = True
             for host in algorithm_hosts:
                 if host.halted:
                     continue
+                if faults and injector.crashed(host.node, phase + 1):
+                    # Crash-stop counts as terminated for scheduling.
+                    continue
                 inbox = deliveries.get(host.node, {})
-                ship(aid, host.node, host.step(algo_round, inbox), carried_loads)
+                ship(
+                    aid, host.node, host.step(algo_round, inbox), carried_loads,
+                    phase + 1,
+                )
                 if not host.halted:
                     all_halted = False
-            if all_halted and not pending[aid]:
+            if all_halted and not pending[aid] and not delayed[aid]:
                 done[aid] = True
                 active[aid] = False
 
@@ -198,7 +255,13 @@ def run_delayed_phases(
     outputs: OutputMap = {}
     for aid in range(k):
         algorithm_hosts = hosts[aid]
-        assert algorithm_hosts is not None
+        if algorithm_hosts is None:
+            # Only reachable when truncated before this algorithm's start
+            # phase: report "no output" for every node.
+            assert truncated
+            for node in network.nodes:
+                outputs[(aid, node)] = None
+            continue
         for host in algorithm_hosts:
             outputs[(aid, host.node)] = host.output()
 
@@ -208,4 +271,5 @@ def run_delayed_phases(
         max_phase_load=max_phase_load,
         load_histogram=load_histogram,
         messages=messages,
+        truncated=truncated,
     )

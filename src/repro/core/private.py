@@ -205,7 +205,10 @@ class PrivateScheduler(Scheduler):
                 sampler.delay,
                 dedup=self.dedup,
                 output_layers=output_layers,
+                max_big_rounds=self.round_budget,
                 recorder=recorder,
+                injector=self.injector,
+                on_limit="truncate" if self.round_budget is not None else "raise",
             )
 
         phase_size = phase_size_log(n, self.phase_constant)
@@ -232,4 +235,6 @@ class PrivateScheduler(Scheduler):
                 "built_distributed": clustering.built_distributed,
             },
         )
+        if execution.truncated:
+            report.notes["truncated"] = True
         return self._finish(workload, execution.outputs, report)

@@ -30,6 +30,13 @@ class RoundRobinScheduler(Scheduler):
         k = workload.num_algorithms
         delays = [0] * k
         outputs, report = execute_with_delays(
-            self.name, workload, delays, phase_size=k
+            self.name,
+            workload,
+            delays,
+            phase_size=k,
+            recorder=self.recorder,
+            injector=self.injector,
+            max_phases=self.round_budget,
+            on_limit="truncate" if self.round_budget is not None else "raise",
         )
         return self._finish(workload, outputs, report)

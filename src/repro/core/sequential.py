@@ -7,9 +7,10 @@ concurrent scheduler must beat on workloads with many algorithms.
 
 from __future__ import annotations
 
+from ..congest.simulator import Simulator
+from ..metrics.schedule import ScheduleReport
 from .base import ScheduleResult, Scheduler
 from .workload import Workload
-from ..metrics.schedule import ScheduleReport
 
 __all__ = ["SequentialScheduler"]
 
@@ -20,7 +21,28 @@ class SequentialScheduler(Scheduler):
     name = "sequential"
 
     def run(self, workload: Workload, seed: int = 0) -> ScheduleResult:
-        runs = workload.solo_runs()
+        if self.injector.enabled or self.round_budget is not None:
+            # The cached solo runs are the pristine reference and must
+            # not see faults: re-execute each algorithm through an
+            # injected simulator (same tapes via the same (seed, aid)).
+            sim = Simulator(
+                workload.network,
+                message_bits=workload.message_bits,
+                recorder=self.recorder,
+                injector=self.injector,
+            )
+            runs = [
+                sim.run(
+                    algorithm,
+                    seed=workload.master_seed,
+                    algorithm_id=aid,
+                    max_rounds=self.round_budget,
+                    on_limit="truncate" if self.round_budget is not None else "raise",
+                )
+                for aid, algorithm in enumerate(workload.algorithms)
+            ]
+        else:
+            runs = workload.solo_runs()
         outputs = {}
         for aid, run in enumerate(runs):
             for node, value in run.outputs.items():
@@ -33,4 +55,6 @@ class SequentialScheduler(Scheduler):
             messages_sent=sum(run.trace.num_messages for run in runs),
             notes={"per_algorithm_rounds": [run.rounds for run in runs]},
         )
+        if any(run.truncated for run in runs):
+            report.notes["truncated"] = True
         return self._finish(workload, outputs, report)

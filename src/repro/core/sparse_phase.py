@@ -59,5 +59,9 @@ class SparsePhaseScheduler(Scheduler):
             delays,
             phase_size,
             notes={"delay_range": delay_range},
+            recorder=self.recorder,
+            injector=self.injector,
+            max_phases=self.round_budget,
+            on_limit="truncate" if self.round_budget is not None else "raise",
         )
         return self._finish(workload, outputs, report)

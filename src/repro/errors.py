@@ -2,17 +2,51 @@
 
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause.
+
+Errors that describe a concrete point of failure carry structured context
+(``node``, ``round``, ``edge``, ``algorithm`` ...) both as attributes and in
+the :attr:`ReproError.context` dict, so chaos harnesses and partial-failure
+reports can aggregate them without parsing messages.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional, Tuple
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    Keyword arguments become the structured :attr:`context` of the error
+    (``None`` values are omitted); subclasses additionally expose their
+    well-known fields as attributes.
+    """
+
+    def __init__(self, message: str = "", **context: Any):
+        super().__init__(message)
+        self.context: Dict[str, Any] = {
+            key: value for key, value in context.items() if value is not None
+        }
 
 
 class NetworkError(ReproError):
-    """The communication network is malformed (disconnected, self-loops...)."""
+    """The communication network is malformed.
+
+    Carries the offending ``edge`` and/or ``node`` when one exists
+    (self-loop, duplicate edge, out-of-range endpoint, unreachable node).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        edge: Optional[Tuple[int, int]] = None,
+        node: Optional[int] = None,
+        **context: Any,
+    ):
+        super().__init__(message, edge=edge, node=node, **context)
+        self.edge = edge
+        self.node = node
 
 
 class BandwidthViolation(ReproError):
@@ -20,19 +54,102 @@ class BandwidthViolation(ReproError):
 
     Raised when a program sends two messages to the same neighbour in one
     round, sends to a non-neighbour, or exceeds the per-message bit budget.
+    ``node``/``round``/``edge``/``algorithm`` locate the offending send.
     """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        node: Optional[int] = None,
+        round: Optional[int] = None,
+        edge: Optional[Tuple[int, int]] = None,
+        algorithm: Optional[str] = None,
+        **context: Any,
+    ):
+        super().__init__(
+            message, node=node, round=round, edge=edge, algorithm=algorithm, **context
+        )
+        self.node = node
+        self.round = round
+        self.edge = edge
+        self.algorithm = algorithm
 
 
 class SimulationLimitExceeded(ReproError):
-    """A simulation ran past its configured maximum number of rounds."""
+    """A simulation ran past its configured maximum number of rounds.
+
+    ``round`` is the limit that was crossed; ``algorithm`` names the run
+    when the limit belongs to a single algorithm's execution.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        round: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        **context: Any,
+    ):
+        super().__init__(message, round=round, algorithm=algorithm, **context)
+        self.round = round
+        self.algorithm = algorithm
 
 
 class ScheduleError(ReproError):
     """A scheduler produced an invalid or infeasible schedule."""
 
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        node: Optional[int] = None,
+        round: Optional[int] = None,
+        edge: Optional[Tuple[int, int]] = None,
+        algorithm: Optional[str] = None,
+        **context: Any,
+    ):
+        super().__init__(
+            message, node=node, round=round, edge=edge, algorithm=algorithm, **context
+        )
+        self.node = node
+        self.round = round
+        self.edge = edge
+        self.algorithm = algorithm
+
+
+class RetransmitExhausted(ScheduleError):
+    """A resilient wrapper ran out of retransmission attempts.
+
+    Raised by :class:`repro.faults.ResilientAlgorithm` when a message was
+    still unacknowledged after the full retry budget — a clear, located
+    failure instead of a silent hang. ``node``/``round``/``edge`` identify
+    the sender, its inner algorithm-round, and the dead link.
+    """
+
 
 class VerificationError(ReproError):
-    """A scheduled execution produced outputs differing from solo runs."""
+    """A scheduled execution produced outputs differing from solo runs.
+
+    ``algorithm``/``node`` locate the first mismatching output;
+    ``mismatches`` counts how many (algorithm, node) pairs diverged.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        node: Optional[int] = None,
+        algorithm: Optional[Any] = None,
+        mismatches: Optional[int] = None,
+        **context: Any,
+    ):
+        super().__init__(
+            message, node=node, algorithm=algorithm, mismatches=mismatches, **context
+        )
+        self.node = node
+        self.algorithm = algorithm
+        self.mismatches = mismatches
 
 
 class CoverageError(ReproError):

@@ -1,0 +1,40 @@
+"""Seeded fault injection and resilient execution (the chaos layer).
+
+The paper's schedules are probabilistic objects whose guarantees should
+degrade gracefully under perturbation; this package makes perturbation a
+first-class, exactly reproducible workload:
+
+* :class:`FaultPlan` — declarative, seeded fault models: per-edge message
+  drop / duplication / extra delay, transient edge outages, and node
+  crash-stop.
+* :class:`FaultInjector` / :class:`NullInjector` / :class:`SeededInjector`
+  — the engine-facing interface, mirroring telemetry's
+  ``Recorder``/``NullRecorder`` split: the default
+  :data:`NULL_INJECTOR` is zero-overhead and keeps every fault-free run
+  bit-identical to pre-chaos behaviour; the seeded injector's decisions
+  are a pure function of ``(plan seed, stream, tick, sender, receiver)``.
+* :class:`ResilientAlgorithm` / :func:`wrap_workload` — an ACK-based
+  retransmission transport with bounded retries and exponential backoff
+  that makes any black-box algorithm tolerate bounded message loss while
+  staying a legal CONGEST algorithm.
+
+See ``docs/ROBUSTNESS.md`` for the fault-model semantics and
+``python -m repro chaos`` for the survival-curve CLI.
+"""
+
+from .injector import NULL_INJECTOR, FaultInjector, NullInjector, SeededInjector
+from .plan import EdgeOutage, FaultPlan, NodeCrash
+from .retransmit import ResilientAlgorithm, window_rounds, wrap_workload
+
+__all__ = [
+    "EdgeOutage",
+    "FaultInjector",
+    "FaultPlan",
+    "NULL_INJECTOR",
+    "NodeCrash",
+    "NullInjector",
+    "ResilientAlgorithm",
+    "SeededInjector",
+    "window_rounds",
+    "wrap_workload",
+]

@@ -1,0 +1,182 @@
+"""Fault injectors: the engine-facing side of the chaos layer.
+
+Mirrors the telemetry ``Recorder``/``NullRecorder`` pattern exactly:
+
+* :class:`NullInjector` — the default everywhere. ``enabled`` is
+  ``False``, every decision is "deliver normally", and engines guard all
+  fault bookkeeping behind ``if injector.enabled:`` so the fault-free
+  path stays bit-identical to an uninstrumented build.
+* :class:`SeededInjector` — compiled from a
+  :class:`~repro.faults.plan.FaultPlan`. Each per-message decision is a
+  pure function of ``(plan seed, stream, tick, sender, receiver)`` via
+  :func:`repro._util.derive_seed`, so faults are deterministic and
+  *order-independent*: re-running the same plan against the same schedule
+  reproduces every drop, duplicate, and delay, no matter how the engine
+  interleaves its bookkeeping.
+
+The injector draws from its **own** child RNG stream (one fresh
+``random.Random`` per message, seeded from the plan): it never touches
+the algorithms' random tapes or the schedulers' delay generators, which
+is what keeps ``NullInjector`` runs bit-identical to pre-chaos behaviour.
+
+Engine contract
+---------------
+For every message about to traverse an edge at engine tick ``t``, the
+engine calls ``injector.deliveries(t, sender, receiver, stream=...)`` and
+receives a tuple of non-negative tick offsets:
+
+* ``()`` — the message is lost;
+* ``(0,)`` — normal delivery (the constant fast path);
+* ``(d,)`` with ``d > 0`` — delivery postponed by ``d`` ticks;
+* ``(0, d)`` — delivered now *and* again ``d`` ticks later (duplicate).
+
+``stream`` distinguishes independent traffic classes (one per algorithm),
+so two algorithms' messages over the same edge fault independently.
+Before stepping a node at tick ``t``, engines check
+``injector.crashed(node, t)`` and skip crashed nodes entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from .._util import derive_seed
+from .plan import Edge, FaultPlan
+
+__all__ = ["FaultInjector", "NULL_INJECTOR", "NullInjector", "SeededInjector"]
+
+#: The shared "deliver normally" decision (never mutated).
+NORMAL_DELIVERY: Tuple[int, ...] = (0,)
+#: The shared "message lost" decision.
+DROPPED: Tuple[int, ...] = ()
+
+
+class FaultInjector:
+    """The injection interface (also usable as a base class).
+
+    The base implementation injects nothing — exactly what
+    :class:`NullInjector` needs.
+    """
+
+    #: Engines guard all fault bookkeeping on this flag.
+    enabled: bool = False
+
+    def crashed(self, node: int, tick: int) -> bool:
+        """Whether ``node`` has crash-stopped at engine tick ``tick``."""
+        return False
+
+    def deliveries(
+        self, tick: int, sender: int, receiver: int, stream: Any = 0
+    ) -> Tuple[int, ...]:
+        """Delivery tick offsets for one message (see module docstring)."""
+        return NORMAL_DELIVERY
+
+    def snapshot(self) -> Dict[str, int]:
+        """Fault counters accumulated so far (empty when disabled)."""
+        return {}
+
+    def reset(self) -> None:
+        """Clear the fault counters (decisions are stateless regardless)."""
+
+
+class NullInjector(FaultInjector):
+    """The zero-overhead default injector: injects nothing."""
+
+    __slots__ = ()
+
+
+#: Shared default instance; safe because it is stateless.
+NULL_INJECTOR = NullInjector()
+
+
+class SeededInjector(FaultInjector):
+    """Deterministic injector compiled from a :class:`FaultPlan`.
+
+    Decisions are stateless (hash-based); only the fault *counters* are
+    mutable, and they exist purely for reporting — two runs with fresh
+    injectors built from the same plan produce identical counters.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._edge_drop: Dict[Edge, float] = plan.edge_drop_map()
+        self._outages: Dict[Edge, List[Tuple[int, int]]] = {}
+        for outage in plan.outages:
+            self._outages.setdefault(outage.edge, []).append(
+                (outage.start, outage.end)
+            )
+        self._crash_round: Dict[int, int] = {}
+        for crash in plan.crashes:
+            existing = self._crash_round.get(crash.node)
+            if existing is None or crash.round < existing:
+                self._crash_round[crash.node] = crash.round
+        # Whether any probabilistic model is active (else decisions are
+        # pure table lookups and we skip the per-message hash entirely).
+        self._probabilistic = bool(
+            plan.drop or plan.duplicate or plan.delay or any(self._edge_drop.values())
+        )
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def crashed(self, node: int, tick: int) -> bool:
+        """Crash-stop check: true from the crash round onward."""
+        crash_round = self._crash_round.get(node)
+        return crash_round is not None and tick >= crash_round
+
+    def deliveries(
+        self, tick: int, sender: int, receiver: int, stream: Any = 0
+    ) -> Tuple[int, ...]:
+        """Decide the fate of one message (deterministic in its key)."""
+        crash_round = self._crash_round.get(receiver)
+        if crash_round is not None and tick >= crash_round:
+            self._count("faults.crash_drops")
+            return DROPPED
+
+        edge = (sender, receiver) if sender <= receiver else (receiver, sender)
+        windows = self._outages.get(edge)
+        if windows is not None:
+            for start, end in windows:
+                if start <= tick <= end:
+                    self._count("faults.outage_drops")
+                    return DROPPED
+
+        if not self._probabilistic:
+            return NORMAL_DELIVERY
+
+        plan = self.plan
+        drop_probability = self._edge_drop.get(edge, plan.drop)
+        rng = random.Random(
+            derive_seed(plan.seed, "fault", stream, tick, sender, receiver)
+        )
+        if drop_probability and rng.random() < drop_probability:
+            self._count("faults.drops")
+            return DROPPED
+        first = 0
+        if plan.delay and rng.random() < plan.delay:
+            first = rng.randint(1, plan.max_extra_delay)
+            self._count("faults.delays")
+        if plan.duplicate and rng.random() < plan.duplicate:
+            echo = first + rng.randint(1, plan.max_extra_delay)
+            self._count("faults.duplicates")
+            return (first, echo)
+        return (first,) if first else NORMAL_DELIVERY
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the fault counters (sorted keys for stable reports)."""
+        return {name: self._counters[name] for name in sorted(self._counters)}
+
+    def reset(self) -> None:
+        """Clear the counters (e.g. between sweep points)."""
+        self._counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeededInjector(plan={self.plan!r})"

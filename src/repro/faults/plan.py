@@ -1,0 +1,221 @@
+"""Fault plans: a declarative, seeded description of what goes wrong.
+
+A :class:`FaultPlan` is pure data — probabilities and schedules, plus its
+own ``seed`` — and is what users hand to
+:meth:`repro.core.base.Scheduler.with_faults` or to an engine. The plan is
+compiled into a :class:`~repro.faults.injector.SeededInjector`, whose
+per-message decisions are a *stateless* function of
+``(plan seed, stream, round, sender, receiver)``: the same plan always
+produces the same faults, independent of engine internals or call order,
+which is what makes chaos runs exactly reproducible.
+
+Time in a plan is measured in the host engine's native delivery tick:
+physical rounds for the solo simulator, 1-based phases for the phase
+engine, and the *logical* algorithm round for the cluster engine (whose
+copies must agree on every message's fate regardless of when each copy
+replays it). A plan is therefore a perturbation of *whichever* schedule
+it is attached to, not of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["EdgeOutage", "FaultPlan", "NodeCrash"]
+
+#: Canonical undirected edge ``(min(u, v), max(u, v))``.
+Edge = Tuple[int, int]
+
+
+def _canonical(edge: Tuple[int, int]) -> Edge:
+    u, v = edge
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class EdgeOutage:
+    """A transient outage: the edge drops everything in ``[start, end]``.
+
+    ``start``/``end`` are inclusive engine ticks (1-based rounds/phases).
+    Both directions of the undirected edge are affected.
+    """
+
+    edge: Edge
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edge", _canonical(self.edge))
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"outage window [{self.start}, {self.end}] is empty or negative"
+            )
+
+    def covers(self, tick: int) -> bool:
+        """Whether the outage is active at the given engine tick."""
+        return self.start <= tick <= self.end
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash-stop: the node executes nothing from ``round`` onward.
+
+    A crashed node neither steps its programs nor receives messages; its
+    last pre-crash outputs are whatever verification sees.
+    """
+
+    node: int
+    round: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node ids must be non-negative")
+        if self.round < 0:
+            raise ValueError("crash round must be non-negative")
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of message- and node-level faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the fault randomness. Independent of every scheduler and
+        algorithm seed: the fault-free execution path never reads it.
+    drop:
+        Per-message loss probability applied to every edge (overridden
+        per-edge by ``edge_drop``).
+    duplicate:
+        Probability that a delivered message is delivered *again* 1 to
+        ``max_extra_delay`` ticks later (a stale re-delivery).
+    delay:
+        Probability that a message's delivery is postponed by 1 to
+        ``max_extra_delay`` ticks.
+    max_extra_delay:
+        Upper bound (inclusive) on the extra ticks of delay/duplication.
+    edge_drop:
+        Per-edge loss probability overrides, keyed by undirected edge.
+    outages:
+        Transient total outages of specific edges.
+    crashes:
+        Crash-stop failures of specific nodes.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_extra_delay: int = 1
+    edge_drop: Tuple[Tuple[Edge, float], ...] = ()
+    outages: Tuple[EdgeOutage, ...] = ()
+    crashes: Tuple[NodeCrash, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_probability("drop", self.drop)
+        _check_probability("duplicate", self.duplicate)
+        _check_probability("delay", self.delay)
+        if self.max_extra_delay < 1:
+            raise ValueError("max_extra_delay must be at least 1")
+        normalized = []
+        for edge, probability in self.edge_drop:
+            _check_probability(f"edge_drop[{edge}]", probability)
+            normalized.append((_canonical(tuple(edge)), float(probability)))
+        object.__setattr__(self, "edge_drop", tuple(normalized))
+        object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def message_drop(cls, probability: float, seed: int = 0) -> "FaultPlan":
+        """Uniform per-message loss — the canonical chaos knob."""
+        return cls(seed=seed, drop=probability)
+
+    @classmethod
+    def edge_outage(
+        cls, edge: Tuple[int, int], start: int, end: int, seed: int = 0
+    ) -> "FaultPlan":
+        """A single transient edge outage."""
+        return cls(seed=seed, outages=(EdgeOutage(_canonical(edge), start, end),))
+
+    @classmethod
+    def node_crash(cls, node: int, round: int, seed: int = 0) -> "FaultPlan":
+        """A single crash-stop failure."""
+        return cls(seed=seed, crashes=(NodeCrash(node, round),))
+
+    def with_edge_drop(self, edge: Tuple[int, int], probability: float) -> "FaultPlan":
+        """A copy of this plan with one per-edge drop override added."""
+        return FaultPlan(
+            seed=self.seed,
+            drop=self.drop,
+            duplicate=self.duplicate,
+            delay=self.delay,
+            max_extra_delay=self.max_extra_delay,
+            edge_drop=self.edge_drop + ((_canonical(edge), probability),),
+            outages=self.outages,
+            crashes=self.crashes,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan can never inject any fault."""
+        return (
+            self.drop == 0.0
+            and self.duplicate == 0.0
+            and self.delay == 0.0
+            and not any(p for _, p in self.edge_drop)
+            and not self.outages
+            and not self.crashes
+        )
+
+    def edge_drop_map(self) -> Dict[Edge, float]:
+        """The per-edge drop overrides as a dict."""
+        return dict(self.edge_drop)
+
+    def injector(self):
+        """Compile this plan into a fault injector.
+
+        A null plan compiles to the shared zero-overhead
+        :data:`~repro.faults.injector.NULL_INJECTOR`.
+        """
+        from .injector import NULL_INJECTOR, SeededInjector
+
+        if self.is_null:
+            return NULL_INJECTOR
+        return SeededInjector(self)
+
+    def describe(self) -> Mapping[str, object]:
+        """JSON-friendly summary (for report notes and benchmark rows)."""
+        summary: Dict[str, object] = {"seed": self.seed}
+        if self.drop:
+            summary["drop"] = self.drop
+        if self.duplicate:
+            summary["duplicate"] = self.duplicate
+        if self.delay:
+            summary["delay"] = self.delay
+            summary["max_extra_delay"] = self.max_extra_delay
+        if self.edge_drop:
+            summary["edge_drop"] = {str(e): p for e, p in self.edge_drop}
+        if self.outages:
+            summary["outages"] = [
+                {"edge": list(o.edge), "start": o.start, "end": o.end}
+                for o in self.outages
+            ]
+        if self.crashes:
+            summary["crashes"] = [
+                {"node": c.node, "round": c.round} for c in self.crashes
+            ]
+        return summary

@@ -15,13 +15,20 @@ class TestConstruction:
         assert net.num_nodes == 3
         assert net.num_edges == 2
 
-    def test_duplicate_edges_collapse(self):
-        net = Network([(0, 1), (1, 0), (0, 1)])
-        assert net.num_edges == 1
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(NetworkError, match=r"duplicate edge \(0, 1\)") as exc:
+            Network([(0, 1), (1, 2), (0, 1)])
+        assert exc.value.context["edge"] == (0, 1)
+
+    def test_reversed_duplicate_rejected(self):
+        # The reversed orientation is the same undirected edge.
+        with pytest.raises(NetworkError, match=r"duplicate edge \(0, 1\)"):
+            Network([(0, 1), (1, 0)])
 
     def test_self_loop_rejected(self):
-        with pytest.raises(NetworkError):
+        with pytest.raises(NetworkError) as exc:
             Network([(0, 0)])
+        assert exc.value.context["node"] == 0
 
     def test_negative_node_rejected(self):
         with pytest.raises(NetworkError):
@@ -124,6 +131,48 @@ def test_gnp_samples_are_valid_networks(n, seed):
     assert net.num_nodes == n
     # connectivity is enforced by construction
     assert len(net.bfs_distances(0)) == n
+
+
+class TestValidationProperties:
+    """Property tests: malformed edge lists always raise NetworkError."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=st.integers(2, 12), right=st.integers(2, 12))
+    def test_disconnected_components_rejected(self, left, right):
+        edges = [(i, i + 1) for i in range(left - 1)]
+        edges += [(left + i, left + i + 1) for i in range(right - 1)]
+        with pytest.raises(NetworkError, match="disconnected"):
+            Network(edges)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(3, 25),
+        seed=st.integers(0, 100),
+        pick=st.integers(0, 10_000),
+        flip=st.booleans(),
+        data=st.data(),
+    )
+    def test_duplicate_edge_rejected_and_named(self, n, seed, pick, flip, data):
+        net = topology.gnp_connected(n, 0.4, seed=seed)
+        edges = list(net.edges)
+        u, v = edges[pick % len(edges)]
+        duplicate = (v, u) if flip else (u, v)
+        where = data.draw(st.integers(0, len(edges)))
+        edges.insert(where, duplicate)
+        with pytest.raises(NetworkError) as exc:
+            Network(edges, num_nodes=n)
+        assert "duplicate edge" in str(exc.value)
+        assert exc.value.context["edge"] == (u, v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(2, 25), seed=st.integers(0, 100), loop=st.integers(0, 24))
+    def test_self_loop_rejected_and_named(self, n, seed, loop):
+        net = topology.gnp_connected(n, 0.4, seed=seed)
+        node = loop % n
+        edges = list(net.edges) + [(node, node)]
+        with pytest.raises(NetworkError) as exc:
+            Network(edges, num_nodes=n)
+        assert exc.value.context["node"] == node
 
 
 class TestJsonSerialization:

@@ -1,0 +1,128 @@
+"""Tests for repro.faults.injector — deterministic fault decisions."""
+
+import random
+
+from repro.faults import FaultPlan, NULL_INJECTOR, NullInjector
+from repro.faults.injector import SeededInjector
+
+
+class TestNullInjector:
+    def test_disabled_and_inert(self):
+        inj = NullInjector()
+        assert not inj.enabled
+        assert inj.deliveries(1, 0, 1) == (0,)
+        assert not inj.crashed(0, 100)
+        assert inj.snapshot() == {}
+        inj.reset()  # no-op, must not raise
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_INJECTOR, NullInjector)
+
+
+class TestDeterminism:
+    def test_same_key_same_decision(self):
+        inj = SeededInjector(FaultPlan(seed=5, drop=0.3, delay=0.2, duplicate=0.1))
+        for tick, s, r in [(1, 0, 1), (2, 3, 4), (7, 1, 0)]:
+            first = inj.deliveries(tick, s, r, stream=0)
+            assert all(
+                inj.deliveries(tick, s, r, stream=0) == first for _ in range(5)
+            )
+
+    def test_order_independent(self):
+        plan = FaultPlan(seed=5, drop=0.3, delay=0.2, duplicate=0.1)
+        keys = [(t, s, r) for t in range(1, 6) for s in range(4) for r in range(4) if s != r]
+        a = SeededInjector(plan)
+        forward = {k: a.deliveries(*k, stream=2) for k in keys}
+        b = SeededInjector(plan)
+        shuffled = list(keys)
+        random.Random(99).shuffle(shuffled)
+        backward = {k: b.deliveries(*k, stream=2) for k in shuffled}
+        assert forward == backward
+        assert a.snapshot() == b.snapshot()
+
+    def test_streams_independent(self):
+        plan = FaultPlan(seed=5, drop=0.5)
+        inj = SeededInjector(plan)
+        per_stream = [
+            tuple(inj.deliveries(t, 0, 1, stream=s) for t in range(1, 40))
+            for s in range(3)
+        ]
+        assert len(set(per_stream)) > 1  # streams draw different faults
+
+    def test_seed_changes_decisions(self):
+        keys = [(t, 0, 1) for t in range(1, 60)]
+        a = SeededInjector(FaultPlan(seed=1, drop=0.5))
+        b = SeededInjector(FaultPlan(seed=2, drop=0.5))
+        assert [a.deliveries(*k) for k in keys] != [b.deliveries(*k) for k in keys]
+
+
+class TestModels:
+    def test_certain_drop(self):
+        inj = SeededInjector(FaultPlan(seed=0, drop=1.0))
+        assert inj.deliveries(1, 0, 1) == ()
+        assert inj.snapshot() == {"faults.drops": 1}
+
+    def test_edge_drop_overrides_global(self):
+        plan = FaultPlan(seed=0, edge_drop=(((0, 1), 1.0),))
+        inj = SeededInjector(plan)
+        assert inj.deliveries(1, 0, 1) == ()
+        assert inj.deliveries(1, 1, 0) == ()  # both directions
+        assert inj.deliveries(1, 1, 2) == (0,)  # other edges untouched
+
+    def test_outage_window(self):
+        inj = SeededInjector(FaultPlan.edge_outage((0, 1), start=2, end=3))
+        assert inj.deliveries(1, 0, 1) == (0,)
+        assert inj.deliveries(2, 0, 1) == ()
+        assert inj.deliveries(3, 1, 0) == ()
+        assert inj.deliveries(4, 0, 1) == (0,)
+        assert inj.snapshot()["faults.outage_drops"] == 2
+
+    def test_crash_drops_inbound_and_reports(self):
+        inj = SeededInjector(FaultPlan.node_crash(3, round=5))
+        assert not inj.crashed(3, 4)
+        assert inj.crashed(3, 5) and inj.crashed(3, 50)
+        assert not inj.crashed(2, 50)
+        assert inj.deliveries(5, 0, 3) == ()  # receiver is dead
+        assert inj.deliveries(4, 0, 3) == (0,)  # still alive
+        assert inj.deliveries(5, 3, 0) == (0,)  # outbound gating is the engine's job
+        assert inj.snapshot()["faults.crash_drops"] == 1
+
+    def test_earliest_crash_wins(self):
+        from repro.faults import NodeCrash
+
+        inj = SeededInjector(
+            FaultPlan(crashes=(NodeCrash(1, 9), NodeCrash(1, 4)))
+        )
+        assert inj.crashed(1, 4)
+
+    def test_delay_and_duplicate_offsets(self):
+        inj = SeededInjector(
+            FaultPlan(seed=0, delay=1.0, duplicate=1.0, max_extra_delay=3)
+        )
+        for tick in range(1, 20):
+            offsets = inj.deliveries(tick, 0, 1)
+            assert len(offsets) == 2  # delayed original + echo
+            first, echo = offsets
+            assert 1 <= first <= 3
+            assert first < echo <= first + 3
+        counters = inj.snapshot()
+        assert counters["faults.delays"] == 19
+        assert counters["faults.duplicates"] == 19
+
+    def test_pure_delay_offsets(self):
+        inj = SeededInjector(FaultPlan(seed=1, delay=1.0, max_extra_delay=2))
+        for tick in range(1, 10):
+            (offset,) = inj.deliveries(tick, 0, 1)
+            assert 1 <= offset <= 2
+
+    def test_reset_clears_counters(self):
+        inj = SeededInjector(FaultPlan(seed=0, drop=1.0))
+        inj.deliveries(1, 0, 1)
+        assert inj.snapshot()
+        inj.reset()
+        assert inj.snapshot() == {}
+
+    def test_table_only_plan_skips_hashing(self):
+        inj = SeededInjector(FaultPlan.node_crash(0, 1))
+        assert not inj._probabilistic
+        assert inj.deliveries(1, 1, 2) == (0,)

@@ -1,0 +1,95 @@
+"""Tests for repro.faults.plan — declarative fault plans."""
+
+import pytest
+
+from repro.faults import EdgeOutage, FaultPlan, NodeCrash, NULL_INJECTOR
+from repro.faults.injector import SeededInjector
+
+
+class TestValidation:
+    def test_probabilities_checked(self):
+        with pytest.raises(ValueError, match="drop"):
+            FaultPlan(drop=1.5)
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(duplicate=-0.1)
+        with pytest.raises(ValueError, match="delay"):
+            FaultPlan(delay=2.0)
+        with pytest.raises(ValueError, match="edge_drop"):
+            FaultPlan(edge_drop=(((0, 1), 7.0),))
+
+    def test_max_extra_delay_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_extra_delay=0)
+
+    def test_outage_window_validated(self):
+        with pytest.raises(ValueError):
+            EdgeOutage((0, 1), start=5, end=3)
+        with pytest.raises(ValueError):
+            EdgeOutage((0, 1), start=-1, end=3)
+
+    def test_crash_validated(self):
+        with pytest.raises(ValueError):
+            NodeCrash(node=-1, round=3)
+        with pytest.raises(ValueError):
+            NodeCrash(node=1, round=-3)
+
+
+class TestCanonicalization:
+    def test_outage_edge_canonical(self):
+        assert EdgeOutage((5, 2), 1, 3).edge == (2, 5)
+
+    def test_edge_drop_canonical(self):
+        plan = FaultPlan(edge_drop=(((9, 4), 0.5),))
+        assert plan.edge_drop_map() == {(4, 9): 0.5}
+
+    def test_with_edge_drop_appends(self):
+        plan = FaultPlan.message_drop(0.1, seed=3).with_edge_drop((7, 2), 0.9)
+        assert plan.drop == 0.1
+        assert plan.seed == 3
+        assert plan.edge_drop_map() == {(2, 7): 0.9}
+
+    def test_outage_covers(self):
+        outage = EdgeOutage((0, 1), start=2, end=4)
+        assert not outage.covers(1)
+        assert outage.covers(2) and outage.covers(4)
+        assert not outage.covers(5)
+
+
+class TestCompilation:
+    def test_null_plan_compiles_to_shared_null_injector(self):
+        assert FaultPlan().is_null
+        assert FaultPlan().injector() is NULL_INJECTOR
+        # Zero-probability overrides are still null.
+        assert FaultPlan(edge_drop=(((0, 1), 0.0),)).is_null
+
+    def test_non_null_plans(self):
+        for plan in (
+            FaultPlan.message_drop(0.01),
+            FaultPlan(duplicate=0.1),
+            FaultPlan(delay=0.1),
+            FaultPlan.edge_outage((0, 1), 1, 2),
+            FaultPlan.node_crash(3, 5),
+            FaultPlan(edge_drop=(((0, 1), 0.5),)),
+        ):
+            assert not plan.is_null
+            assert isinstance(plan.injector(), SeededInjector)
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        plan = FaultPlan(
+            seed=9,
+            drop=0.1,
+            delay=0.2,
+            outages=(EdgeOutage((1, 0), 2, 3),),
+            crashes=(NodeCrash(4, 6),),
+        )
+        summary = json.loads(json.dumps(plan.describe()))
+        assert summary["seed"] == 9
+        assert summary["drop"] == 0.1
+        assert summary["outages"] == [{"edge": [0, 1], "start": 2, "end": 3}]
+        assert summary["crashes"] == [{"node": 4, "round": 6}]
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FaultPlan().drop = 0.5

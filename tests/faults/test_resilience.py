@@ -1,0 +1,156 @@
+"""End-to-end resilience: determinism regression, partial failures, budgets."""
+
+import pytest
+
+from repro.algorithms import BFS, HopBroadcast
+from repro.core import (
+    PrivateScheduler,
+    RandomDelayScheduler,
+    SequentialScheduler,
+    Workload,
+)
+from repro.errors import VerificationError
+from repro.faults import FaultPlan, NULL_INJECTOR, wrap_workload
+
+
+def _workload(net, k=2):
+    algorithms = [BFS(0, hops=6), HopBroadcast(net.num_nodes - 1, "tok", 6)][:k]
+    return Workload(net, algorithms)
+
+
+def _report_fingerprint(result):
+    report = result.report
+    return (
+        result.outputs,
+        [(m.aid, m.node, m.actual) for m in result.mismatches],
+        report.length_rounds,
+        report.precomputation_rounds,
+        report.correct,
+        report.notes,
+        report.telemetry,
+    )
+
+
+class TestDeterminismRegression:
+    """Same seed + same FaultPlan ⇒ byte-identical schedule reports."""
+
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [RandomDelayScheduler, SequentialScheduler, PrivateScheduler],
+    )
+    def test_faulted_runs_reproduce(self, grid4, make_scheduler):
+        work = _workload(grid4)
+        plan = FaultPlan(seed=19, drop=0.08, delay=0.05, duplicate=0.03)
+        runs = [
+            make_scheduler().with_faults(plan).run(work, seed=4)
+            for _ in range(2)
+        ]
+        assert _report_fingerprint(runs[0]) == _report_fingerprint(runs[1])
+        assert runs[0].report.notes["fault_plan"] == plan.describe()
+        assert runs[0].report.telemetry["faults"]
+
+    def test_null_injector_is_bit_identical(self, grid4):
+        """Attaching (then detaching) the chaos layer changes nothing."""
+        work = _workload(grid4)
+        plain = RandomDelayScheduler().run(work, seed=4)
+        detached = (
+            RandomDelayScheduler()
+            .with_faults(FaultPlan.message_drop(0.5, seed=1))
+            .with_faults(None)
+            .run(work, seed=4)
+        )
+        assert _report_fingerprint(plain) == _report_fingerprint(detached)
+        assert detached.report.telemetry is None  # no fault stamp either
+
+    def test_with_faults_none_detaches(self):
+        scheduler = RandomDelayScheduler().with_faults(
+            FaultPlan.message_drop(0.5)
+        )
+        assert scheduler.injector.enabled
+        scheduler.with_faults(None)
+        assert scheduler.injector is NULL_INJECTOR
+
+
+class TestPartialFailure:
+    def test_run_resilient_converts_exhaustion(self, path10):
+        # A severed edge kills the retransmission wrapper; run_resilient
+        # must return a structured failure instead of raising.
+        work = wrap_workload(
+            Workload(path10, [BFS(0, hops=9)]), max_retries=2
+        )
+        plan = FaultPlan.message_drop(0.0, seed=0).with_edge_drop((0, 1), 1.0)
+        result = RandomDelayScheduler().with_faults(plan).run_resilient(
+            work, seed=3
+        )
+        assert not result.correct
+        failure = result.failure
+        assert failure.stage == "schedule"
+        assert failure.error == "RetransmitExhausted"
+        assert failure.context["edge"] == (0, 1)
+        assert result.outputs == {}
+        assert result.verified_algorithms == []
+        assert result.diverged_algorithms == [0]
+        assert "RetransmitExhausted" in result.report.notes["failure"]
+        assert result.report.notes["fault_plan"]["edge_drop"]
+
+    def test_failure_raises_on_demand(self, path10):
+        work = wrap_workload(Workload(path10, [BFS(0, hops=9)]), max_retries=1)
+        plan = FaultPlan().with_edge_drop((4, 5), 1.0)
+        result = RandomDelayScheduler().with_faults(plan).run_resilient(
+            work, seed=3
+        )
+        with pytest.raises(VerificationError, match="failed before"):
+            result.raise_on_mismatch()
+
+    def test_run_resilient_passes_through_success(self, grid4):
+        work = _workload(grid4)
+        result = RandomDelayScheduler().run_resilient(work, seed=4)
+        assert result.correct and result.failure is None
+        assert result.verified_algorithms == [0, 1]
+
+    def test_mismatch_error_carries_structured_fields(self, grid4):
+        work = _workload(grid4)
+        plan = FaultPlan.message_drop(0.3, seed=5)
+        result = RandomDelayScheduler().with_faults(plan).run_resilient(
+            work, seed=4
+        )
+        assert not result.correct and result.failure is None
+        with pytest.raises(VerificationError) as exc:
+            result.raise_on_mismatch()
+        assert {"node", "algorithm", "mismatches"} <= set(exc.value.context)
+
+
+class TestRoundBudget:
+    def test_budget_truncates_instead_of_raising(self, grid4):
+        work = _workload(grid4)
+        result = (
+            RandomDelayScheduler().with_round_budget(2).run_resilient(work, seed=4)
+        )
+        assert result.failure is None  # truncation is not a failure
+        assert result.report.notes.get("truncated") is True
+        assert not result.correct  # partial outputs diverge from solo
+        assert result.mismatches
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="round_budget"):
+            RandomDelayScheduler().with_round_budget(0)
+        RandomDelayScheduler().with_round_budget(None)  # detach is fine
+
+    def test_generous_budget_is_invisible(self, grid4):
+        work = _workload(grid4)
+        plain = RandomDelayScheduler().run(work, seed=4)
+        budgeted = (
+            RandomDelayScheduler().with_round_budget(10_000).run(work, seed=4)
+        )
+        assert budgeted.correct
+        assert budgeted.outputs == plain.outputs
+        assert budgeted.report.length_rounds == plain.report.length_rounds
+
+    def test_sequential_budget_truncates(self, grid4):
+        work = _workload(grid4)
+        result = (
+            SequentialScheduler().with_round_budget(1).run_resilient(work, seed=4)
+        )
+        assert result.failure is None
+        assert result.report.notes.get("truncated") is True
+        assert not result.correct

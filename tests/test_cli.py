@@ -54,3 +54,19 @@ def test_trace_writes_chrome_trace(tmp_path, capsys):
 def test_trace_rejects_untraceable_scenario(tmp_path):
     with pytest.raises(SystemExit):
         main(["trace", "figure1", "--out", str(tmp_path / "t.json")])
+
+
+def test_chaos_quick_sweep(capsys):
+    assert main(["chaos", "--quick"]) == 0
+    out = capsys.readouterr().out
+    # both modes appear, the fault-free row verifies, and the resilient
+    # mode survives the non-zero drop rates of the quick sweep.
+    assert "raw" in out and "resilient" in out
+    assert "ok" in out
+    assert "drops=" in out  # fault counters surfaced
+    assert "wrap_workload" in out
+
+
+def test_chaos_rejects_bad_drops():
+    with pytest.raises(ValueError):
+        main(["chaos", "--quick", "--drops", "nope"])

@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "datacenter_mix.py",
     "lower_bound_instance.py",
     "traced_schedule.py",
+    "chaos_schedule.py",
 ]
 
 
