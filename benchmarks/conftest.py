@@ -33,6 +33,19 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def workers() -> int:
+    """Worker count benches should use, from ``REPRO_WORKERS`` (default 1).
+
+    Benches that fan out via :class:`repro.parallel.ParallelRunner` take
+    this fixture so CI can scale them with a single env var instead of
+    per-bench flags.
+    """
+    from repro.parallel import resolve_workers
+
+    return resolve_workers(None)
+
+
 def trace_enabled() -> bool:
     """Whether ``REPRO_TRACE`` asks benches to record telemetry."""
     return os.environ.get(TRACE_ENV, "") not in ("", "0")

@@ -24,7 +24,11 @@ The package provides:
 * :mod:`repro.faults` — seeded fault injection (message drop /
   duplication / delay, edge outages, node crash-stop) and the ACK-based
   retransmission wrapper for resilient execution (see
-  ``docs/ROBUSTNESS.md`` and ``python -m repro chaos``).
+  ``docs/ROBUSTNESS.md`` and ``python -m repro chaos``);
+* :mod:`repro.parallel` — process-pool execution for sweeps
+  (``REPRO_WORKERS``) and the content-addressed solo-run cache
+  (``REPRO_SOLO_CACHE`` / ``REPRO_CACHE_DIR``; see
+  ``docs/PERFORMANCE.md`` and ``python -m repro sweep``).
 
 Quickstart::
 
@@ -38,20 +42,24 @@ Quickstart::
     print(result.report.summary())
 """
 
-from . import congest, faults, metrics, telemetry
+from . import congest, faults, metrics, parallel, telemetry
 from .congest import Network, solo_run
 from .core import Workload
 from .faults import FaultPlan
+from .parallel import ParallelRunner, SoloRunCache
 
 __version__ = "1.0.0"
 
 __all__ = [
     "FaultPlan",
     "Network",
+    "ParallelRunner",
+    "SoloRunCache",
     "Workload",
     "congest",
     "faults",
     "metrics",
+    "parallel",
     "solo_run",
     "telemetry",
 ]

@@ -25,6 +25,17 @@ which sweeps seeded message-drop probabilities over a scheduled
 workload — raw (to show divergence) and under the ACK/retransmission
 wrapper (to show recovery) — printing a survival table. See
 ``docs/ROBUSTNESS.md``.
+
+And the sweep subcommand::
+
+    python -m repro sweep [--workers N] [--sides 6,8] [--k 8] [--seeds 3]
+
+which runs a mixed-workload scheduler grid through
+:func:`repro.experiments.sweep` — over a
+:class:`~repro.parallel.ParallelRunner` process pool when ``--workers``
+(or ``REPRO_WORKERS``) asks for more than one worker — and reports the
+rows plus wall-clock and solo-run cache statistics. See
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -267,6 +278,68 @@ def _chaos(args) -> None:
     )
 
 
+def _sweep_cli(args) -> None:
+    from time import perf_counter
+
+    from repro.core import (
+        RandomDelayScheduler,
+        RoundRobinScheduler,
+        SequentialScheduler,
+    )
+    from repro.experiments import format_table, grid_mixed_workload, sweep
+    from repro.parallel import ParallelRunner, default_cache
+
+    sides = [int(s) for s in args.sides.split(",") if s.strip()]
+    configs = [{"side": side, "k": args.k} for side in sides]
+    schedulers = [
+        SequentialScheduler(),
+        RoundRobinScheduler(),
+        RandomDelayScheduler(),
+    ]
+    runner = ParallelRunner(args.workers)
+    print(
+        f"sweep: {len(configs)} configs × {args.seeds} seeds × "
+        f"{len(schedulers)} schedulers, workers={runner.workers}"
+    )
+    start = perf_counter()
+    points = sweep(
+        configs,
+        grid_mixed_workload,
+        schedulers,
+        seeds=range(args.seeds),
+        runner=runner,
+    )
+    elapsed = perf_counter() - start
+    headers = ["side", "k", "scheduler", "C", "D", "len", "pre", "ratio", "ok"]
+    rows = [
+        [
+            p.config["side"],
+            p.config["k"],
+            p.scheduler,
+            p.congestion,
+            p.dilation,
+            p.length_rounds,
+            p.precomputation_rounds,
+            round(p.competitive_ratio, 2),
+            p.correct,
+        ]
+        for p in points
+        if p.seed == 0
+    ]
+    print(format_table(headers, rows))
+    incorrect = [p for p in points if not p.correct]
+    print(
+        f"\n{len(points)} points in {elapsed:.2f}s "
+        f"({len(incorrect)} incorrect)"
+    )
+    cache = default_cache()
+    if cache is not None:
+        note = " (parent process)" if runner.workers > 1 else ""
+        print(f"solo-run cache{note}: {cache.stats()}")
+    if incorrect:
+        raise SystemExit(1)
+
+
 SCENARIOS = {
     "quickstart": _quickstart,
     "figure1": _figure1,
@@ -304,6 +377,37 @@ def main(argv=None) -> int:
             "--seed", type=int, default=1, help="scheduler seed (default: 1)"
         )
         _trace(parser.parse_args(argv[1:]))
+        return 0
+
+    if argv and argv[0] == "sweep":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro sweep",
+            description="Run a scheduler × workload grid, optionally in parallel.",
+        )
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes (default: REPRO_WORKERS, else serial)",
+        )
+        parser.add_argument(
+            "--sides",
+            default="6,8",
+            help="comma-separated grid side lengths (default: 6,8)",
+        )
+        parser.add_argument(
+            "--k",
+            type=int,
+            default=8,
+            help="algorithms per workload (default: 8)",
+        )
+        parser.add_argument(
+            "--seeds",
+            type=int,
+            default=2,
+            help="number of seeds per configuration (default: 2)",
+        )
+        _sweep_cli(parser.parse_args(argv[1:]))
         return 0
 
     if argv and argv[0] == "chaos":

@@ -12,6 +12,21 @@ Round semantics (matching the paper's Figure 1 indexing):
 * the inbox delivered to ``on_round`` with ``ctx.round == t`` contains the
   messages that traversed edges during round ``t``; sends buffered there
   traverse during round ``t + 1``.
+
+Two semantics worth calling out explicitly (both were historically
+buggy and are pinned by regression tests):
+
+* :func:`solo_run` forwards **all** execution controls to
+  :meth:`Simulator.run` — in particular ``on_limit`` and the fault
+  ``injector`` — so the convenience wrapper behaves exactly like the
+  long form.
+* completion waits for **in-flight fault-delayed messages**: the
+  engine keeps ticking rounds after every host has halted or crashed
+  until the fault injector's delayed deliveries have all come due, so
+  ``completion_round`` is never earlier than the last delivery the
+  execution owes (late messages to halted hosts are then discarded like
+  any delivery to a halted host, but they are *accounted*, not silently
+  dropped mid-flight).
 """
 
 from __future__ import annotations
@@ -45,7 +60,9 @@ class SoloRun:
         during which some message was in transit. This is the algorithm's
         contribution to ``dilation``.
     completion_round:
-        Round by which every node program had halted.
+        Round by which every node program had halted *and* every
+        in-flight (fault-delayed) message had come due — never earlier
+        than the last delivery the execution owes.
     trace:
         The full execution trace (footprint).
     max_message_bits:
@@ -207,7 +224,22 @@ class Simulator:
                 or (faults and injector.crashed(host.node, round_index + 1))
                 for host in hosts
             ):
+                # Don't declare completion while fault-delayed deliveries
+                # are still in flight. With every host halted or crashed no
+                # new sends can occur, so the run ends exactly when the
+                # last delayed message comes due (it lands on a halted host
+                # and is discarded like any late delivery — but accounted,
+                # not dropped mid-flight).
                 completion_round = round_index
+                if delayed:
+                    completion_round = max(round_index, max(delayed))
+                    if faults and recorder.enabled:
+                        recorder.counter(
+                            "sim.late_deliveries",
+                            sum(len(box) for by_recv in delayed.values()
+                                for box in by_recv.values()),
+                        )
+                    delayed.clear()
                 break
             round_index += 1
             if round_index > max_rounds:
@@ -272,9 +304,22 @@ def solo_run(
     max_rounds: Optional[int] = None,
     message_bits: Optional[int] = -1,
     recorder: Recorder = NULL_RECORDER,
+    injector: FaultInjector = NULL_INJECTOR,
+    on_limit: str = "raise",
 ) -> SoloRun:
-    """Convenience wrapper: ``Simulator(network).run(algorithm, ...)``."""
-    sim = Simulator(network, message_bits=message_bits, recorder=recorder)
+    """Convenience wrapper: ``Simulator(network).run(algorithm, ...)``.
+
+    Forwards *every* execution control — including ``injector`` and
+    ``on_limit``, which an earlier version silently dropped — so this is
+    behaviourally identical to building the :class:`Simulator` yourself.
+    """
+    sim = Simulator(
+        network, message_bits=message_bits, recorder=recorder, injector=injector
+    )
     return sim.run(
-        algorithm, seed=seed, algorithm_id=algorithm_id, max_rounds=max_rounds
+        algorithm,
+        seed=seed,
+        algorithm_id=algorithm_id,
+        max_rounds=max_rounds,
+        on_limit=on_limit,
     )

@@ -11,11 +11,17 @@ The solo runs double as the paper's assumption that "nodes know
 constant-factor approximations of congestion and dilation" — schedulers
 read the exact values here; :mod:`repro.core.doubling` removes the
 assumption with geometric guessing, as the paper sketches.
+
+Solo runs are pure functions of ``(network, algorithm, AID, master
+seed, message_bits)``, so besides the per-instance memoisation they are
+shared process-wide through :mod:`repro.parallel.cache` — two workloads
+built from the same configuration reuse each other's reference runs.
+Pass ``solo_cache=None`` (or set ``REPRO_SOLO_CACHE=0``) to opt out.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..congest.message import default_message_bits
 from ..congest.network import Network
@@ -23,6 +29,7 @@ from ..congest.pattern import CommunicationPattern
 from ..congest.program import Algorithm
 from ..congest.simulator import Simulator, SoloRun
 from ..metrics.congestion import WorkloadParams, measure_params
+from ..parallel.cache import SoloRunCache, default_cache
 
 __all__ = ["Workload", "OutputMap"]
 
@@ -31,7 +38,15 @@ OutputMap = Dict[Tuple[int, int], Any]
 
 
 class Workload:
-    """A DAS instance: ``k`` algorithms to schedule on one network."""
+    """A DAS instance: ``k`` algorithms to schedule on one network.
+
+    ``solo_cache`` selects where solo reference runs are looked up
+    before simulating: the string ``"default"`` (resolved lazily to
+    :func:`repro.parallel.cache.default_cache`, the process-wide cache),
+    an explicit :class:`~repro.parallel.cache.SoloRunCache`, or ``None``
+    to always simulate fresh. Caching never changes results — the cache
+    key pins every input of the deterministic simulator.
+    """
 
     def __init__(
         self,
@@ -39,6 +54,7 @@ class Workload:
         algorithms: Sequence[Algorithm],
         master_seed: int = 0,
         message_bits: Optional[int] = -1,
+        solo_cache: Union[SoloRunCache, str, None] = "default",
     ):
         if not algorithms:
             raise ValueError("a workload needs at least one algorithm")
@@ -48,6 +64,7 @@ class Workload:
         if message_bits == -1:
             message_bits = default_message_bits(network.num_nodes)
         self.message_bits = message_bits
+        self.solo_cache = solo_cache
         self._solo_runs: Optional[List[SoloRun]] = None
 
     # ------------------------------------------------------------------
@@ -62,15 +79,49 @@ class Workload:
         """Algorithm identifiers — their indices ``0 .. k-1``."""
         return range(len(self.algorithms))
 
+    def _resolve_cache(self) -> Optional[SoloRunCache]:
+        if self.solo_cache == "default":
+            return default_cache()
+        if isinstance(self.solo_cache, SoloRunCache):
+            return self.solo_cache
+        return None
+
     def solo_runs(self) -> List[SoloRun]:
-        """Reference solo executions (cached)."""
+        """Reference solo executions (memoised, and shared via the cache)."""
         if self._solo_runs is None:
-            sim = Simulator(self.network, message_bits=self.message_bits)
-            self._solo_runs = [
-                sim.run(algorithm, seed=self.master_seed, algorithm_id=aid)
-                for aid, algorithm in enumerate(self.algorithms)
-            ]
+            cache = self._resolve_cache()
+            if cache is None:
+                sim = Simulator(self.network, message_bits=self.message_bits)
+                self._solo_runs = [
+                    sim.run(algorithm, seed=self.master_seed, algorithm_id=aid)
+                    for aid, algorithm in enumerate(self.algorithms)
+                ]
+            else:
+                self._solo_runs = [
+                    cache.get_or_run(
+                        self.network,
+                        algorithm,
+                        algorithm_id=aid,
+                        seed=self.master_seed,
+                        message_bits=self.message_bits,
+                    )
+                    for aid, algorithm in enumerate(self.algorithms)
+                ]
         return self._solo_runs
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: caches are process-local, never shipped.
+
+        A workload crossing a process boundary (e.g. into a
+        :class:`~repro.parallel.runner.ParallelRunner` worker) rebinds
+        to the receiving process's default cache; already-computed solo
+        runs in ``_solo_runs`` travel with it, so pre-warming a workload
+        before fan-out avoids recomputation in every worker.
+        """
+        state = dict(self.__dict__)
+        if isinstance(state.get("solo_cache"), SoloRunCache):
+            state["solo_cache"] = "default"
+        return state
 
     def params(self) -> WorkloadParams:
         """Measured (congestion, dilation, k)."""
@@ -108,6 +159,7 @@ class Workload:
             list(self.algorithms) + list(other.algorithms),
             master_seed=self.master_seed,
             message_bits=self.message_bits,
+            solo_cache=self.solo_cache,
         )
 
     def subset(self, aids) -> "Workload":
@@ -122,6 +174,7 @@ class Workload:
             chosen,
             master_seed=self.master_seed,
             message_bits=self.message_bits,
+            solo_cache=self.solo_cache,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

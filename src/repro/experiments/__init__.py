@@ -5,6 +5,7 @@ from .runners import (
     ComparisonRow,
     broadcast_workload,
     compare_schedulers,
+    grid_mixed_workload,
     mixed_workload,
     packet_workload,
     token_workload,
@@ -20,6 +21,7 @@ __all__ = [
     "fit_log_slope",
     "fit_power_law",
     "format_table",
+    "grid_mixed_workload",
     "mixed_workload",
     "packet_workload",
     "save_json",

@@ -4,19 +4,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .._util import derive_seed
 from ..algorithms.bfs import BFS
 from ..algorithms.broadcast import HopBroadcast
 from ..algorithms.tokens import FixedPattern, PathToken, random_pattern
-from ..algorithms.packet_routing import random_packets
+from ..algorithms.packet_routing import random_packets, shortest_path
 from ..congest.network import Network
 from ..core.base import Scheduler
 from ..core.workload import Workload
+from ..parallel.runner import ParallelRunner
 
 __all__ = [
     "mixed_workload",
+    "grid_mixed_workload",
     "broadcast_workload",
     "token_workload",
     "packet_workload",
@@ -57,15 +59,53 @@ def mixed_workload(
         elif kind == 1:
             algorithms.append(HopBroadcast(rng.choice(nodes), 9000 + i, h))
         else:
-            from ..algorithms.packet_routing import shortest_path
-
+            path = None
             for _ in range(64):
                 s, t = rng.sample(nodes, 2)
-                path = shortest_path(network, s, t)
-                if 2 <= len(path) - 1 <= h:
+                candidate = shortest_path(network, s, t)
+                if 2 <= len(candidate) - 1 <= h:
+                    path = candidate
                     break
+            if path is None:
+                # Rejection sampling found no admissible pair (e.g. on a
+                # clique every pair is 1 hop); fall back deterministically
+                # from the last sampled source instead of keeping a path
+                # that breaks the advertised <= h hop bound.
+                path = _fallback_path(network, s, h)
             algorithms.append(PathToken(path, token=5000 + i))
     return Workload(network, algorithms, master_seed=seed)
+
+
+def _fallback_path(network: Network, source: int, h: int) -> List[int]:
+    # Deterministic hop-bounded path: BFS from ``source``, walk to the
+    # farthest node within h hops (smallest id on ties). Always yields
+    # 1 <= hops <= h on any connected network with >= 2 nodes, preferring
+    # >= 2 hops when the network admits them.
+    distances = network.bfs_distances(source, cutoff=h)
+    target = None
+    for node, dist in sorted(distances.items()):
+        if node == source:
+            continue
+        if target is None or dist > distances[target]:
+            target = node
+    if target is None:  # pragma: no cover - networks are connected, n >= 2
+        raise ValueError(f"node {source} has no neighbours within {h} hops")
+    return shortest_path(network, source, target)
+
+
+def grid_mixed_workload(
+    side: int, k: int, hops: Optional[int] = None, seed: int = 0
+) -> Workload:
+    """:func:`mixed_workload` on a ``side × side`` grid.
+
+    A picklable top-level factory (grid built from scalars) for
+    :func:`~repro.experiments.sweeps.sweep` configurations that must
+    cross process boundaries — the CLI sweep and the scaling benchmarks
+    use it as their default workload.
+    """
+    from ..congest import topology
+
+    return mixed_workload(topology.grid_graph(side, side), k, hops=hops, seed=seed)
 
 
 def token_workload(
@@ -118,23 +158,39 @@ class ComparisonRow:
         )
 
 
+def _compare_cell(task: Tuple[Workload, Scheduler, int]) -> ComparisonRow:
+    # One scheduler on the (pre-warmed) workload; module-level so the
+    # comparison can fan out over a process pool.
+    workload, scheduler, seed = task
+    result = scheduler.run(workload, seed=seed)
+    return ComparisonRow(
+        scheduler=result.report.scheduler,
+        length_rounds=result.report.length_rounds,
+        precomputation_rounds=result.report.precomputation_rounds,
+        competitive_ratio=result.report.competitive_ratio,
+        correct=result.correct,
+        max_phase_load=result.report.max_phase_load,
+    )
+
+
 def compare_schedulers(
     workload: Workload,
     schedulers: Sequence[Scheduler],
     seed: int = 0,
+    workers: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[ComparisonRow]:
-    """Run every scheduler on the same workload; return comparable rows."""
-    rows = []
-    for scheduler in schedulers:
-        result = scheduler.run(workload, seed=seed)
-        rows.append(
-            ComparisonRow(
-                scheduler=result.report.scheduler,
-                length_rounds=result.report.length_rounds,
-                precomputation_rounds=result.report.precomputation_rounds,
-                competitive_ratio=result.report.competitive_ratio,
-                correct=result.correct,
-                max_phase_load=result.report.max_phase_load,
-            )
-        )
-    return rows
+    """Run every scheduler on the same workload; return comparable rows.
+
+    ``workers`` (default: ``REPRO_WORKERS``, else serial) runs the
+    schedulers in parallel worker processes. The workload's solo
+    reference runs are computed once up front — they travel to the
+    workers inside the pickled workload, so no worker re-simulates them
+    — and rows come back in scheduler order, bit-identical to serial.
+    """
+    if runner is None:
+        runner = ParallelRunner(workers)
+    if runner.workers > 1:
+        workload.solo_runs()  # pre-warm: ship reference runs, not work
+    tasks = [(workload, scheduler, seed) for scheduler in schedulers]
+    return runner.map(_compare_cell, tasks)

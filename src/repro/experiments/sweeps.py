@@ -4,15 +4,24 @@ A light experiment-management layer used by the benchmarks and examples:
 declare the axes (network sizes, k, schedulers, seeds), get back tidy
 rows with measured parameters, lengths, ratios and correctness — plus
 repetition with confidence intervals via :func:`repeat`.
+
+Sweeps parallelise over their (configuration, seed) cells: pass
+``workers=N`` (or set ``REPRO_WORKERS``) and the cells fan out over a
+:class:`~repro.parallel.runner.ParallelRunner` process pool. Every cell
+derives all randomness from its explicit ``(config, seed)`` pair, so the
+returned points are **bit-identical** to a serial run — only the wall
+clock changes. Solo reference runs inside each cell go through the
+process-wide :mod:`repro.parallel.cache` as usual.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.base import Scheduler
 from ..core.workload import Workload
+from ..parallel.runner import ParallelRunner
 from .stats import Summary, summarize
 
 __all__ = ["SweepPoint", "sweep", "repeat"]
@@ -47,40 +56,68 @@ class SweepPoint:
         ]
 
 
+def _sweep_cell(
+    task: Tuple[Dict[str, Any], int, Callable[..., Workload], Sequence[Scheduler]],
+) -> List[SweepPoint]:
+    # One (config, seed) cell: build the workload once, run every
+    # scheduler on it. Module-level so cells can cross process
+    # boundaries; all randomness comes from the explicit (config, seed).
+    config, seed, workload_factory, schedulers = task
+    workload = workload_factory(**config, seed=seed)
+    params = workload.params()
+    points: List[SweepPoint] = []
+    for scheduler in schedulers:
+        result = scheduler.run(workload, seed=seed)
+        points.append(
+            SweepPoint(
+                config=dict(config),
+                scheduler=result.report.scheduler,
+                seed=seed,
+                congestion=params.congestion,
+                dilation=params.dilation,
+                num_algorithms=params.num_algorithms,
+                length_rounds=result.report.length_rounds,
+                precomputation_rounds=result.report.precomputation_rounds,
+                competitive_ratio=result.report.competitive_ratio,
+                correct=result.correct,
+            )
+        )
+    return points
+
+
 def sweep(
     configs: Sequence[Dict[str, Any]],
     workload_factory: Callable[..., Workload],
     schedulers: Sequence[Scheduler],
     seeds: Sequence[int] = (0,),
+    workers: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
     """Run every scheduler on every configuration and seed.
 
     ``workload_factory(**config, seed=seed)`` must build the workload;
     the same workload instance is shared by all schedulers of one
-    (config, seed) cell so solo runs are computed once.
+    (config, seed) cell so solo runs are computed once per cell (and
+    shared across cells via the solo-run cache).
+
+    ``workers`` (default: the ``REPRO_WORKERS`` environment variable,
+    else serial) fans the cells out over a process pool; pass a
+    pre-built ``runner`` to share one pool/recorder across sweeps. The
+    result is bit-identical to the serial loop — cells are independent
+    and fully seeded, and points are returned in grid order (configs
+    outer, seeds inner, schedulers innermost). Factories and schedulers
+    must be picklable for parallel execution; unpicklable ones fall
+    back to serial with a warning.
     """
-    points: List[SweepPoint] = []
-    for config in configs:
-        for seed in seeds:
-            workload = workload_factory(**config, seed=seed)
-            params = workload.params()
-            for scheduler in schedulers:
-                result = scheduler.run(workload, seed=seed)
-                points.append(
-                    SweepPoint(
-                        config=dict(config),
-                        scheduler=result.report.scheduler,
-                        seed=seed,
-                        congestion=params.congestion,
-                        dilation=params.dilation,
-                        num_algorithms=params.num_algorithms,
-                        length_rounds=result.report.length_rounds,
-                        precomputation_rounds=result.report.precomputation_rounds,
-                        competitive_ratio=result.report.competitive_ratio,
-                        correct=result.correct,
-                    )
-                )
-    return points
+    if runner is None:
+        runner = ParallelRunner(workers)
+    tasks = [
+        (dict(config), seed, workload_factory, schedulers)
+        for config in configs
+        for seed in seeds
+    ]
+    cells = runner.map(_sweep_cell, tasks)
+    return [point for cell in cells for point in cell]
 
 
 def repeat(

@@ -1,0 +1,46 @@
+"""Parallel execution and solo-run caching for experiment sweeps.
+
+Two cooperating pieces (see ``docs/PERFORMANCE.md``):
+
+* :class:`~repro.parallel.runner.ParallelRunner` — an ordered
+  process-pool map (``workers=N`` / ``REPRO_WORKERS``) whose results are
+  bit-identical to the serial loop, because every sweep cell derives all
+  randomness from explicit seeds;
+* :class:`~repro.parallel.cache.SoloRunCache` — a content-addressed
+  cache of solo reference runs keyed by ``(network fingerprint,
+  algorithm fingerprint, algorithm id, seed, message_bits)``, with an
+  in-memory tier and an optional on-disk tier (``REPRO_CACHE_DIR``,
+  conventionally ``.repro_cache/``).
+
+:func:`~repro.parallel.cache.default_cache` supplies the process-wide
+cache every :class:`~repro.core.workload.Workload` consults unless told
+otherwise; ``REPRO_SOLO_CACHE=0`` switches it off.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    DEFAULT_CACHE_DIR,
+    SoloRunCache,
+    algorithm_fingerprint,
+    default_cache,
+    network_fingerprint,
+    reset_default_cache,
+    set_default_cache,
+)
+from .runner import WORKERS_ENV, ParallelRunner, resolve_workers
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ParallelRunner",
+    "SoloRunCache",
+    "WORKERS_ENV",
+    "algorithm_fingerprint",
+    "default_cache",
+    "network_fingerprint",
+    "reset_default_cache",
+    "resolve_workers",
+    "set_default_cache",
+]

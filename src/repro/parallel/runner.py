@@ -1,0 +1,137 @@
+"""Ordered process-pool execution for experiment grids.
+
+The sweeps and scheduler comparisons are embarrassingly parallel: every
+(configuration, seed) cell derives all of its randomness from explicit
+seeds (workload master seeds, scheduler seeds, fault-plan seeds), never
+from shared RNG state or wall-clock entropy. A cell therefore computes
+the same result no matter which process runs it, and
+:class:`ParallelRunner` exploits exactly that: it fans cells out over a
+``concurrent.futures.ProcessPoolExecutor`` and returns results **in
+submission order**, so a parallel run is bit-identical to the serial
+loop it replaces — the determinism contract the test suite enforces.
+
+Worker count resolution (:func:`resolve_workers`): an explicit argument
+wins, else the ``REPRO_WORKERS`` environment variable, else 1 (serial).
+With one worker no pool is created at all: the map degenerates to a
+plain loop in the calling process, which also serves as the fallback
+when the task function or payloads cannot be pickled (a warning is
+emitted and the work still completes).
+
+Telemetry mirrors the Recorder pattern used everywhere else: attach a
+recorder and the runner counts ``pool.tasks`` (tasks actually submitted
+to a pool) and ``pool.serial_tasks``, and records a ``pool.workers``
+gauge.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from ..telemetry import NULL_RECORDER, Recorder
+
+__all__ = ["ParallelRunner", "WORKERS_ENV", "resolve_workers"]
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: argument, else ``REPRO_WORKERS``, else 1.
+
+    Any value below 1 (or an unparsable environment value) resolves
+    to 1, i.e. serial execution.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            warnings.warn(
+                f"ignoring unparsable {WORKERS_ENV}={raw!r}; running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+    return max(1, int(workers))
+
+
+class ParallelRunner:
+    """Maps a picklable function over items, preserving item order.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` defers to ``REPRO_WORKERS`` (default 1).
+        One worker means a plain serial loop — no pool, no pickling.
+    recorder:
+        Telemetry sink for pool counters (defaults to the zero-overhead
+        :data:`~repro.telemetry.NULL_RECORDER`).
+
+    The runner guarantees *bit-identical results to serial execution*
+    for deterministic task functions: tasks are self-contained (each
+    cell carries its own seeds), submission order is preserved in the
+    result list, and no randomness is introduced by the scheduling of
+    workers. Exceptions raised by a task propagate to the caller.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        recorder: Recorder = NULL_RECORDER,
+    ):
+        self.workers = resolve_workers(workers)
+        self.recorder = recorder
+
+    def _serial(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        if self.recorder.enabled:
+            self.recorder.counter("pool.serial_tasks", len(items))
+        return [fn(item) for item in items]
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every item; results follow the input order.
+
+        Runs serially for one worker or one item. When the function or
+        an item cannot be pickled (e.g. a lambda factory), falls back to
+        the serial path with a :class:`RuntimeWarning` instead of
+        failing — the parallel layer must never change *whether* a sweep
+        completes, only how fast.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return self._serial(fn, items)
+        try:
+            pickle.dumps(fn)
+            payloads = [pickle.dumps(item) for item in items]
+        except Exception as exc:  # noqa: BLE001 - any pickling failure
+            warnings.warn(
+                f"falling back to serial execution: cannot pickle tasks ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._serial(fn, items)
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.gauge("pool.workers", self.workers)
+        with recorder.span("pool.map", category="parallel", tasks=len(items)):
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(_run_pickled, fn, payload) for payload in payloads
+                ]
+                if recorder.enabled:
+                    recorder.counter("pool.tasks", len(futures))
+                return [future.result() for future in futures]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelRunner(workers={self.workers})"
+
+
+def _run_pickled(fn: Callable[[Any], Any], payload: bytes) -> Any:
+    # Worker-side trampoline: items ship pre-pickled so the pickling cost
+    # (and any pickling error) is paid up front in the parent.
+    return fn(pickle.loads(payload))

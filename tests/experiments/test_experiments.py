@@ -44,6 +44,54 @@ class TestWorkloadFactories:
         b = mixed_workload(grid6, 4, seed=9)
         assert [x.name for x in a.algorithms] == [x.name for x in b.algorithms]
 
+    def test_mixed_respects_hop_bound_on_clique(self):
+        # On K_n every pair is 1 hop apart, so rejection sampling for a
+        # 2..h-hop path can never succeed; the old code then kept the
+        # last (bound-violating or lower-bound-violating) sample. The
+        # deterministic fallback must keep every token path within h.
+        from repro.algorithms import PathToken
+        from repro.congest import topology
+
+        clique = topology.complete_graph(8)
+        h = 2  # mixed_workload's default: max(2, diameter // 2)
+        work = mixed_workload(clique, 9, seed=0)
+        tokens = [a for a in work.algorithms if isinstance(a, PathToken)]
+        assert tokens
+        for token in tokens:
+            assert 1 <= len(token.path) - 1 <= h
+
+    def test_mixed_hop_bound_on_sparse_network(self):
+        # A long path network with a small explicit hop bound: distances
+        # up to n-1 make rejection sampling fail. Seed 101 is pinned to a
+        # draw sequence where all 64 samples for one token miss [2, h] —
+        # the old code then kept a 12-hop path, breaking the bound.
+        from repro.algorithms import PathToken
+        from repro.congest import topology
+
+        net = topology.path_graph(24)
+        h = 2
+        work = mixed_workload(net, 9, hops=h, seed=101)
+        tokens = [a for a in work.algorithms if isinstance(a, PathToken)]
+        assert tokens
+        for token in tokens:
+            assert 1 <= len(token.path) - 1 <= h
+
+    def test_mixed_fallback_is_deterministic(self):
+        from repro.congest import topology
+
+        clique = topology.complete_graph(6)
+        a = mixed_workload(clique, 6, seed=4)
+        b = mixed_workload(clique, 6, seed=4)
+        assert [x.name for x in a.algorithms] == [x.name for x in b.algorithms]
+
+    def test_mixed_unchanged_when_sampling_succeeds(self, grid6):
+        # The fallback only kicks in after 64 failures; on a grid the
+        # sampled paths must be identical to the historical behaviour
+        # (same rng draw sequence).
+        work = mixed_workload(grid6, 6, seed=1)
+        names = [a.name for a in work.algorithms]
+        assert names == [a.name for a in mixed_workload(grid6, 6, seed=1).algorithms]
+
 
 class TestCompare:
     def test_rows_align_with_schedulers(self, grid6):
@@ -56,6 +104,13 @@ class TestCompare:
             "random-delay[T1.1]",
         ]
         assert all(r.correct for r in rows)
+
+    def test_parallel_rows_match_serial(self, grid6):
+        work = broadcast_workload(grid6, 4, seed=3)
+        schedulers = [SequentialScheduler(), RandomDelayScheduler()]
+        serial = compare_schedulers(work, schedulers, seed=1)
+        parallel = compare_schedulers(work, schedulers, seed=1, workers=2)
+        assert parallel == serial
 
 
 class TestStats:

@@ -64,3 +64,75 @@ class TestSweep:
         )
         summaries = repeat(points, metric="competitive_ratio")
         assert all(s.mean > 0 for s in summaries.values())
+
+
+class TestParallelSweep:
+    CONFIGS = [{"side": 4, "k": 2}, {"side": 5, "k": 3}]
+
+    def test_parallel_rows_bit_identical_to_serial(self):
+        from repro.experiments import grid_mixed_workload
+
+        schedulers = [SequentialScheduler(), RandomDelayScheduler()]
+        serial = sweep(
+            self.CONFIGS, grid_mixed_workload, schedulers, seeds=[0, 1], workers=1
+        )
+        parallel = sweep(
+            self.CONFIGS, grid_mixed_workload, schedulers, seeds=[0, 1], workers=2
+        )
+        assert parallel == serial  # dataclass equality: every field
+
+    def test_parallel_with_module_level_factory(self):
+        parallel = sweep(
+            self.CONFIGS, _factory, [SequentialScheduler()], seeds=[0], workers=2
+        )
+        serial = sweep(
+            self.CONFIGS, _factory, [SequentialScheduler()], seeds=[0], workers=1
+        )
+        assert parallel == serial
+
+    def test_lambda_factory_falls_back_serially(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")
+            points = sweep(
+                [{"side": 4, "k": 2}],
+                lambda side, k, seed=0: _factory(side, k, seed),
+                [SequentialScheduler()],
+                seeds=[0, 1],
+                workers=2,
+            )
+        assert len(points) == 2 and all(p.correct for p in points)
+        assert any("serial" in str(r.message) for r in records)
+
+    def test_shared_runner_and_recorder(self):
+        from repro.parallel import ParallelRunner
+        from repro.telemetry import InMemoryRecorder
+
+        recorder = InMemoryRecorder()
+        runner = ParallelRunner(2, recorder=recorder)
+        sweep(
+            self.CONFIGS,
+            _factory,
+            [SequentialScheduler()],
+            seeds=[0],
+            runner=runner,
+        )
+        assert recorder.snapshot()["counters"]["pool.tasks"] == 2
+
+    def test_sweep_with_explicit_solo_cache_matches(self):
+        from repro.parallel import SoloRunCache, set_default_cache
+
+        schedulers = [SequentialScheduler()]
+        baseline = sweep(self.CONFIGS, _factory, schedulers, seeds=[0, 1])
+        previous = set_default_cache(SoloRunCache())
+        try:
+            cached = sweep(self.CONFIGS, _factory, schedulers, seeds=[0, 1])
+            rerun = sweep(self.CONFIGS, _factory, schedulers, seeds=[0, 1])
+        finally:
+            from repro.parallel import reset_default_cache
+
+            set_default_cache(previous)
+            reset_default_cache()
+        assert cached == baseline
+        assert rerun == baseline

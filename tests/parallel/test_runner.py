@@ -1,0 +1,87 @@
+"""Tests for the ordered process-pool runner."""
+
+import warnings
+
+import pytest
+
+from repro.parallel import ParallelRunner, resolve_workers
+from repro.telemetry import InMemoryRecorder
+
+
+def _square(x):
+    return x * x
+
+
+def _seeded_tuple(task):
+    base, offset = task
+    return (base, offset, base * 1000 + offset)
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(None) == 4
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_bad_env_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_workers(None) == 1
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+
+class TestParallelRunner:
+    def test_serial_map_preserves_order(self):
+        runner = ParallelRunner(1)
+        assert runner.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        items = [(b, o) for b in range(4) for o in range(3)]
+        serial = ParallelRunner(1).map(_seeded_tuple, items)
+        parallel = ParallelRunner(2).map(_seeded_tuple, items)
+        assert parallel == serial
+
+    def test_unpicklable_falls_back_to_serial(self):
+        runner = ParallelRunner(2)
+        captured = []
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")
+            captured = runner.map(lambda x: x + 1, [1, 2, 3])
+        assert captured == [2, 3, 4]
+        assert any("serial" in str(r.message) for r in records)
+
+    def test_single_item_runs_inline(self):
+        # one item -> no pool, even with workers > 1
+        runner = ParallelRunner(4, recorder=InMemoryRecorder())
+        assert runner.map(_square, [5]) == [25]
+        snap = runner.recorder.snapshot()
+        assert snap["counters"].get("pool.serial_tasks") == 1
+        assert "pool.tasks" not in snap["counters"]
+
+    def test_pool_tasks_counter(self):
+        recorder = InMemoryRecorder()
+        runner = ParallelRunner(2, recorder=recorder)
+        runner.map(_square, [1, 2, 3, 4])
+        snap = recorder.snapshot()
+        assert snap["counters"]["pool.tasks"] == 4
+        assert snap["gauges"]["pool.workers"] == 2
+        assert recorder.spans_named("pool.map")
+
+    def test_task_exception_propagates(self):
+        runner = ParallelRunner(2)
+        with pytest.raises(ZeroDivisionError):
+            runner.map(_reciprocal, [1, 0])
+
+
+def _reciprocal(x):
+    return 1 / x

@@ -70,3 +70,26 @@ def test_chaos_quick_sweep(capsys):
 def test_chaos_rejects_bad_drops():
     with pytest.raises(ValueError):
         main(["chaos", "--quick", "--drops", "nope"])
+
+
+def test_sweep_serial(capsys):
+    assert main(["sweep", "--sides", "5", "--k", "4", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "0 incorrect" in out
+    assert "sequential" in out and "round-robin" in out
+    assert "solo-run cache" in out
+
+
+def test_sweep_with_pool_matches_serial(capsys):
+    assert main(["sweep", "--sides", "5", "--k", "4", "--seeds", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert (
+        main(["sweep", "--workers", "2", "--sides", "5", "--k", "4", "--seeds", "1"])
+        == 0
+    )
+    parallel = capsys.readouterr().out
+    # the result table (everything up to the timing line) is identical
+    serial_table = serial.split("\n\n")[0].splitlines()[1:]
+    parallel_table = parallel.split("\n\n")[0].splitlines()[1:]
+    assert parallel_table == serial_table
+    assert "workers=2" in parallel
