@@ -175,6 +175,10 @@ def build_clustering(
     """
     if num_layers is None:
         num_layers = default_num_layers(network.num_nodes)
+    if recorder.enabled:
+        # Surface BFS cache/pruning behaviour (net.bfs_* counters) for
+        # the carving + weak-diameter checks; purely observational.
+        network.attach_recorder(recorder)
     horizon = carving_horizon(radius_scale, network.num_nodes, horizon_constant)
     if sharing_chunks is None:
         sharing_chunks, chunk_bits = default_sharing_chunks(network.num_nodes)

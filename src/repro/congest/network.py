@@ -9,18 +9,69 @@ each of its neighbours.
 queries that node programs, schedulers and the clustering machinery need:
 neighbourhoods, balls, BFS distances, diameter, and canonical edge
 indexing. Nodes are always the integers ``0 .. n-1``.
+
+Hot-path design
+---------------
+The ball-carving layers (Lemma 4.2) and weak-diameter verification call
+the distance queries ``Θ(log n)`` times per node, so :class:`Network`
+keeps a bounded LRU cache of full single-source BFS results keyed by
+source (the topology is immutable, so entries never go stale) and uses
+early-terminating / cutoff BFS variants where a full sweep is wasted:
+
+* :meth:`~Network.distance` stops its BFS as soon as the target is
+  reached (or answers from a cached BFS in O(1));
+* :meth:`~Network.weak_diameter` stops each member's BFS once every
+  member has been reached, and skips members whose triangle-inequality
+  upper bound cannot beat the best-so-far diameter;
+* :meth:`~Network.bfs_distances` serves cutoff queries by slicing a
+  cached full BFS (the discovery prefix of a full BFS is exactly the
+  cutoff BFS, so results are bit-identical).
+
+:attr:`~Network.bfs_stats` counts runs, cache hits, and early exits;
+:meth:`~Network.attach_recorder` mirrors them into telemetry as
+``net.bfs_*`` counters so the wins are visible in traces.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
 import networkx as nx
 
 from ..errors import NetworkError
 
-__all__ = ["Network", "Edge", "DirectedEdge"]
+__all__ = ["BfsStats", "Network", "Edge", "DirectedEdge"]
+
+#: Default number of BFS source entries the per-network LRU cache keeps.
+#: Each entry is one ``node -> distance`` dict (O(n) memory), so the
+#: cache is bounded by ``O(n * DEFAULT_BFS_CACHE_SIZE)``.
+DEFAULT_BFS_CACHE_SIZE = 128
+
+
+@dataclass
+class BfsStats:
+    """Plain counters describing the BFS cache and pruning behaviour."""
+
+    #: Full single-source BFS sweeps actually executed.
+    runs: int = 0
+    #: Queries answered (fully or partially) from the LRU cache.
+    cache_hits: int = 0
+    #: BFS sweeps that terminated before exploring the whole graph
+    #: (distance target found / all weak-diameter members found).
+    early_exits: int = 0
+    #: Weak-diameter member BFS sweeps skipped by the best-so-far bound.
+    pruned_sources: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot as a plain dict (stable keys, for reports)."""
+        return {
+            "runs": self.runs,
+            "cache_hits": self.cache_hits,
+            "early_exits": self.early_exits,
+            "pruned_sources": self.pruned_sources,
+        }
 
 #: Canonical undirected edge: ``(min(u, v), max(u, v))``.
 Edge = Tuple[int, int]
@@ -84,6 +135,13 @@ class Network:
         self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
         self._edge_index: Dict[Edge, int] = {e: i for i, e in enumerate(self._edges)}
         self._diameter: int | None = None
+        #: LRU of full BFS results: source -> {node: distance}. The
+        #: topology is immutable, so entries never go stale; the cache is
+        #: process-local and dropped on pickling.
+        self._bfs_cache: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self._bfs_cache_size = DEFAULT_BFS_CACHE_SIZE
+        self.bfs_stats = BfsStats()
+        self._recorder = None
         self._check_connected()
 
     # ------------------------------------------------------------------
@@ -139,22 +197,77 @@ class Network:
     # distances
     # ------------------------------------------------------------------
 
+    def attach_recorder(self, recorder) -> None:
+        """Mirror BFS cache/pruning stats into ``net.bfs_*`` telemetry.
+
+        Pass a :class:`repro.telemetry.Recorder`; ``None`` detaches. The
+        recorder only observes — it cannot change any distance result.
+        """
+        self._recorder = recorder if recorder is not None and recorder.enabled else None
+
+    def _note(self, counter: str) -> None:
+        if self._recorder is not None:
+            self._recorder.counter(f"net.{counter}")
+
+    def _cached_bfs(self, source: int) -> Dict[int, int] | None:
+        """The cached full BFS from ``source`` (refreshing its LRU slot)."""
+        cached = self._bfs_cache.get(source)
+        if cached is not None:
+            self._bfs_cache.move_to_end(source)
+            self.bfs_stats.cache_hits += 1
+            self._note("bfs_cache_hits")
+        return cached
+
+    def _full_bfs(self, source: int) -> Dict[int, int]:
+        """Full BFS from ``source``, cached under the LRU policy."""
+        cached = self._cached_bfs(source)
+        if cached is not None:
+            return cached
+        dist = {source: 0}
+        frontier = deque([source])
+        adjacency = self._adjacency
+        while frontier:
+            u = frontier.popleft()
+            d = dist[u] + 1
+            for w in adjacency[u]:
+                if w not in dist:
+                    dist[w] = d
+                    frontier.append(w)
+        self.bfs_stats.runs += 1
+        self._note("bfs_runs")
+        self._bfs_cache[source] = dist
+        if len(self._bfs_cache) > self._bfs_cache_size:
+            self._bfs_cache.popitem(last=False)
+        return dist
+
     def bfs_distances(self, source: int, cutoff: int | None = None) -> Dict[int, int]:
         """Hop distances from ``source`` to every node within ``cutoff``.
 
         ``cutoff=None`` means no limit; the result then covers all nodes.
+        The returned dict is always a fresh copy in BFS discovery order
+        (a full BFS discovers nodes in the same order as any cutoff BFS
+        up to the cutoff depth, so serving cutoffs by slicing a cached
+        full sweep is bit-identical to running the cutoff BFS).
         """
+        if cutoff is None:
+            return dict(self._full_bfs(source))
+        cached = self._cached_bfs(source)
+        if cached is not None:
+            return {v: d for v, d in cached.items() if d <= cutoff}
         dist = {source: 0}
         frontier = deque([source])
+        adjacency = self._adjacency
         while frontier:
             u = frontier.popleft()
             d = dist[u]
-            if cutoff is not None and d >= cutoff:
+            if d >= cutoff:
                 continue
-            for w in self._adjacency[u]:
+            for w in adjacency[u]:
                 if w not in dist:
                     dist[w] = d + 1
                     frontier.append(w)
+        self.bfs_stats.runs += 1
+        self._note("bfs_runs")
         return dist
 
     def ball(self, center: int, radius: int) -> Set[int]:
@@ -164,12 +277,44 @@ class Network:
         return set(self.bfs_distances(center, cutoff=radius))
 
     def distance(self, u: int, v: int) -> int:
-        """Hop distance between ``u`` and ``v``."""
-        return self.bfs_distances(u)[v]
+        """Hop distance between ``u`` and ``v``.
+
+        Answers from a cached BFS when one exists (either endpoint —
+        distances are symmetric); otherwise runs a BFS from ``u`` that
+        terminates as soon as ``v`` is reached instead of sweeping the
+        whole graph.
+        """
+        if u == v:
+            return 0
+        cached = self._cached_bfs(u)
+        if cached is not None:
+            return cached[v]
+        cached = self._cached_bfs(v)
+        if cached is not None:
+            return cached[u]
+        dist = {u: 0}
+        frontier = deque([u])
+        adjacency = self._adjacency
+        while frontier:
+            x = frontier.popleft()
+            d = dist[x] + 1
+            for w in adjacency[x]:
+                if w not in dist:
+                    if w == v:
+                        self.bfs_stats.runs += 1
+                        self.bfs_stats.early_exits += 1
+                        self._note("bfs_runs")
+                        self._note("bfs_early_exits")
+                        return d
+                    dist[w] = d
+                    frontier.append(w)
+        self.bfs_stats.runs += 1
+        self._note("bfs_runs")
+        raise KeyError(v)  # unreachable: the network is connected
 
     def eccentricity(self, v: int) -> int:
         """Maximum distance from ``v`` to any node."""
-        return max(self.bfs_distances(v).values())
+        return max(self._full_bfs(v).values())
 
     def diameter(self) -> int:
         """Exact hop diameter ``D`` of the network (cached)."""
@@ -177,20 +322,67 @@ class Network:
             self._diameter = max(self.eccentricity(v) for v in self.nodes)
         return self._diameter
 
+    def _member_distances(self, source: int, members: Set[int]) -> Dict[int, int]:
+        """Distances from ``source`` to every node of ``members``.
+
+        Runs a BFS that stops as soon as all members have been reached
+        (instead of sweeping the whole graph); answers from the full-BFS
+        cache when available.
+        """
+        cached = self._cached_bfs(source)
+        if cached is not None:
+            return {v: cached[v] for v in members}
+        found = {source: 0} if source in members else {}
+        missing = len(members) - len(found)
+        dist = {source: 0}
+        frontier = deque([source])
+        adjacency = self._adjacency
+        while frontier and missing:
+            u = frontier.popleft()
+            d = dist[u] + 1
+            for w in adjacency[u]:
+                if w not in dist:
+                    dist[w] = d
+                    frontier.append(w)
+                    if w in members:
+                        found[w] = d
+                        missing -= 1
+                        if not missing:
+                            break
+        self.bfs_stats.runs += 1
+        self._note("bfs_runs")
+        if len(dist) < self._n:
+            self.bfs_stats.early_exits += 1
+            self._note("bfs_early_exits")
+        return found
+
     def weak_diameter(self, nodes: Iterable[int]) -> int:
         """Weak diameter of a node set: max *network* distance within it.
 
         Lemma 4.2 bounds cluster *weak* diameters — distances measured in
-        ``G`` itself rather than in the induced subgraph.
+        ``G`` itself rather than in the induced subgraph. Exact, but
+        pruned: each member's BFS stops once all members are found, and a
+        member whose triangle-inequality upper bound
+        ``d(s0, s) + max_v d(s0, v)`` cannot exceed the best-so-far
+        diameter is skipped entirely (its eccentricity within the set
+        cannot improve the maximum).
         """
         node_list = list(nodes)
         if not node_list:
             return 0
-        best = 0
         members = set(node_list)
-        for s in node_list:
-            dist = self.bfs_distances(s)
-            best = max(best, max(dist[v] for v in members))
+        s0 = node_list[0]
+        dist0 = self._member_distances(s0, members)
+        ecc0 = max(dist0.values())
+        best = ecc0
+        for s in node_list[1:]:
+            if dist0[s] + ecc0 <= best:
+                self.bfs_stats.pruned_sources += 1
+                self._note("bfs_pruned_sources")
+                continue
+            ecc = max(self._member_distances(s, members).values())
+            if ecc > best:
+                best = ecc
         return best
 
     # ------------------------------------------------------------------
@@ -230,6 +422,19 @@ class Network:
         g.add_nodes_from(self.nodes)
         g.add_edges_from(self._edges)
         return g
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle support: the BFS cache and recorder are process-local.
+
+        A network crossing a process boundary (e.g. inside a workload
+        shipped to a :class:`~repro.parallel.runner.ParallelRunner`
+        worker) arrives with a fresh, empty cache and no recorder.
+        """
+        state = dict(self.__dict__)
+        state["_bfs_cache"] = OrderedDict()
+        state["bfs_stats"] = BfsStats()
+        state["_recorder"] = None
+        return state
 
     def _check_connected(self) -> None:
         if self._n == 1:

@@ -50,6 +50,11 @@ class CommunicationPattern:
         self._by_round: Dict[int, List[PatternEvent]] = defaultdict(list)
         for ev in sorted(self._events):
             self._by_round[ev[0]].append(ev)
+        # Patterns are immutable, so the aggregate queries that metric
+        # sweeps hammer (length, per-edge round counts) are computed at
+        # most once and memoised.
+        self._length = max(self._by_round, default=0)
+        self._edge_round_counts: Counter | None = None
 
     @classmethod
     def from_trace(cls, trace: ExecutionTrace) -> "CommunicationPattern":
@@ -66,7 +71,7 @@ class CommunicationPattern:
     @property
     def length(self) -> int:
         """The pattern's time span ``T`` (its dilation when run solo)."""
-        return max((r for r, _, _ in self._events), default=0)
+        return self._length
 
     def events_at(self, round_index: int) -> List[PatternEvent]:
         """Events of one round, sorted."""
@@ -74,10 +79,14 @@ class CommunicationPattern:
 
     def edge_round_counts(self) -> Counter:
         """``c(e)``: per undirected edge, the number of rounds using it."""
-        usage: Dict[Edge, Set[int]] = defaultdict(set)
-        for r, u, v in self._events:
-            usage[Network.canonical_edge(u, v)].add(r)
-        return Counter({e: len(rs) for e, rs in usage.items()})
+        if self._edge_round_counts is None:
+            usage: Dict[Edge, Set[int]] = defaultdict(set)
+            for r, u, v in self._events:
+                usage[Network.canonical_edge(u, v)].add(r)
+            self._edge_round_counts = Counter(
+                {e: len(rs) for e, rs in usage.items()}
+            )
+        return Counter(self._edge_round_counts)
 
     def __len__(self) -> int:
         return len(self._events)

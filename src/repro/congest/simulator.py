@@ -81,11 +81,17 @@ class SoloRun:
     trace: ExecutionTrace = field(repr=False)
     max_message_bits: int = 0
     truncated: bool = False
+    _pattern: Optional[CommunicationPattern] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def pattern(self) -> CommunicationPattern:
-        """The communication pattern (footprint) of this run."""
-        return CommunicationPattern.from_trace(self.trace)
+        """The communication pattern (footprint) of this run (memoised —
+        the trace is frozen once the run has been constructed)."""
+        if self._pattern is None:
+            self._pattern = CommunicationPattern.from_trace(self.trace)
+        return self._pattern
 
 
 class Simulator:
@@ -122,6 +128,10 @@ class Simulator:
         self.message_bits = message_bits
         self.recorder = recorder
         self.injector = injector
+        if recorder.enabled:
+            # Surface the network's BFS cache behaviour (net.bfs_*
+            # counters) in this run's trace; purely observational.
+            network.attach_recorder(recorder)
 
     def run(
         self,
@@ -214,15 +224,23 @@ class Simulator:
         for host in hosts:
             enqueue(host.node, host.start(), 1)
 
+        # Active set: the hosts that may still step. Halted hosts leave
+        # the set permanently (halting is monotone), so each round costs
+        # O(live) instead of O(n) — most algorithms halt the bulk of the
+        # network long before the last node finishes. Order is preserved
+        # (ascending node id), keeping traces bit-identical.
+        live: List[ProgramHost] = [host for host in hosts if not host.halted]
+
         round_index = 0
         completion_round = 0
         previous_messages = 0
         truncated = False
         while True:
-            if all(
-                host.halted
-                or (faults and injector.crashed(host.node, round_index + 1))
-                for host in hosts
+            if not live or (
+                faults
+                and all(
+                    injector.crashed(host.node, round_index + 1) for host in live
+                )
             ):
                 # Don't declare completion while fault-delayed deliveries
                 # are still in flight. With every host halted or crashed no
@@ -238,6 +256,9 @@ class Simulator:
                             "sim.late_deliveries",
                             sum(len(box) for by_recv in delayed.values()
                                 for box in by_recv.values()),
+                        )
+                        recorder.counter(
+                            "sim.skipped_rounds", completion_round - round_index
                         )
                     delayed.clear()
                 break
@@ -267,13 +288,18 @@ class Simulator:
                     box = deliveries.setdefault(receiver, {})
                     for sender, payload in stale.items():
                         box.setdefault(sender, payload)
-            for host in hosts:
-                if host.halted:
-                    continue
+            still_live: List[ProgramHost] = []
+            for host in live:
                 if faults and injector.crashed(host.node, round_index):
+                    # Crashed but not halted: stays tracked (the
+                    # completion check above consults the injector).
+                    still_live.append(host)
                     continue
                 inbox = deliveries.get(host.node, {})
                 enqueue(host.node, host.step(round_index, inbox), round_index + 1)
+                if not host.halted:
+                    still_live.append(host)
+            live = still_live
             if recorder.enabled:
                 recorder.sample(
                     "sim.round_messages", trace.num_messages - previous_messages

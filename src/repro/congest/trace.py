@@ -4,14 +4,27 @@ A trace records, for each round, which directed edges carried a message.
 It is the bridge between *executions* (which have payloads and program
 state) and *communication patterns* (Section 2 of the paper), which only
 capture the footprint — exactly what congestion/dilation are computed from.
+
+Hot-path design
+---------------
+The load queries (:meth:`~ExecutionTrace.directed_loads`,
+:meth:`~ExecutionTrace.edge_rounds`, :meth:`~ExecutionTrace.edge_round_counts`,
+:meth:`~ExecutionTrace.max_edge_rounds`, :attr:`~ExecutionTrace.last_round`)
+are answered from **incremental indices** maintained while recording,
+rather than by rescanning every event per call. Metrics code calls these
+once per algorithm per sweep row, so the difference is O(edges) vs
+O(total messages) per query. The indices are an internal cache with one
+invariant, pinned by property tests (``tests/congest/
+test_trace_properties.py``): every query returns exactly what a naive
+full rescan of :meth:`events` would return.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Dict, Iterator, List, Set, Tuple
 
-from .network import DirectedEdge, Edge, Network
+from .network import DirectedEdge, Edge
 
 __all__ = ["ExecutionTrace", "TraceEvent"]
 
@@ -27,6 +40,17 @@ class ExecutionTrace:
         # _rounds[i] holds the events of round i+1.
         self._rounds: List[List[DirectedEdge]] = []
         self._num_messages = 0
+        # -- incremental indices (see module docstring) -----------------
+        #: Largest round index that carried a message (0 while silent).
+        self._last_round = 0
+        #: Message count per directed edge.
+        self._directed_loads: Counter = Counter()
+        #: Per undirected edge, the set of rounds with any traffic.
+        self._edge_rounds: Dict[Edge, Set[int]] = {}
+        #: ``c_i(e)`` per undirected edge (== lengths of the sets above).
+        self._edge_round_counts: Counter = Counter()
+        #: ``max_e c_i(e)``.
+        self._max_edge_rounds = 0
 
     # -- recording -----------------------------------------------------
 
@@ -38,6 +62,20 @@ class ExecutionTrace:
             self._rounds.append([])
         self._rounds[round_index - 1].append((sender, receiver))
         self._num_messages += 1
+        # Maintain the incremental indices.
+        if round_index > self._last_round:
+            self._last_round = round_index
+        self._directed_loads[(sender, receiver)] += 1
+        edge = (sender, receiver) if sender <= receiver else (receiver, sender)
+        rounds = self._edge_rounds.get(edge)
+        if rounds is None:
+            rounds = self._edge_rounds[edge] = set()
+        if round_index not in rounds:
+            rounds.add(round_index)
+            count = self._edge_round_counts[edge] + 1
+            self._edge_round_counts[edge] = count
+            if count > self._max_edge_rounds:
+                self._max_edge_rounds = count
 
     def record_round(self, round_index: int, sends: List[DirectedEdge]) -> None:
         """Record a whole round's worth of directed sends.
@@ -64,10 +102,7 @@ class ExecutionTrace:
         This is the length ``T`` of the communication pattern, i.e. the
         algorithm's *dilation* contribution when run solo.
         """
-        for i in range(len(self._rounds) - 1, -1, -1):
-            if self._rounds[i]:
-                return i + 1
-        return 0
+        return self._last_round
 
     @property
     def num_messages(self) -> int:
@@ -88,10 +123,7 @@ class ExecutionTrace:
 
     def directed_loads(self) -> Counter:
         """Message count per directed edge."""
-        loads: Counter = Counter()
-        for _, sender, receiver in self.events():
-            loads[(sender, receiver)] += 1
-        return loads
+        return Counter(self._directed_loads)
 
     def edge_rounds(self) -> Dict[Edge, Set[int]]:
         """For each undirected edge, the set of rounds with any traffic.
@@ -99,21 +131,15 @@ class ExecutionTrace:
         ``len(edge_rounds()[e])`` is the paper's ``c_i(e)``: the number of
         rounds in which this algorithm sends a message over ``e``.
         """
-        usage: Dict[Edge, Set[int]] = defaultdict(set)
-        for r, sender, receiver in self.events():
-            usage[Network.canonical_edge(sender, receiver)].add(r)
-        return dict(usage)
+        return {edge: set(rounds) for edge, rounds in self._edge_rounds.items()}
 
     def edge_round_counts(self) -> Counter:
         """``c_i(e)`` for each undirected edge, as a Counter."""
-        return Counter(
-            {edge: len(rounds) for edge, rounds in self.edge_rounds().items()}
-        )
+        return Counter(self._edge_round_counts)
 
     def max_edge_rounds(self) -> int:
         """``max_e c_i(e)`` — this algorithm's own worst edge usage."""
-        counts = self.edge_round_counts()
-        return max(counts.values()) if counts else 0
+        return self._max_edge_rounds
 
     def __len__(self) -> int:
         return self.last_round

@@ -130,6 +130,7 @@ class _Copy:
         "limits",
         "finished",
         "max_limit",
+        "live",
     )
 
     def __init__(self, layer: int, center: int, aid: int, delay: int):
@@ -142,6 +143,11 @@ class _Copy:
         self.limits: List[int] = []
         self.finished = False
         self.max_limit = 0
+        #: Active subset of ``zip(hosts, limits)``: hosts that may still
+        #: step. Halting, passing one's truncation limit, and
+        #: crash-stop (logical time) are all monotone, so departures are
+        #: permanent; node order is preserved.
+        self.live: List[Tuple[ProgramHost, int]] = []
 
 
 def run_cluster_copies(
@@ -263,9 +269,33 @@ def run_cluster_copies(
 
     big_round = -1
     remaining = len(copies)
+    skipped_rounds = 0
     truncated = False
     while remaining > 0:
         big_round += 1
+        if not active and not carried and big_round not in starts:
+            # Silent big-round: no copy is running, nothing is traversing,
+            # and no copy starts now — fast-forward to the next start
+            # (one exists: remaining > 0 with no active copy means some
+            # start is still pending). Deferred deliveries coming due in
+            # the skipped span are deposited into the pool up front; no
+            # copy reads the pool before the jump target, so the state at
+            # the target is identical to the round-by-round walk. The
+            # jump is clamped so the big-round cap fires at the same
+            # point either way.
+            target = min((r for r in starts if r > big_round), default=None)
+            if target is not None:
+                clamped = min(target, max_big_rounds + 1)
+                if clamped > big_round:
+                    for due in sorted(r for r in deferred if r < clamped):
+                        for aid_, msg_round_, sender_, receiver_, payload_ in (
+                            deferred.pop(due)
+                        ):
+                            pool.setdefault(
+                                (aid_, receiver_), {}
+                            ).setdefault(msg_round_, {})[sender_] = payload_
+                    skipped_rounds += clamped - big_round
+                    big_round = clamped
         if big_round > max_big_rounds:
             if recorder.enabled:
                 recorder.counter("cluster.limit_exceeded")
@@ -356,6 +386,11 @@ def run_cluster_copies(
         for copy in starts.get(big_round, ()):
             for host in copy.hosts:
                 transmit(copy, host.node, host.start(), 1, loads, True)
+            copy.live = [
+                (host, limit)
+                for host, limit in zip(copy.hosts, copy.limits)
+                if not host.halted
+            ]
             active.append(copy)
 
         # Active copies process the inbox of their current round and emit
@@ -370,17 +405,21 @@ def run_cluster_copies(
             inbox_pool = pool
             aid = copy.aid
             any_alive = False
-            for host, limit in zip(copy.hosts, copy.limits):
-                if host.halted or algo_round > limit:
+            live_pairs: List[Tuple[ProgramHost, int]] = []
+            for host, limit in copy.live:
+                if algo_round > limit:
                     continue
                 if faults and injector.crashed(host.node, algo_round):
-                    # Crash-stop (in logical time, so every copy agrees).
+                    # Crash-stop (in logical time, so every copy agrees;
+                    # monotone in the copy's round — drop permanently).
                     continue
                 inbox = inbox_pool.get((aid, host.node), {}).get(algo_round, {})
                 sends = host.step(algo_round, inbox)
                 transmit(copy, host.node, sends, algo_round + 1, carried, False)
                 if not host.halted and algo_round < limit:
+                    live_pairs.append((host, limit))
                     any_alive = True
+            copy.live = live_pairs
             if any_alive:
                 still_active.append(copy)
             else:
@@ -408,6 +447,8 @@ def run_cluster_copies(
 
     if recorder.enabled:
         recorder.counter("cluster.big_rounds", last_active + 1)
+        if skipped_rounds:
+            recorder.counter("cluster.skipped_rounds", skipped_rounds)
         recorder.counter("cluster.messages_sent", messages_sent)
         recorder.counter("cluster.messages_deduplicated", messages_deduplicated)
         recorder.counter("cluster.messages_truncated", messages_truncated)

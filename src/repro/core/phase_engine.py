@@ -66,6 +66,7 @@ def run_delayed_phases(
     recorder: Recorder = NULL_RECORDER,
     injector: FaultInjector = NULL_INJECTOR,
     on_limit: str = "raise",
+    fast_forward: bool = True,
 ) -> PhaseExecution:
     """Execute all algorithms with per-algorithm phase delays.
 
@@ -95,6 +96,15 @@ def run_delayed_phases(
         :class:`~repro.errors.SimulationLimitExceeded` past
         ``max_phases``; ``"truncate"`` returns the partial execution
         with ``truncated=True``.
+    fast_forward:
+        Skip *silent* phases — nothing running, nothing in flight, no
+        algorithm starting — in one jump to the next start phase
+        (delay-staggered schedules make most early phases silent).
+        Results are identical either way (``benchmarks/
+        bench_e18_hot_path.py`` asserts it); ``False`` forces the
+        phase-by-phase walk, which also restores the per-silent-phase
+        zero telemetry samples. Skipped phases are reported in the
+        ``phase.skipped_phases`` counter.
     """
     network = workload.network
     k = workload.num_algorithms
@@ -114,12 +124,15 @@ def run_delayed_phases(
     # hosts[aid][node]; created lazily per algorithm at its start phase so
     # memory stays proportional to concurrently active algorithms.
     hosts: List[Optional[List[ProgramHost]]] = [None] * k
+    # Per-algorithm active set: the hosts that may still step (halting is
+    # monotone, so halted hosts leave permanently; order — ascending
+    # node id — is preserved). Crashed hosts stay: the crash check is
+    # per-phase against the injector.
+    live_hosts: List[List[ProgramHost]] = [[] for _ in range(k)]
     # Inboxes waiting to be processed: pending[aid][node] = {sender: payload}.
     pending: List[Dict[int, Dict[int, Any]]] = [dict() for _ in range(k)]
     # Fault-delayed deliveries: delayed[aid][phase][node] = {sender: payload}.
     delayed: List[Dict[int, Dict[int, Dict[int, Any]]]] = [dict() for _ in range(k)]
-    active: List[bool] = [False] * k
-    done: List[bool] = [False] * k
 
     load_histogram: Counter = Counter()
     max_phase_load = 0
@@ -134,10 +147,34 @@ def run_delayed_phases(
     # processing the current one).
     carried_loads: Counter = Counter()
 
+    # Active set: started-but-not-done algorithms, ascending aid (the
+    # processing order of the naive full scan). Each phase costs
+    # O(active) instead of O(k).
+    active_aids: List[int] = []
+    remaining = k
+    skipped_phases = 0
+
     phase = -1
     truncated = False
-    while not all(done):
+    while remaining > 0:
         phase += 1
+        if (
+            fast_forward
+            and not active_aids
+            and not carried_loads
+            and phase not in start_at
+        ):
+            # Silent phase: nothing running, nothing in flight, nothing
+            # starting. Jump to the next start phase (one exists —
+            # remaining > 0 with no active algorithm means some start is
+            # still pending), clamped so the phase cap still fires at
+            # exactly the same point as the phase-by-phase walk.
+            target = min((p for p in start_at if p > phase), default=None)
+            if target is not None:
+                jump = min(target, max_phases + 1) - phase
+                if jump > 0:
+                    phase += jump
+                    skipped_phases += jump
         if phase > max_phases:
             if recorder.enabled:
                 recorder.counter("phase.limit_exceeded")
@@ -183,28 +220,31 @@ def run_delayed_phases(
 
         # ... plus round-1 sends of algorithms starting this phase, which
         # traverse during this phase and are delivered at its end.
-        for aid in start_at.get(phase, ()):
-            algorithm = workload.algorithms[aid]
-            hosts[aid] = [
-                ProgramHost(
-                    algorithm,
-                    node,
-                    network,
-                    ProgramHost.seed_for(workload.master_seed, aid, node),
-                    workload.message_bits,
-                )
-                for node in network.nodes
-            ]
-            active[aid] = True
-            for host in hosts[aid]:
-                ship(aid, host.node, host.start(), phase_loads, phase)
+        starting = start_at.get(phase)
+        if starting:
+            for aid in starting:
+                algorithm = workload.algorithms[aid]
+                hosts[aid] = [
+                    ProgramHost(
+                        algorithm,
+                        node,
+                        network,
+                        ProgramHost.seed_for(workload.master_seed, aid, node),
+                        workload.message_bits,
+                    )
+                    for node in network.nodes
+                ]
+                for host in hosts[aid]:
+                    ship(aid, host.node, host.start(), phase_loads, phase)
+                live_hosts[aid] = [h for h in hosts[aid] if not h.halted]
+            active_aids.extend(starting)
+            active_aids.sort()
 
         # Every running algorithm processes the inbox of its current round
         # (delivered during this phase) and emits next round's messages,
         # which traverse during the next phase.
-        for aid in range(k):
-            if not active[aid] or phase < delays[aid]:
-                continue
+        still_active: List[int] = []
+        for aid in active_aids:
             algo_round = phase - delays[aid] + 1
             deliveries, pending[aid] = pending[aid], {}
             if faults and delayed[aid]:
@@ -213,14 +253,13 @@ def run_delayed_phases(
                     box = deliveries.setdefault(receiver, {})
                     for sender, payload in stale.items():
                         box.setdefault(sender, payload)
-            algorithm_hosts = hosts[aid]
-            assert algorithm_hosts is not None
+            alive_hosts: List[ProgramHost] = []
             all_halted = True
-            for host in algorithm_hosts:
-                if host.halted:
-                    continue
+            for host in live_hosts[aid]:
                 if faults and injector.crashed(host.node, phase + 1):
-                    # Crash-stop counts as terminated for scheduling.
+                    # Crash-stop counts as terminated for scheduling (the
+                    # host stays tracked; the check is per-phase).
+                    alive_hosts.append(host)
                     continue
                 inbox = deliveries.get(host.node, {})
                 ship(
@@ -228,10 +267,14 @@ def run_delayed_phases(
                     phase + 1,
                 )
                 if not host.halted:
+                    alive_hosts.append(host)
                     all_halted = False
+            live_hosts[aid] = alive_hosts
             if all_halted and not pending[aid] and not delayed[aid]:
-                done[aid] = True
-                active[aid] = False
+                remaining -= 1
+            else:
+                still_active.append(aid)
+        active_aids = still_active
 
         if phase_loads:
             last_active_phase = phase
@@ -241,7 +284,7 @@ def run_delayed_phases(
                 load_histogram.update(phase_loads.values())
         if recorder.enabled:
             recorder.sample("phase.messages", sum(phase_loads.values()))
-            recorder.sample("phase.active_algorithms", sum(active))
+            recorder.sample("phase.active_algorithms", len(active_aids))
             recorder.sample(
                 "phase.max_edge_load",
                 max(phase_loads.values()) if phase_loads else 0,
@@ -250,6 +293,8 @@ def run_delayed_phases(
     if recorder.enabled:
         recorder.counter("phase.phases", last_active_phase + 1)
         recorder.counter("phase.messages", messages)
+        if skipped_phases:
+            recorder.counter("phase.skipped_phases", skipped_phases)
         recorder.observe("phase.max_load", max_phase_load)
 
     outputs: OutputMap = {}

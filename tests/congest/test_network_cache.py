@@ -1,0 +1,197 @@
+"""The network's BFS cache, early-exit queries, and pruning.
+
+All distance queries must return exactly what a plain full BFS returns;
+the cache and the early exits are pure accelerations. These tests pin
+both halves: correctness against a naive reference, and the cache
+mechanics themselves (LRU eviction, stats, pickling, telemetry).
+"""
+
+import pickle
+from collections import deque
+
+import pytest
+
+from repro.congest import Network, topology
+from repro.telemetry import NULL_RECORDER, InMemoryRecorder
+
+
+def naive_bfs(net: Network, source: int, cutoff=None):
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        d = dist[u]
+        if cutoff is not None and d >= cutoff:
+            continue
+        for w in net.neighbors(u):
+            if w not in dist:
+                dist[w] = d + 1
+                frontier.append(w)
+    return dist
+
+
+NETS = [
+    topology.grid_graph(5, 5),
+    topology.cycle_graph(12),
+    topology.star_graph(9),
+    topology.random_regular(16, 3, seed=3),
+    topology.lollipop_graph(5, 6),
+]
+
+
+class TestDistanceCorrectness:
+    @pytest.mark.parametrize("net", NETS, ids=lambda n: repr(n))
+    def test_distance_matches_naive_bfs(self, net):
+        for u in net.nodes:
+            reference = naive_bfs(net, u)
+            for v in net.nodes:
+                assert net.distance(u, v) == reference[v]
+
+    @pytest.mark.parametrize("net", NETS, ids=lambda n: repr(n))
+    def test_distance_identical_cold_and_cached(self, net):
+        cold = Network(net.edges, num_nodes=net.num_nodes)
+        # Populate the warm copy's cache with full sweeps first.
+        warm = Network(net.edges, num_nodes=net.num_nodes)
+        for u in warm.nodes:
+            warm.bfs_distances(u)
+        for u in net.nodes:
+            for v in net.nodes:
+                assert cold.distance(u, v) == warm.distance(u, v)
+
+    @pytest.mark.parametrize("net", NETS, ids=lambda n: repr(n))
+    def test_cutoff_matches_naive_before_and_after_caching(self, net):
+        for cutoff in (0, 1, 2, net.diameter()):
+            for source in (0, net.num_nodes - 1):
+                fresh = Network(net.edges, num_nodes=net.num_nodes)
+                expected = naive_bfs(net, source, cutoff)
+                # Cold path: dedicated cutoff BFS.
+                cold = fresh.bfs_distances(source, cutoff=cutoff)
+                assert cold == expected
+                # Warm path: sliced from the cached full sweep. Both the
+                # mapping and the iteration (discovery) order must match.
+                fresh.bfs_distances(source)
+                warm = fresh.bfs_distances(source, cutoff=cutoff)
+                assert warm == expected
+                assert list(warm) == list(cold)
+
+    @pytest.mark.parametrize("net", NETS, ids=lambda n: repr(n))
+    def test_ball_matches_cutoff(self, net):
+        assert net.ball(0, -1) == set()
+        for radius in (0, 1, 3):
+            assert net.ball(0, radius) == set(naive_bfs(net, 0, radius))
+
+    def test_bfs_distances_returns_fresh_copies(self):
+        net = topology.grid_graph(3, 3)
+        first = net.bfs_distances(0)
+        first[0] = 99
+        assert net.bfs_distances(0)[0] == 0
+        assert net.distance(0, 0) == 0
+
+
+class TestWeakDiameter:
+    @pytest.mark.parametrize("net", NETS, ids=lambda n: repr(n))
+    def test_matches_naive_pairwise_max(self, net):
+        import random
+
+        rng = random.Random(7)
+        node_sets = [
+            list(net.nodes),
+            [0],
+            [],
+            rng.sample(range(net.num_nodes), max(2, net.num_nodes // 3)),
+            rng.sample(range(net.num_nodes), max(3, net.num_nodes // 2)),
+        ]
+        for members in node_sets:
+            expected = max(
+                (naive_bfs(net, u)[v] for u in members for v in members),
+                default=0,
+            )
+            assert net.weak_diameter(members) == expected
+
+    def test_pruning_fires_and_preserves_the_answer(self):
+        # Path 0-1-...-9, members [4, 0, 5], s0 = 4: within the member
+        # set ecc0 = d(4, 0) = 4. Member 0 raises best to 5; member 5 then
+        # has bound d(4, 5) + ecc0 = 1 + 4 <= 5 and must be skipped —
+        # correctly, since its member-eccentricity is exactly 5.
+        net = topology.path_graph(10)
+        assert net.weak_diameter([4, 0, 5]) == 5
+        assert net.bfs_stats.pruned_sources == 1
+
+
+class TestCacheMechanics:
+    def test_full_bfs_is_cached_and_counted(self):
+        net = topology.grid_graph(4, 4)
+        # The connectivity check at construction already ran (and cached)
+        # one BFS from node 0.
+        assert net.bfs_stats.as_dict()["runs"] == 1
+        net.bfs_distances(5)
+        runs = net.bfs_stats.runs
+        assert runs >= 1
+        net.bfs_distances(5)
+        assert net.bfs_stats.runs == runs  # served from cache
+        assert net.bfs_stats.cache_hits >= 1
+
+    def test_distance_served_from_either_endpoint_cache(self):
+        net = topology.grid_graph(4, 4)
+        net.bfs_distances(7)  # cache source 7
+        hits = net.bfs_stats.cache_hits
+        assert net.distance(0, 7) == net.distance(7, 0)
+        assert net.bfs_stats.cache_hits > hits
+
+    def test_distance_early_exit_counted(self):
+        net = topology.grid_graph(6, 6)
+        # Neither endpoint cached (construction cached only node 0), so
+        # this runs an early-terminating BFS.
+        assert net.distance(13, 14) == 1
+        assert net.bfs_stats.early_exits >= 1
+
+    def test_lru_eviction_bounds_cache(self):
+        net = topology.cycle_graph(8)
+        net._bfs_cache_size = 3
+        for source in range(6):
+            net.bfs_distances(source)
+        assert len(net._bfs_cache) == 3
+        # Most recently used sources survive.
+        assert set(net._bfs_cache) == {3, 4, 5}
+        # A hit refreshes recency: 3 survives the next insertion, 4 goes.
+        net.bfs_distances(3)
+        net.bfs_distances(6)
+        assert 3 in net._bfs_cache and 4 not in net._bfs_cache
+
+    def test_pickle_drops_cache_and_recorder(self):
+        net = topology.grid_graph(4, 4)
+        net.attach_recorder(InMemoryRecorder())
+        net.bfs_distances(0)
+        assert net._bfs_cache and net.bfs_stats.runs >= 1
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone == net
+        assert not clone._bfs_cache
+        assert clone.bfs_stats.as_dict() == {
+            "runs": 0,
+            "cache_hits": 0,
+            "early_exits": 0,
+            "pruned_sources": 0,
+        }
+        assert clone._recorder is None
+        # And the clone still answers queries correctly.
+        assert clone.distance(0, 15) == net.distance(0, 15)
+
+
+class TestTelemetry:
+    def test_attach_recorder_mirrors_counters(self):
+        net = topology.grid_graph(4, 4)
+        recorder = InMemoryRecorder()
+        net.attach_recorder(recorder)
+        net.bfs_distances(0)
+        net.bfs_distances(0)
+        net.distance(3, 4)
+        counters = recorder.metrics.counters
+        assert counters.get("net.bfs_runs", 0) >= 1
+        assert counters.get("net.bfs_cache_hits", 0) >= 1
+
+    def test_null_recorder_never_attaches(self):
+        net = topology.grid_graph(3, 3)
+        net.attach_recorder(NULL_RECORDER)
+        assert net._recorder is None
+        net.attach_recorder(None)
+        assert net._recorder is None
