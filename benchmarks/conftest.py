@@ -58,8 +58,16 @@ def make_recorder():
     return InMemoryRecorder() if trace_enabled() else NULL_RECORDER
 
 
-def emit(results_dir: Path, name: str, headers, rows, notes=None, recorder=None) -> None:
-    """Print a table and persist it as JSON (plus a trace when recording)."""
+def emit(
+    results_dir: Path, name: str, headers, rows, notes=None, recorder=None,
+    extra=None,
+) -> None:
+    """Print a table and persist it as JSON (plus a trace when recording).
+
+    ``extra`` is an optional dict of machine-readable scalars (speedups,
+    totals) stored verbatim next to the stringified rows, for tooling
+    that shouldn't have to re-parse table cells.
+    """
     from repro.experiments import format_table
 
     print()
@@ -73,6 +81,8 @@ def emit(results_dir: Path, name: str, headers, rows, notes=None, recorder=None)
         "rows": [list(map(str, row)) for row in rows],
         "notes": notes or "",
     }
+    if extra:
+        payload["extra"] = extra
     (results_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
 
     if recorder is not None and recorder.enabled:

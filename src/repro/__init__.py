@@ -28,7 +28,11 @@ The package provides:
 * :mod:`repro.parallel` — process-pool execution for sweeps
   (``REPRO_WORKERS``) and the content-addressed solo-run cache
   (``REPRO_SOLO_CACHE`` / ``REPRO_CACHE_DIR``; see
-  ``docs/PERFORMANCE.md`` and ``python -m repro sweep``).
+  ``docs/PERFORMANCE.md`` and ``python -m repro sweep``);
+* :mod:`repro.service` — a batch scheduling service: a job queue with
+  admission control, batching of compatible jobs into single scheduled
+  executions, and a persistent content-addressed run registry (see
+  ``docs/SERVICE.md`` and ``python -m repro serve|submit|status``).
 
 Quickstart::
 
@@ -42,24 +46,27 @@ Quickstart::
     print(result.report.summary())
 """
 
-from . import congest, faults, metrics, parallel, telemetry
+from . import congest, faults, metrics, parallel, service, telemetry
+from ._version import __version__
 from .congest import Network, solo_run
 from .core import Workload
 from .faults import FaultPlan
 from .parallel import ParallelRunner, SoloRunCache
-
-__version__ = "1.0.0"
+from .service import RunRegistry, SchedulerService
 
 __all__ = [
     "FaultPlan",
     "Network",
     "ParallelRunner",
+    "RunRegistry",
+    "SchedulerService",
     "SoloRunCache",
     "Workload",
     "congest",
     "faults",
     "metrics",
     "parallel",
+    "service",
     "solo_run",
     "telemetry",
 ]

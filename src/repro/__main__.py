@@ -36,6 +36,20 @@ which runs a mixed-workload scheduler grid through
 (or ``REPRO_WORKERS``) asks for more than one worker — and reports the
 rows plus wall-clock and solo-run cache statistics. See
 ``docs/PERFORMANCE.md``.
+
+And the batch scheduling service (see ``docs/SERVICE.md``)::
+
+    python -m repro submit --dir DIR --net grid:6x6 --algo bfs:source=0,hops=4
+    python -m repro serve  --dir DIR [--batch-size 8] [--budget R]
+    python -m repro status --dir DIR [--job ID]
+
+``submit`` spools job specs into a service directory, ``serve`` drains
+the spool — batching compatible jobs into single scheduled executions
+and persisting results into the directory's content-addressed run
+registry (resubmitted specs are served from it without re-execution) —
+and ``status`` reports every job's lifecycle state at any time.
+
+``python -m repro --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -340,6 +354,209 @@ def _sweep_cli(args) -> None:
         raise SystemExit(1)
 
 
+# ---------------------------------------------------------------------------
+# the batch scheduling service (docs/SERVICE.md)
+# ---------------------------------------------------------------------------
+
+#: Default service directory for serve/submit/status.
+SERVICE_DIR = ".repro_service"
+
+#: Schedulers the serve subcommand can run batches with.
+SERVICE_SCHEDULERS = ("random-delay", "round-robin", "sequential", "private")
+
+
+def _service_scheduler(name: str):
+    from repro.core import (
+        PrivateScheduler,
+        RandomDelayScheduler,
+        RoundRobinScheduler,
+        SequentialScheduler,
+    )
+
+    return {
+        "random-delay": RandomDelayScheduler,
+        "round-robin": RoundRobinScheduler,
+        "sequential": SequentialScheduler,
+        "private": PrivateScheduler,
+    }[name]()
+
+
+def _spool_dir(base) -> "object":
+    from pathlib import Path
+
+    return Path(base) / "spool"
+
+
+def _read_state(base) -> dict:
+    import json
+    from pathlib import Path
+
+    path = Path(base) / "state.json"
+    if not path.exists():
+        return {"jobs": {}}
+    return json.loads(path.read_text())
+
+
+def _submit_cli(args) -> None:
+    import json
+
+    from repro.service import parse_algorithm, parse_network
+
+    # Validate the specs before spooling anything.
+    parse_network(args.net)
+    parse_algorithm(args.algo)
+    spool = _spool_dir(args.dir)
+    spool.mkdir(parents=True, exist_ok=True)
+    # Ids continue across serve runs: count both waiting spool files and
+    # already-served jobs recorded in state.json.
+    existing = {p.stem for p in spool.glob("s*.json")}
+    existing.update(_read_state(args.dir).get("jobs", {}))
+    numbers = [int(sid[1:]) for sid in existing if sid[1:].isdigit()]
+    last = max(numbers) if numbers else 0
+    submitted = []
+    for offset in range(args.count):
+        spool_id = f"s{last + 1 + offset:04d}"
+        record = {
+            "id": spool_id,
+            "net": args.net,
+            "algo": args.algo,
+            "seed": args.seed,
+        }
+        (spool / f"{spool_id}.json").write_text(json.dumps(record, indent=2))
+        submitted.append(spool_id)
+    noun = "job" if len(submitted) == 1 else "jobs"
+    print(
+        f"spooled {len(submitted)} {noun} "
+        f"[{submitted[0]}..{submitted[-1]}] into {spool}"
+        if len(submitted) > 1
+        else f"spooled {submitted[0]} into {spool}"
+    )
+
+
+def _serve_cli(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro import __version__
+    from repro.experiments import format_table
+    from repro.parallel import ParallelRunner
+    from repro.service import (
+        AdmissionPolicy,
+        RunRegistry,
+        SchedulerService,
+        parse_algorithm,
+        parse_network,
+    )
+
+    base = Path(args.dir)
+    spool = _spool_dir(base)
+    specs = sorted(spool.glob("s*.json")) if spool.exists() else []
+    if not specs:
+        print(f"nothing to serve: no spooled jobs under {spool}")
+        return 0
+
+    policy = AdmissionPolicy(
+        round_budget=args.budget, park_over_budget=args.park
+    )
+    service = SchedulerService(
+        scheduler=_service_scheduler(args.scheduler),
+        batch_size=args.batch_size,
+        policy=policy,
+        registry=RunRegistry(base / "registry"),
+        runner=ParallelRunner(args.workers),
+        schedule_seed=args.seed,
+    )
+    state = _read_state(base)
+    spool_of = {}
+    for path in specs:
+        record = json.loads(path.read_text())
+        job = service.submit(
+            parse_network(record["net"]),
+            parse_algorithm(record["algo"]),
+            master_seed=record.get("seed", 0),
+        )
+        spool_of[job.job_id] = (record, path)
+    service.shutdown(drain=True)
+
+    rows = []
+    for job in service.jobs():
+        record, path = spool_of[job.job_id]
+        entry = job.describe()
+        entry["net"] = record["net"]
+        entry["algo"] = record["algo"]
+        entry["seed"] = record.get("seed", 0)
+        entry["repro_version"] = __version__
+        state["jobs"][record["id"]] = entry
+        if job.terminal:
+            path.unlink(missing_ok=True)
+        rows.append(
+            [
+                record["id"],
+                record["algo"],
+                job.state.value,
+                "registry" if (job.result and job.result.from_registry) else (
+                    f"batch×{job.result.batch_size}" if job.result else "-"
+                ),
+                job.reason or "-",
+            ]
+        )
+    state["version"] = __version__
+    (base / "state.json").write_text(json.dumps(state, indent=2))
+
+    print(format_table(["job", "algorithm", "state", "served by", "note"], rows))
+    stats = service.stats()
+    print(
+        f"\n{stats['jobs']['done']} done / {stats['jobs']['failed']} failed / "
+        f"{stats['jobs']['rejected']} rejected / {stats['jobs']['parked']} parked "
+        f"in {stats['batches']} batches; registry {stats['registry']}"
+    )
+    return 1 if stats["jobs"]["failed"] else 0
+
+
+def _status_cli(args) -> int:
+    from repro.experiments import format_table
+
+    state = _read_state(args.dir)
+    spool = _spool_dir(args.dir)
+    jobs = dict(state.get("jobs", {}))
+    if spool.exists():
+        import json
+
+        for path in sorted(spool.glob("s*.json")):
+            record = json.loads(path.read_text())
+            jobs.setdefault(
+                record["id"],
+                {"state": "spooled", "algo": record["algo"], "net": record["net"]},
+            )
+    if args.job:
+        entry = jobs.get(args.job)
+        if entry is None:
+            print(f"unknown job {args.job!r}")
+            return 1
+        for key, value in sorted(entry.items()):
+            print(f"{key}: {value}")
+        return 1 if entry.get("state") == "failed" else 0
+    if not jobs:
+        print(f"no jobs known under {args.dir}")
+        return 0
+    rows = [
+        [
+            spool_id,
+            entry.get("algo", entry.get("algorithm", "?")),
+            entry.get("state", "?"),
+            "yes" if entry.get("from_registry") else "-",
+            entry.get("reason", "-") or "-",
+        ]
+        for spool_id, entry in sorted(jobs.items())
+    ]
+    print(format_table(["job", "algorithm", "state", "registry", "note"], rows))
+    failed = sum(1 for e in jobs.values() if e.get("state") == "failed")
+    if failed:
+        print(f"\n{failed} job(s) failed")
+        return 1
+    return 0
+
+
 SCENARIOS = {
     "quickstart": _quickstart,
     "figure1": _figure1,
@@ -353,6 +570,88 @@ SCENARIOS = {
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] in ("--version", "-V", "version"):
+        from repro import __version__
+
+        print(f"repro {__version__}")
+        return 0
+
+    if argv and argv[0] == "submit":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro submit",
+            description="Spool a job for the batch scheduling service.",
+        )
+        parser.add_argument(
+            "--dir", default=SERVICE_DIR,
+            help=f"service directory (default: {SERVICE_DIR})",
+        )
+        parser.add_argument(
+            "--net", required=True,
+            help="network spec, e.g. grid:6x6, path:8, ring:12",
+        )
+        parser.add_argument(
+            "--algo", required=True,
+            help="algorithm spec, e.g. bfs:source=0,hops=4",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=0, help="master seed (default: 0)"
+        )
+        parser.add_argument(
+            "--count", type=int, default=1,
+            help="spool the same spec this many times (default: 1)",
+        )
+        _submit_cli(parser.parse_args(argv[1:]))
+        return 0
+
+    if argv and argv[0] == "serve":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro serve",
+            description="Drain the spooled jobs: batch, schedule, persist.",
+        )
+        parser.add_argument(
+            "--dir", default=SERVICE_DIR,
+            help=f"service directory (default: {SERVICE_DIR})",
+        )
+        parser.add_argument(
+            "--batch-size", type=int, default=8,
+            help="max jobs per workload execution (default: 8)",
+        )
+        parser.add_argument(
+            "--budget", type=int, default=None,
+            help="admission round budget (default: unlimited)",
+        )
+        parser.add_argument(
+            "--park", action="store_true",
+            help="park over-budget jobs instead of rejecting them",
+        )
+        parser.add_argument(
+            "--scheduler", default="random-delay", choices=SERVICE_SCHEDULERS,
+            help="scheduler executing each batch (default: random-delay)",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=None,
+            help="process-pool workers for independent batches "
+            "(default: REPRO_WORKERS, else serial)",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=1, help="schedule seed (default: 1)"
+        )
+        return _serve_cli(parser.parse_args(argv[1:]))
+
+    if argv and argv[0] == "status":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro status",
+            description="Report the lifecycle state of spooled/served jobs.",
+        )
+        parser.add_argument(
+            "--dir", default=SERVICE_DIR,
+            help=f"service directory (default: {SERVICE_DIR})",
+        )
+        parser.add_argument(
+            "--job", default=None, help="show one job's full record"
+        )
+        return _status_cli(parser.parse_args(argv[1:]))
+
     if argv and argv[0] == "trace":
         parser = argparse.ArgumentParser(
             prog="python -m repro trace",

@@ -1,0 +1,53 @@
+"""Single source of the package version, for provenance stamping.
+
+The authoritative number lives in ``pyproject.toml``; an installed
+distribution also carries it as package metadata. This module resolves
+the version once, at import time, preferring the installed metadata
+(correct for wheels and editable installs) and falling back to parsing
+the adjacent ``pyproject.toml`` for source-tree usage (``PYTHONPATH=src``
+— the repository's own test invocation), so ``repro.__version__``,
+``python -m repro --version``, :class:`~repro.metrics.schedule.ScheduleReport`
+stamps, and :mod:`repro.service` registry artifacts all agree.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = ["resolve_version"]
+
+#: Last-resort version when neither metadata nor pyproject is readable
+#: (e.g. a vendored copy of ``src/repro`` without the project root).
+_FALLBACK = "0.0.0+unknown"
+
+
+def _from_metadata() -> str | None:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8 has no importlib.metadata
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None
+
+
+def _from_pyproject() -> str | None:
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    match = re.search(
+        r'^version\s*=\s*["\']([^"\']+)["\']', text, flags=re.MULTILINE
+    )
+    return match.group(1) if match else None
+
+
+def resolve_version() -> str:
+    """Resolve the package version (metadata, else pyproject, else stub)."""
+    return _from_metadata() or _from_pyproject() or _FALLBACK
+
+
+__version__ = resolve_version()

@@ -21,7 +21,7 @@ from ..errors import (
     VerificationError,
 )
 from ..faults import NULL_INJECTOR, FaultInjector, FaultPlan
-from ..metrics.schedule import ScheduleReport
+from ..metrics.schedule import ENGINE_COUNTERS, ScheduleReport
 from ..telemetry import NULL_RECORDER, Recorder
 from .workload import OutputMap, Workload
 
@@ -118,6 +118,20 @@ class ScheduleResult:
                 algorithm=first.aid,
                 mismatches=len(self.mismatches),
             )
+
+
+def _surface_engine_counters(telemetry: Dict[str, Any]) -> None:
+    """Zero-fill the well-known engine counters in a telemetry snapshot.
+
+    The engines emit ``sim.late_deliveries`` / ``sim.skipped_rounds`` /
+    ``phase.skipped_phases`` / ``cluster.skipped_rounds`` only when the
+    corresponding code path fired; recorded reports surface all of them
+    uniformly so downstream aggregation (the service metrics, dashboards)
+    never special-cases which engine ran.
+    """
+    counters = telemetry.setdefault("counters", {})
+    for name in ENGINE_COUNTERS:
+        counters.setdefault(name, 0.0)
 
 
 def verify_outputs(workload: Workload, outputs: OutputMap) -> List[Mismatch]:
@@ -238,6 +252,7 @@ class Scheduler(ABC):
             if self.recorder.enabled:
                 self.recorder.counter("scheduler.failures")
                 report.telemetry = self.recorder.snapshot()
+                _surface_engine_counters(report.telemetry)
             self._stamp_faults(report)
             return ScheduleResult(
                 outputs={}, report=report, mismatches=[], failure=failure
@@ -269,5 +284,6 @@ class Scheduler(ABC):
                 "scheduler.precomputation_rounds", report.precomputation_rounds
             )
             report.telemetry = recorder.snapshot()
+            _surface_engine_counters(report.telemetry)
         self._stamp_faults(report)
         return ScheduleResult(outputs=outputs, report=report, mismatches=mismatches)

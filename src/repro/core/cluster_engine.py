@@ -201,7 +201,9 @@ def run_cluster_copies(
         key = (aid, node)
         value = seed_cache.get(key)
         if value is None:
-            value = ProgramHost.seed_for(workload.master_seed, aid, node)
+            value = ProgramHost.seed_for(
+                workload.master_seed, workload.tape_id(aid), node
+            )
             seed_cache[key] = value
         return value
 

@@ -60,7 +60,9 @@ class EagerScheduler(Scheduler):
                     workload.algorithms[aid],
                     node,
                     network,
-                    ProgramHost.seed_for(workload.master_seed, aid, node),
+                    ProgramHost.seed_for(
+                        workload.master_seed, workload.tape_id(aid), node
+                    ),
                     workload.message_bits,
                 )
                 for node in network.nodes

@@ -229,7 +229,9 @@ def run_delayed_phases(
                         algorithm,
                         node,
                         network,
-                        ProgramHost.seed_for(workload.master_seed, aid, node),
+                        ProgramHost.seed_for(
+                            workload.master_seed, workload.tape_id(aid), node
+                        ),
                         workload.message_bits,
                     )
                     for node in network.nodes

@@ -35,7 +35,7 @@ class SequentialScheduler(Scheduler):
                 sim.run(
                     algorithm,
                     seed=workload.master_seed,
-                    algorithm_id=aid,
+                    algorithm_id=workload.tape_id(aid),
                     max_rounds=self.round_budget,
                     on_limit="truncate" if self.round_budget is not None else "raise",
                 )

@@ -46,6 +46,17 @@ class Workload:
     an explicit :class:`~repro.parallel.cache.SoloRunCache`, or ``None``
     to always simulate fresh. Caching never changes results — the cache
     key pins every input of the deterministic simulator.
+
+    ``algorithm_ids`` optionally fixes each algorithm's *tape identity*:
+    the value salted (together with the master seed and the node id)
+    into every node's private random tape. By default the identity is
+    the algorithm's index — the paper's AID — which means an
+    algorithm's tape depends on its position in the workload. Callers
+    that re-batch the same algorithm into differently-shaped workloads
+    (notably :mod:`repro.service`, which must serve each job the exact
+    outputs of its standalone run regardless of which batch executed
+    it) pass stable identities instead, making outputs batch-invariant
+    even for randomized algorithms.
     """
 
     def __init__(
@@ -55,6 +66,7 @@ class Workload:
         master_seed: int = 0,
         message_bits: Optional[int] = -1,
         solo_cache: Union[SoloRunCache, str, None] = "default",
+        algorithm_ids: Optional[Sequence[Any]] = None,
     ):
         if not algorithms:
             raise ValueError("a workload needs at least one algorithm")
@@ -65,6 +77,14 @@ class Workload:
             message_bits = default_message_bits(network.num_nodes)
         self.message_bits = message_bits
         self.solo_cache = solo_cache
+        if algorithm_ids is not None and len(algorithm_ids) != len(self.algorithms):
+            raise ValueError(
+                f"algorithm_ids must match the number of algorithms "
+                f"({len(algorithm_ids)} ids for {len(self.algorithms)} algorithms)"
+            )
+        self.algorithm_ids: Optional[Tuple[Any, ...]] = (
+            tuple(algorithm_ids) if algorithm_ids is not None else None
+        )
         self._solo_runs: Optional[List[SoloRun]] = None
 
     # ------------------------------------------------------------------
@@ -78,6 +98,17 @@ class Workload:
     def aids(self) -> range:
         """Algorithm identifiers — their indices ``0 .. k-1``."""
         return range(len(self.algorithms))
+
+    def tape_id(self, aid: int) -> Any:
+        """The tape identity of algorithm ``aid`` (defaults to ``aid``).
+
+        Everything that derives a node's private random tape —
+        :meth:`~repro.congest.program.ProgramHost.seed_for` in the
+        execution engines, :meth:`solo_runs` for the references — must
+        go through this so explicit ``algorithm_ids`` take effect
+        consistently.
+        """
+        return self.algorithm_ids[aid] if self.algorithm_ids is not None else aid
 
     def _resolve_cache(self) -> Optional[SoloRunCache]:
         if self.solo_cache == "default":
@@ -93,7 +124,11 @@ class Workload:
             if cache is None:
                 sim = Simulator(self.network, message_bits=self.message_bits)
                 self._solo_runs = [
-                    sim.run(algorithm, seed=self.master_seed, algorithm_id=aid)
+                    sim.run(
+                        algorithm,
+                        seed=self.master_seed,
+                        algorithm_id=self.tape_id(aid),
+                    )
                     for aid, algorithm in enumerate(self.algorithms)
                 ]
             else:
@@ -101,7 +136,7 @@ class Workload:
                     cache.get_or_run(
                         self.network,
                         algorithm,
-                        algorithm_id=aid,
+                        algorithm_id=self.tape_id(aid),
                         seed=self.master_seed,
                         message_bits=self.message_bits,
                     )
@@ -150,31 +185,48 @@ class Workload:
         the other's algorithms to the AIDs after ours. Note that the
         other workload's algorithms get fresh random tapes under the
         merged seed (AIDs shift), so merge *before* depending on outputs
-        of randomized algorithms.
+        of randomized algorithms — unless both sides carry explicit
+        ``algorithm_ids``, which travel with their algorithms and keep
+        every tape (hence every output) unchanged by the merge.
         """
         if other.network != self.network:
             raise ValueError("workloads must share the same network")
+        merged_ids = None
+        if self.algorithm_ids is not None or other.algorithm_ids is not None:
+            merged_ids = [
+                self.tape_id(aid) for aid in range(len(self.algorithms))
+            ] + [other.tape_id(aid) for aid in range(len(other.algorithms))]
         return Workload(
             self.network,
             list(self.algorithms) + list(other.algorithms),
             master_seed=self.master_seed,
             message_bits=self.message_bits,
             solo_cache=self.solo_cache,
+            algorithm_ids=merged_ids,
         )
 
     def subset(self, aids) -> "Workload":
         """A workload containing only the given algorithm indices.
 
         Like :meth:`merged`, AIDs are re-assigned densely, so randomized
-        algorithms draw fresh tapes in the subset.
+        algorithms draw fresh tapes in the subset — unless explicit
+        ``algorithm_ids`` pin the tapes, in which case each chosen
+        algorithm keeps its identity (and therefore its outputs).
         """
+        aids = list(aids)
         chosen = [self.algorithms[aid] for aid in aids]
+        chosen_ids = (
+            [self.tape_id(aid) for aid in aids]
+            if self.algorithm_ids is not None
+            else None
+        )
         return Workload(
             self.network,
             chosen,
             master_seed=self.master_seed,
             message_bits=self.message_bits,
             solo_cache=self.solo_cache,
+            algorithm_ids=chosen_ids,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -23,9 +23,22 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from .._version import __version__
 from .congestion import WorkloadParams
 
-__all__ = ["ScheduleReport", "phase_schedule_length"]
+__all__ = ["ENGINE_COUNTERS", "ScheduleReport", "phase_schedule_length"]
+
+#: The execution-engine counters every recorded report surfaces
+#: uniformly in its telemetry snapshot (zero-filled when the engine
+#: never hit the code path), so aggregators — notably the
+#: :mod:`repro.service` metrics — can sum them across heterogeneous
+#: schedulers without reaching into engine internals.
+ENGINE_COUNTERS = (
+    "sim.late_deliveries",
+    "sim.skipped_rounds",
+    "phase.skipped_phases",
+    "cluster.skipped_rounds",
+)
 
 
 def phase_schedule_length(
@@ -56,11 +69,25 @@ class ScheduleReport:
     #: Metrics snapshot from the run's recorder (``None`` when the run
     #: used the default :data:`~repro.telemetry.NULL_RECORDER`).
     telemetry: Optional[Dict[str, Any]] = None
+    #: Package version that produced this report (provenance stamp,
+    #: also persisted into :mod:`repro.service` registry artifacts).
+    version: str = field(default=__version__)
 
     @property
     def total_rounds(self) -> int:
         """Schedule length plus pre-computation."""
         return self.length_rounds + self.precomputation_rounds
+
+    def engine_counters(self) -> Dict[str, float]:
+        """The :data:`ENGINE_COUNTERS` values, zero-filled.
+
+        Always returns every well-known counter, whether or not the run
+        recorded telemetry (an unrecorded run reports zeros), so
+        aggregation over a mixed stream of reports never needs
+        key-existence checks.
+        """
+        counters = (self.telemetry or {}).get("counters", {})
+        return {name: float(counters.get(name, 0.0)) for name in ENGINE_COUNTERS}
 
     @property
     def competitive_ratio(self) -> float:

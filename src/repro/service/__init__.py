@@ -1,0 +1,42 @@
+"""The batch scheduling service (see ``docs/SERVICE.md``).
+
+Turns the library's one-shot schedulers into a serving system: submit
+``(network, algorithm)`` jobs over time, let the service batch
+compatible jobs into single near-optimal workload executions, query job
+states at any time, and have every result persisted content-addressed
+so resubmissions never re-execute.
+
+* :class:`SchedulerService` — the service: admission, batching,
+  resilient execution with per-job retries, registry integration,
+  ``service.*`` telemetry, graceful drain/shutdown;
+* :class:`JobQueue` / :class:`Job` / :class:`JobState` — the queue and
+  the job lifecycle (``queued → batched → running → done/failed``, with
+  ``rejected``/``parked`` at admission);
+* :class:`AdmissionPolicy` — round-budget and queue-depth gates;
+* :class:`RunRegistry` / :class:`RunArtifact` — the persistent
+  content-addressed run registry;
+* :mod:`repro.service.specs` — the ``kind:key=value`` spec language of
+  the ``python -m repro serve|submit|status`` CLI.
+"""
+
+from .admission import AdmissionDecision, AdmissionPolicy
+from .jobs import Job, JobResult, JobState, job_fingerprint
+from .registry import RunArtifact, RunRegistry
+from .service import JobQueue, SchedulerService, ServiceClosed
+from .specs import parse_algorithm, parse_network
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "Job",
+    "JobQueue",
+    "JobResult",
+    "JobState",
+    "RunArtifact",
+    "RunRegistry",
+    "SchedulerService",
+    "ServiceClosed",
+    "job_fingerprint",
+    "parse_algorithm",
+    "parse_network",
+]

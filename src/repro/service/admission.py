@@ -1,0 +1,99 @@
+"""Admission control: keep the queue schedulable within a round budget.
+
+No schedule of a workload containing job *j* can run shorter than
+``max(congestion_j, dilation_j)`` — the trivial lower bound applies to
+every subset of a workload. A job whose *own* standalone parameters
+already exceed the service's round budget can therefore never be served
+within it, no matter how it is batched, and is rejected outright (or
+parked, when the operator prefers to hold such jobs for a later budget
+raise). A bounded queue depth additionally sheds load before the
+backlog grows unserviceable.
+
+The probe feeding these decisions is the job's solo reference run —
+which the service needs anyway as the verification ground truth, and
+which the content-addressed :class:`~repro.parallel.cache.SoloRunCache`
+shares with the batched workload's own references, so admission costs
+no extra simulation in the steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metrics.congestion import WorkloadParams
+
+__all__ = ["AdmissionDecision", "AdmissionPolicy"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    #: ``"admit"``, ``"park"``, or ``"reject"``.
+    action: str
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == "admit"
+
+
+_ADMIT = AdmissionDecision("admit")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Configurable admission rules for the scheduling service.
+
+    Parameters
+    ----------
+    round_budget:
+        Cap on any single workload execution's schedule length. A job
+        whose standalone ``dilation`` or ``congestion`` exceeds it is
+        unservable (the trivial lower bound) and is rejected — or
+        parked when ``park_over_budget`` is set. ``None`` admits any
+        size.
+    max_queue_depth:
+        Bound on jobs waiting in the queue (queued + parked); further
+        submissions are rejected until the backlog drains. ``None``
+        never sheds.
+    park_over_budget:
+        Park over-budget jobs (state ``parked``, releasable later)
+        instead of rejecting them.
+    """
+
+    round_budget: Optional[int] = None
+    max_queue_depth: Optional[int] = None
+    park_over_budget: bool = False
+
+    def __post_init__(self) -> None:
+        if self.round_budget is not None and self.round_budget < 1:
+            raise ValueError("round_budget must be positive (or None)")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive (or None)")
+
+    def check(
+        self, params: WorkloadParams, queue_depth: int
+    ) -> AdmissionDecision:
+        """Decide whether a probed job may enter the queue."""
+        if (
+            self.max_queue_depth is not None
+            and queue_depth >= self.max_queue_depth
+        ):
+            return AdmissionDecision(
+                "reject",
+                f"queue depth {queue_depth} at capacity "
+                f"{self.max_queue_depth}",
+            )
+        if self.round_budget is not None:
+            over = max(params.dilation, params.congestion)
+            if over > self.round_budget:
+                reason = (
+                    f"standalone max(congestion, dilation)={over} exceeds "
+                    f"round budget {self.round_budget}"
+                )
+                if self.park_over_budget:
+                    return AdmissionDecision("park", reason)
+                return AdmissionDecision("reject", reason)
+        return _ADMIT

@@ -1,0 +1,608 @@
+"""The batch scheduling service: queue, batcher, workers, registry glue.
+
+This is the serving shape the paper's result wants (Theorem 1.1:
+``k`` algorithms amortize into one ``O(congestion + dilation·log n)``
+schedule): callers :meth:`~SchedulerService.submit` independent
+``(network, algorithm)`` jobs over time, the service batches compatible
+jobs — same network, master seed, and message budget — into single
+:class:`~repro.core.workload.Workload` executions scheduled by any
+existing :class:`~repro.core.base.Scheduler`, and each job gets back
+exactly the outputs of its standalone run (stable tape identities make
+this hold batch-invariantly, even for randomized algorithms).
+
+Pipeline per submission::
+
+    submit ──registry hit──────────────────────────▶ done (no execution)
+       └────miss──▶ admission probe ──reject/park──▶ rejected / parked
+                        └──admit──▶ queued ──▶ batched ──▶ running ──▶ done
+                                                              └─retry─▶ failed
+
+Execution is resilient by construction: batches run through
+:meth:`~repro.core.base.Scheduler.run_resilient`, so fault-induced
+errors (:class:`~repro.core.base.ScheduleFailure` from exhausted
+retransmissions, tripped round budgets, coverage collapse) become
+structured results; jobs whose batch died or diverged are retried as
+solo executions up to ``max_retries`` before being marked ``failed`` —
+one bad job cannot sink its batchmates. :meth:`~SchedulerService.drain`
+fans independent batches out over a
+:class:`~repro.parallel.runner.ParallelRunner` process pool, and
+:meth:`~SchedulerService.shutdown` drains gracefully before closing the
+queue.
+
+Telemetry follows the Recorder pattern used everywhere else: attach an
+:class:`~repro.telemetry.InMemoryRecorder` for ``service.*`` counters
+(submissions, admissions, rejections, batches, registry traffic), the
+``service.queue_depth`` gauge, the ``service.batch_size`` histogram,
+and ``service.batch`` / ``service.drain`` spans.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..congest.message import default_message_bits
+from ..congest.network import Network
+from ..congest.program import Algorithm
+from ..congest.simulator import Simulator, SoloRun
+from ..core.base import ScheduleResult, Scheduler
+from ..core.random_delay import RandomDelayScheduler
+from ..core.workload import Workload
+from ..metrics.congestion import measure_params
+from ..metrics.schedule import ENGINE_COUNTERS, ScheduleReport
+from ..parallel.cache import SoloRunCache, default_cache
+from ..parallel.runner import ParallelRunner
+from ..telemetry import NULL_RECORDER, Recorder
+from .admission import AdmissionPolicy
+from .jobs import Job, JobResult, JobState, job_fingerprint
+from .registry import RunArtifact, RunRegistry
+
+__all__ = ["JobQueue", "SchedulerService", "ServiceClosed"]
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when submitting to a service that has been shut down."""
+
+
+class JobQueue:
+    """FIFO job store with compatibility-aware batch selection."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, Job] = {}
+        self._pending: List[str] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def new_job_id(self) -> str:
+        """Allocate the next sequential job id (``j0001``, ``j0002``, ...)."""
+        self._counter += 1
+        return f"j{self._counter:04d}"
+
+    def add(self, job: Job) -> None:
+        """Register a job; queued jobs also enter the pending FIFO."""
+        self.jobs[job.job_id] = job
+        if job.state is JobState.QUEUED:
+            self._pending.append(job.job_id)
+
+    def requeue(self, job: Job) -> None:
+        """Put a parked job back into the pending FIFO."""
+        job.transition(JobState.QUEUED)
+        self._pending.append(job.job_id)
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting to be batched (queued only)."""
+        return len(self._pending)
+
+    @property
+    def backlog(self) -> int:
+        """Jobs the service still owes work: queued + parked."""
+        return self.depth + sum(
+            1 for job in self.jobs.values() if job.state is JobState.PARKED
+        )
+
+    def parked(self) -> List[Job]:
+        """Every job currently parked by admission control."""
+        return [j for j in self.jobs.values() if j.state is JobState.PARKED]
+
+    def next_batch(self, batch_size: int) -> List[Job]:
+        """Pop up to ``batch_size`` mutually compatible queued jobs.
+
+        The oldest queued job anchors the batch; later queued jobs join
+        in FIFO order iff :meth:`~repro.service.jobs.Job.compatible_with`
+        the anchor (same network / master seed / message budget).
+        Incompatible jobs keep their queue position for a later batch.
+        """
+        if not self._pending or batch_size < 1:
+            return []
+        anchor = self.jobs[self._pending[0]]
+        batch: List[Job] = []
+        remaining: List[str] = []
+        for job_id in self._pending:
+            job = self.jobs[job_id]
+            if len(batch) < batch_size and job.compatible_with(anchor):
+                batch.append(job)
+            else:
+                remaining.append(job_id)
+        self._pending = remaining
+        return batch
+
+    def by_state(self) -> Dict[str, int]:
+        """Job counts per lifecycle state (all states always present)."""
+        counts = {state.value: 0 for state in JobState}
+        for job in self.jobs.values():
+            counts[job.state.value] += 1
+        return counts
+
+
+def _execute_payload(
+    payload: Tuple[Scheduler, Workload, int]
+) -> ScheduleResult:
+    # Module-level trampoline so ParallelRunner can pickle the task.
+    scheduler, workload, seed = payload
+    return scheduler.run_resilient(workload, seed=seed)
+
+
+class SchedulerService:
+    """Accepts jobs, batches them, executes, and persists results.
+
+    Parameters
+    ----------
+    scheduler:
+        Scheduler executing each batched workload (default
+        :class:`~repro.core.random_delay.RandomDelayScheduler` — the
+        Theorem 1.1 construction).
+    batch_size:
+        Maximum jobs per workload execution.
+    policy:
+        :class:`~repro.service.admission.AdmissionPolicy` applied at
+        submission (default: admit everything).
+    registry:
+        :class:`~repro.service.registry.RunRegistry` serving
+        resubmissions and persisting artifacts (default: a fresh
+        memory-only registry).
+    recorder:
+        Telemetry sink for ``service.*`` metrics; also threaded into
+        the scheduler and registry.
+    runner:
+        :class:`~repro.parallel.runner.ParallelRunner` fanning
+        independent batches out during :meth:`drain` (default serial).
+    max_retries:
+        Solo re-executions granted to a job whose batch failed or
+        diverged before it is marked ``failed``.
+    schedule_seed:
+        Seed for the scheduler's own randomness (delays, cluster
+        radii), fixed per service for reproducibility.
+    solo_cache:
+        Passed through to every workload built by the service (default:
+        the process-wide solo-run cache, which also makes admission
+        probes free once the reference exists).
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        batch_size: int = 8,
+        policy: Optional[AdmissionPolicy] = None,
+        registry: Optional[RunRegistry] = None,
+        recorder: Recorder = NULL_RECORDER,
+        runner: Optional[ParallelRunner] = None,
+        max_retries: int = 1,
+        schedule_seed: int = 1,
+        solo_cache: Any = "default",
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.scheduler = scheduler if scheduler is not None else RandomDelayScheduler()
+        self.batch_size = batch_size
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.registry = registry if registry is not None else RunRegistry()
+        self.recorder = recorder
+        if recorder.enabled and self.registry.recorder is NULL_RECORDER:
+            self.registry.recorder = recorder
+        self.runner = runner if runner is not None else ParallelRunner(1)
+        self.max_retries = max_retries
+        self.schedule_seed = schedule_seed
+        self.solo_cache = solo_cache
+        self.queue = JobQueue()
+        #: Reports of every workload execution (batches and solo
+        #: retries), in execution order — the raw material for
+        #: :meth:`stats`' engine-counter aggregation.
+        self.reports: List[ScheduleReport] = []
+        self._batch_counter = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        network: Network,
+        algorithm: Algorithm,
+        master_seed: int = 0,
+        message_bits: Optional[int] = -1,
+    ) -> Job:
+        """Submit one job; returns it in its post-admission state.
+
+        Resubmissions of content-identical jobs are served from the
+        registry immediately (state ``done``, ``result.from_registry``),
+        skipping admission and execution entirely.
+        """
+        if self._closed:
+            raise ServiceClosed("service has been shut down")
+        recorder = self.recorder
+        if message_bits == -1:
+            message_bits = default_message_bits(network.num_nodes)
+        fingerprint = job_fingerprint(
+            network, algorithm, master_seed, message_bits
+        )
+        job_id = self.queue.new_job_id()
+        tape_id = (
+            f"job:{fingerprint[:24]}"
+            if fingerprint is not None
+            else f"job-anon:{job_id}"
+        )
+        job = Job(
+            job_id=job_id,
+            network=network,
+            algorithm=algorithm,
+            master_seed=master_seed,
+            message_bits=message_bits,
+            fingerprint=fingerprint,
+            tape_id=tape_id,
+        )
+        if recorder.enabled:
+            recorder.counter("service.submitted")
+
+        artifact = self.registry.get(fingerprint)
+        if artifact is not None:
+            job.state = JobState.DONE
+            job.result = JobResult(
+                outputs=dict(artifact.outputs),
+                solo_rounds=artifact.solo_rounds,
+                scheduler=artifact.scheduler,
+                batch_size=artifact.batch_size,
+                from_registry=True,
+                version=artifact.version,
+            )
+            self.queue.add(job)
+            return job
+
+        probe = self._probe(job)
+        job.params = measure_params([probe])
+        decision = self.policy.check(job.params, self.queue.backlog)
+        if decision.admitted:
+            job.state = JobState.QUEUED
+            if recorder.enabled:
+                recorder.counter("service.admitted")
+        elif decision.action == "park":
+            job.state = JobState.PARKED
+            job.reason = decision.reason
+            if recorder.enabled:
+                recorder.counter("service.parked")
+        else:
+            job.state = JobState.REJECTED
+            job.reason = decision.reason
+            if recorder.enabled:
+                recorder.counter("service.rejected")
+        self.queue.add(job)
+        self._gauge_depth()
+        return job
+
+    def submit_many(
+        self,
+        network: Network,
+        algorithms: Sequence[Algorithm],
+        master_seed: int = 0,
+        message_bits: Optional[int] = -1,
+    ) -> List[Job]:
+        """Submit a stream of jobs sharing one network and seed."""
+        return [
+            self.submit(
+                network, algorithm, master_seed=master_seed,
+                message_bits=message_bits,
+            )
+            for algorithm in algorithms
+        ]
+
+    def _probe(self, job: Job) -> SoloRun:
+        """The job's standalone reference run (admission + ground truth).
+
+        Goes through the configured solo-run cache under the job's
+        stable tape identity, so the batched workload's own reference
+        lookups (same key) are hits — admission costs no extra
+        simulation in the steady state.
+        """
+        cache = self._resolve_cache()
+        if cache is not None:
+            return cache.get_or_run(
+                job.network,
+                job.algorithm,
+                algorithm_id=job.tape_id,
+                seed=job.master_seed,
+                message_bits=job.message_bits,
+            )
+        sim = Simulator(job.network, message_bits=job.message_bits)
+        return sim.run(
+            job.algorithm, seed=job.master_seed, algorithm_id=job.tape_id
+        )
+
+    def _resolve_cache(self) -> Optional[SoloRunCache]:
+        if self.solo_cache == "default":
+            return default_cache()
+        if isinstance(self.solo_cache, SoloRunCache):
+            return self.solo_cache
+        return None
+
+    # ------------------------------------------------------------------
+    # parked jobs
+    # ------------------------------------------------------------------
+
+    def release_parked(self) -> List[Job]:
+        """Re-queue every parked job (e.g. after raising the budget)."""
+        released = []
+        for job in self.queue.parked():
+            self.queue.requeue(job)
+            released.append(job)
+        self._gauge_depth()
+        return released
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _next_workload(self) -> Optional[Tuple[str, List[Job], Workload]]:
+        batch = self.queue.next_batch(self.batch_size)
+        if not batch:
+            return None
+        self._batch_counter += 1
+        batch_id = f"b{self._batch_counter:04d}"
+        workload = Workload(
+            batch[0].network,
+            [job.algorithm for job in batch],
+            master_seed=batch[0].master_seed,
+            message_bits=batch[0].message_bits,
+            solo_cache=self.solo_cache,
+            algorithm_ids=[job.tape_id for job in batch],
+        )
+        for job in batch:
+            job.transition(JobState.BATCHED)
+            job.meta["batch"] = batch_id
+        if self.recorder.enabled:
+            self.recorder.counter("service.batches")
+            self.recorder.observe("service.batch_size", len(batch))
+        self._gauge_depth()
+        return batch_id, batch, workload
+
+    def _batch_scheduler(self, for_pickle: bool = False) -> Scheduler:
+        scheduler = copy.copy(self.scheduler)
+        scheduler.recorder = NULL_RECORDER if for_pickle else self.recorder
+        return scheduler
+
+    def run_once(self) -> List[Job]:
+        """Batch and execute the oldest compatible queued jobs.
+
+        Returns the jobs of the executed batch (empty when the queue
+        was empty); every returned job is in a terminal state.
+        """
+        item = self._next_workload()
+        if item is None:
+            return []
+        batch_id, batch, workload = item
+        with self.recorder.span(
+            "service.batch", category="service", batch=batch_id, jobs=len(batch)
+        ):
+            result = self._batch_scheduler().run_resilient(
+                workload, seed=self.schedule_seed
+            )
+            self._settle(batch_id, batch, result)
+        return batch
+
+    def drain(self) -> List[Job]:
+        """Execute every queued batch; returns all jobs processed.
+
+        With a multi-worker runner, independent batches are fanned out
+        over the process pool (results return in submission order, so a
+        parallel drain settles jobs exactly like the serial loop);
+        retries always run in the parent so the registry and telemetry
+        see every outcome.
+        """
+        processed: List[Job] = []
+        with self.recorder.span("service.drain", category="service"):
+            if self.runner.workers <= 1:
+                while True:
+                    batch = self.run_once()
+                    if not batch:
+                        break
+                    processed.extend(batch)
+                return processed
+            while True:
+                staged: List[Tuple[str, List[Job], Workload]] = []
+                while True:
+                    item = self._next_workload()
+                    if item is None:
+                        break
+                    staged.append(item)
+                if not staged:
+                    break
+                payloads = [
+                    (self._batch_scheduler(for_pickle=True), workload,
+                     self.schedule_seed)
+                    for _, _, workload in staged
+                ]
+                results = self.runner.map(_execute_payload, payloads)
+                for (batch_id, batch, _), result in zip(staged, results):
+                    self._settle(batch_id, batch, result)
+                    processed.extend(batch)
+        return processed
+
+    def _settle(
+        self, batch_id: str, batch: List[Job], result: ScheduleResult
+    ) -> None:
+        """Assign a batch execution's outcome to its jobs (with retries)."""
+        self.reports.append(result.report)
+        served = set(result.verified_algorithms) if result.failure is None else set()
+        for aid, job in enumerate(batch):
+            job.transition(JobState.RUNNING)
+            job.attempts += 1
+            if aid in served:
+                self._complete(
+                    job,
+                    outputs={
+                        node: value
+                        for (a, node), value in result.outputs.items()
+                        if a == aid
+                    },
+                    scheduler=result.report.scheduler,
+                    batch_size=len(batch),
+                    batch_id=batch_id,
+                    length_rounds=result.report.length_rounds,
+                    version=result.report.version,
+                )
+            else:
+                self._retry_solo(job, batch_id, failure=result.failure)
+
+    def _retry_solo(self, job: Job, batch_id: str, failure=None) -> None:
+        """Re-execute a job alone until it verifies or retries run out."""
+        last_reason = str(failure) if failure is not None else "outputs diverged"
+        for _ in range(self.max_retries):
+            if self.recorder.enabled:
+                self.recorder.counter("service.retries")
+            job.attempts += 1
+            workload = Workload(
+                job.network,
+                [job.algorithm],
+                master_seed=job.master_seed,
+                message_bits=job.message_bits,
+                solo_cache=self.solo_cache,
+                algorithm_ids=[job.tape_id],
+            )
+            result = self._batch_scheduler().run_resilient(
+                workload, seed=self.schedule_seed
+            )
+            self.reports.append(result.report)
+            if result.correct:
+                self._complete(
+                    job,
+                    outputs={
+                        node: value
+                        for (_aid, node), value in result.outputs.items()
+                    },
+                    scheduler=result.report.scheduler,
+                    batch_size=1,
+                    batch_id=batch_id,
+                    length_rounds=result.report.length_rounds,
+                    version=result.report.version,
+                )
+                return
+            last_reason = (
+                str(result.failure)
+                if result.failure is not None
+                else f"{len(result.mismatches)} outputs diverged"
+            )
+        job.transition(JobState.FAILED, reason=last_reason)
+        if self.recorder.enabled:
+            self.recorder.counter("service.jobs_failed")
+
+    def _complete(
+        self,
+        job: Job,
+        outputs: Dict[int, Any],
+        scheduler: str,
+        batch_size: int,
+        batch_id: str,
+        length_rounds: int,
+        version: str,
+    ) -> None:
+        solo_rounds = job.params.dilation if job.params is not None else 0
+        job.result = JobResult(
+            outputs=outputs,
+            solo_rounds=solo_rounds,
+            scheduler=scheduler,
+            batch_size=batch_size,
+            version=version,
+        )
+        job.transition(JobState.DONE)
+        if self.recorder.enabled:
+            self.recorder.counter("service.jobs_done")
+        if job.fingerprint is not None:
+            self.registry.put(
+                RunArtifact(
+                    fingerprint=job.fingerprint,
+                    outputs=dict(outputs),
+                    solo_rounds=solo_rounds,
+                    scheduler=scheduler,
+                    batch_size=batch_size,
+                    version=version,
+                    meta={
+                        "batch": batch_id,
+                        "schedule_seed": self.schedule_seed,
+                        "length_rounds": length_rounds,
+                    },
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # querying and lifecycle
+    # ------------------------------------------------------------------
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """JSON-friendly status of one job (raises KeyError if unknown)."""
+        return self.queue.jobs[job_id].describe()
+
+    def jobs(self) -> List[Job]:
+        """All jobs ever submitted, in submission order."""
+        return sorted(self.queue.jobs.values(), key=lambda j: j.job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-level aggregate: states, queue, registry, engines.
+
+        The ``engine_counters`` block sums the uniform
+        :data:`~repro.metrics.schedule.ENGINE_COUNTERS` over every
+        execution report — possible without touching engine internals
+        because recorded reports surface them zero-filled.
+        """
+        engines = {name: 0.0 for name in ENGINE_COUNTERS}
+        for report in self.reports:
+            for name, value in report.engine_counters().items():
+                engines[name] += value
+        return {
+            "jobs": self.queue.by_state(),
+            "queue_depth": self.queue.depth,
+            "backlog": self.queue.backlog,
+            "batches": self._batch_counter,
+            "registry": self.registry.stats(),
+            "engine_counters": engines,
+            "closed": self._closed,
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(self, drain: bool = True) -> List[Job]:
+        """Stop accepting jobs; optionally drain the queue first.
+
+        Graceful by default: every queued job is executed before the
+        queue closes. Parked jobs stay parked (resubmittable to a
+        service with a bigger budget); with ``drain=False`` queued jobs
+        simply remain queued, visible via :meth:`status`.
+        """
+        processed = self.drain() if drain else []
+        self._closed = True
+        return processed
+
+    def _gauge_depth(self) -> None:
+        if self.recorder.enabled:
+            self.recorder.gauge("service.queue_depth", self.queue.depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SchedulerService(scheduler={self.scheduler.name!r}, "
+            f"batch_size={self.batch_size}, depth={self.queue.depth}, "
+            f"jobs={len(self.queue.jobs)})"
+        )

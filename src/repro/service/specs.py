@@ -1,0 +1,101 @@
+"""Text specs for jobs: how the CLI names networks and algorithms.
+
+``python -m repro submit`` has to describe a job in a shell argument, so
+this module defines a tiny ``kind:key=value,...`` spec language::
+
+    networks    grid:6x6   path:8   ring:12   complete:5   tree:3
+    algorithms  bfs:source=0,hops=4
+                broadcast:source=2,token=77,hops=4
+                pathtoken:path=0-1-2-3,token=9
+
+Specs round-trip: a job spec persisted into the service spool directory
+is parsed back by ``serve`` with :func:`parse_network` /
+:func:`parse_algorithm`, building the exact same objects — the
+content-addressed fingerprints therefore match across CLI invocations,
+which is what lets a resubmitted spec be served from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..algorithms.bfs import BFS
+from ..algorithms.broadcast import HopBroadcast
+from ..algorithms.tokens import PathToken
+from ..congest import topology
+from ..congest.network import Network
+from ..congest.program import Algorithm
+
+__all__ = ["parse_algorithm", "parse_network"]
+
+
+def _split(spec: str) -> Tuple[str, str]:
+    kind, _, rest = spec.strip().partition(":")
+    return kind.strip().lower(), rest.strip()
+
+
+def _fields(rest: str) -> Dict[str, str]:
+    fields: Dict[str, str] = {}
+    for part in rest.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"expected key=value, got {part!r}")
+        fields[key.strip()] = value.strip()
+    return fields
+
+
+def parse_network(spec: str) -> Network:
+    """Build a network from a spec like ``grid:6x6`` or ``path:8``."""
+    kind, rest = _split(spec)
+    try:
+        if kind == "grid":
+            rows, _, cols = rest.partition("x")
+            return topology.grid_graph(int(rows), int(cols))
+        if kind == "path":
+            return topology.path_graph(int(rest))
+        if kind == "ring":
+            return topology.cycle_graph(int(rest))
+        if kind == "complete":
+            return topology.complete_graph(int(rest))
+        if kind == "tree":
+            return topology.binary_tree(int(rest))
+    except ValueError as exc:
+        raise ValueError(f"bad network spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"unknown network kind {kind!r} (expected grid/path/ring/complete/tree)"
+    )
+
+
+def _require(fields: Dict[str, str], spec: str, *names: str) -> Dict[str, Any]:
+    missing = [name for name in names if name not in fields]
+    if missing:
+        raise ValueError(f"algorithm spec {spec!r} is missing {missing}")
+    return fields
+
+
+def parse_algorithm(spec: str) -> Algorithm:
+    """Build an algorithm from a spec like ``bfs:source=0,hops=4``."""
+    kind, rest = _split(spec)
+    fields = _fields(rest)
+    if kind == "bfs":
+        _require(fields, spec, "source", "hops")
+        return BFS(int(fields["source"]), hops=int(fields["hops"]))
+    if kind == "broadcast":
+        _require(fields, spec, "source", "token", "hops")
+        return HopBroadcast(
+            int(fields["source"]), int(fields["token"]), int(fields["hops"])
+        )
+    if kind == "pathtoken":
+        _require(fields, spec, "path", "token")
+        path = [int(node) for node in fields["path"].split("-") if node != ""]
+        if len(path) < 2:
+            raise ValueError(
+                f"algorithm spec {spec!r} needs a path of >= 2 nodes"
+            )
+        return PathToken(path, token=int(fields["token"]))
+    raise ValueError(
+        f"unknown algorithm kind {kind!r} (expected bfs/broadcast/pathtoken)"
+    )

@@ -1,0 +1,126 @@
+"""verify_outputs mismatch paths and ScheduleResult's failure semantics."""
+
+import pytest
+
+from repro.algorithms import BFS, HopBroadcast
+from repro.congest import topology
+from repro.core import RandomDelayScheduler, Workload
+from repro.core.base import Mismatch, ScheduleFailure, ScheduleResult, verify_outputs
+from repro.errors import VerificationError
+from repro.metrics.congestion import WorkloadParams
+from repro.metrics.schedule import ScheduleReport
+
+
+@pytest.fixture()
+def workload():
+    net = topology.grid_graph(4, 4)
+    return Workload(net, [BFS(0, hops=3), HopBroadcast(5, 42, 3)])
+
+
+def _report(num_algorithms):
+    return ScheduleReport(
+        scheduler="test",
+        params=WorkloadParams(
+            congestion=1, dilation=1, num_algorithms=num_algorithms
+        ),
+        length_rounds=1,
+    )
+
+
+class TestVerifyOutputs:
+    def test_exact_outputs_verify_clean(self, workload):
+        reference = workload.reference_outputs()
+        assert verify_outputs(workload, dict(reference)) == []
+
+    def test_missing_entry_is_a_mismatch(self, workload):
+        outputs = dict(workload.reference_outputs())
+        key = sorted(outputs)[0]
+        del outputs[key]
+        mismatches = verify_outputs(workload, outputs)
+        assert len(mismatches) == 1
+        m = mismatches[0]
+        assert (m.aid, m.node) == key
+        assert m.actual == "<missing>"
+        assert m.expected == workload.reference_outputs()[key]
+
+    def test_wrong_value_is_a_mismatch(self, workload):
+        outputs = dict(workload.reference_outputs())
+        key = sorted(outputs)[-1]
+        outputs[key] = ("corrupted",)
+        mismatches = verify_outputs(workload, outputs)
+        assert [(m.aid, m.node) for m in mismatches] == [key]
+        assert mismatches[0].actual == ("corrupted",)
+
+    def test_empty_outputs_flag_every_pair(self, workload):
+        reference = workload.reference_outputs()
+        mismatches = verify_outputs(workload, {})
+        assert len(mismatches) == len(reference)
+        assert all(m.actual == "<missing>" for m in mismatches)
+
+    def test_extra_outputs_are_ignored(self, workload):
+        outputs = dict(workload.reference_outputs())
+        outputs[(99, 0)] = "stray"
+        assert verify_outputs(workload, outputs) == []
+
+
+class TestScheduleResult:
+    def test_failure_with_no_outputs_diverges_everything(self):
+        result = ScheduleResult(
+            outputs={},
+            report=_report(3),
+            failure=ScheduleFailure(
+                stage="schedule", error="ScheduleError", message="boom"
+            ),
+        )
+        assert not result.correct
+        assert result.diverged_algorithms == [0, 1, 2]
+        assert result.verified_algorithms == []
+
+    def test_failure_with_partial_outputs_splits_by_mismatch(self):
+        # a run that died after producing some outputs: only algorithms
+        # with recorded mismatches count as diverged
+        result = ScheduleResult(
+            outputs={(0, 0): "ok", (1, 0): "bad"},
+            report=_report(3),
+            mismatches=[Mismatch(1, 0, expected="good", actual="bad")],
+            failure=ScheduleFailure(
+                stage="verify", error="CoverageError", message="cut off"
+            ),
+        )
+        assert not result.correct
+        assert result.diverged_algorithms == [1]
+        assert result.verified_algorithms == [0, 2]
+
+    def test_raise_on_mismatch_failure_path(self):
+        result = ScheduleResult(
+            outputs={},
+            report=_report(1),
+            failure=ScheduleFailure(
+                stage="schedule", error="ScheduleError", message="boom"
+            ),
+        )
+        with pytest.raises(VerificationError, match="failed before verification"):
+            result.raise_on_mismatch()
+
+    def test_raise_on_mismatch_carries_structured_fields(self):
+        result = ScheduleResult(
+            outputs={},
+            report=_report(2),
+            mismatches=[
+                Mismatch(1, 7, expected=3, actual=9),
+                Mismatch(1, 8, expected=4, actual="<missing>"),
+            ],
+        )
+        with pytest.raises(VerificationError) as info:
+            result.raise_on_mismatch()
+        err = info.value
+        assert err.algorithm == 1 and err.node == 7
+        assert err.mismatches == 2
+        assert "expected 3" in str(err)
+
+    def test_correct_result_raises_nothing(self, workload):
+        result = RandomDelayScheduler().run(workload, seed=1)
+        assert result.correct
+        result.raise_on_mismatch()
+        assert result.verified_algorithms == [0, 1]
+        assert result.mismatches == []

@@ -1,0 +1,161 @@
+"""Stable tape identities: Workload(algorithm_ids=...) semantics.
+
+Tape identities are what make the service's batching sound for
+randomized algorithms: a node's private random tape is derived from
+``(master_seed, tape_id, node)``, so pinning the tape id makes an
+algorithm's outputs invariant to its position — or companions — in
+whatever workload executes it.
+"""
+
+import pytest
+
+from repro.algorithms import BFS, LubyMIS, PushGossip
+from repro.congest import solo_run, topology
+from repro.core import (
+    EagerScheduler,
+    PrivateScheduler,
+    RandomDelayScheduler,
+    SequentialScheduler,
+    Workload,
+)
+
+
+@pytest.fixture()
+def grid():
+    return topology.grid_graph(5, 5)
+
+
+def _randomized(grid, count=4):
+    algos = []
+    for i in range(count):
+        if i % 2:
+            algos.append(PushGossip(i, rounds=6))
+        else:
+            algos.append(LubyMIS(grid.num_nodes))
+    return algos
+
+
+class TestDefaults:
+    def test_default_tape_id_is_the_aid(self, grid):
+        workload = Workload(grid, [BFS(0, hops=3), BFS(1, hops=3)])
+        assert workload.algorithm_ids is None
+        assert [workload.tape_id(a) for a in workload.aids] == [0, 1]
+
+    def test_explicit_ids_must_match_length(self, grid):
+        with pytest.raises(ValueError, match="algorithm_ids"):
+            Workload(grid, [BFS(0, hops=2)], algorithm_ids=["a", "b"])
+
+    def test_default_workload_matches_positional_solo(self, grid):
+        # legacy behavior is untouched: references use the AID as tape id
+        algos = _randomized(grid, 3)
+        workload = Workload(grid, algos, solo_cache=None)
+        for aid, algo in enumerate(algos):
+            ref = solo_run(grid, algo, seed=0, algorithm_id=aid)
+            assert workload.solo_runs()[aid].outputs == ref.outputs
+
+
+class TestPinnedTapes:
+    def test_references_use_the_pinned_identity(self, grid):
+        algo = PushGossip(0, rounds=6)
+        workload = Workload(
+            grid, [algo], algorithm_ids=["tape-x"], solo_cache=None
+        )
+        pinned = solo_run(grid, algo, seed=0, algorithm_id="tape-x")
+        positional = solo_run(grid, algo, seed=0, algorithm_id=0)
+        assert workload.solo_runs()[0].outputs == pinned.outputs
+        # the identity genuinely reroutes the tape for randomized algos
+        assert pinned.outputs != positional.outputs
+
+    # one scheduler per safe tape-derivation site: the sequential loop,
+    # the phase engine, and the cluster-copy engine (the eager engine is
+    # covered separately — it corrupts congested batches by design)
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            SequentialScheduler,
+            RandomDelayScheduler,
+            PrivateScheduler,
+        ],
+    )
+    def test_outputs_batch_invariant_across_schedulers(
+        self, grid, scheduler_factory
+    ):
+        algos = _randomized(grid, 4)
+        ids = [f"stable:{i}" for i in range(4)]
+        scheduler = scheduler_factory()
+
+        full = scheduler.run(
+            Workload(grid, algos, algorithm_ids=ids, solo_cache=None), seed=1
+        )
+        assert full.correct
+
+        # re-batch the last algorithm alone (position 3 -> position 0)
+        solo = scheduler.run(
+            Workload(
+                grid, [algos[3]], algorithm_ids=[ids[3]], solo_cache=None
+            ),
+            seed=1,
+        )
+        assert solo.correct
+        full_outputs = {
+            node: v for (aid, node), v in full.outputs.items() if aid == 3
+        }
+        solo_outputs = {node: v for (_, node), v in solo.outputs.items()}
+        assert full_outputs == solo_outputs
+
+    def test_eager_engine_honors_pinned_tapes(self, grid):
+        # k=1 keeps the eager ablation conflict-free, isolating its
+        # tape-derivation site
+        algo = PushGossip(0, rounds=6)
+        result = EagerScheduler().run(
+            Workload(grid, [algo], algorithm_ids=["tape-x"], solo_cache=None),
+            seed=1,
+        )
+        assert result.correct
+        reference = solo_run(grid, algo, seed=0, algorithm_id="tape-x")
+        assert {
+            node: v for (_, node), v in result.outputs.items()
+        } == reference.outputs
+
+
+class TestComposition:
+    def test_merged_preserves_pinned_identities(self, grid):
+        algos = _randomized(grid, 4)
+        left = Workload(
+            grid, algos[:2], algorithm_ids=["a", "b"], solo_cache=None
+        )
+        right = Workload(
+            grid, algos[2:], algorithm_ids=["c", "d"], solo_cache=None
+        )
+        merged = left.merged(right)
+        assert merged.algorithm_ids == ("a", "b", "c", "d")
+        for aid in range(4):
+            assert (
+                merged.solo_runs()[aid].outputs
+                == (left, left, right, right)[aid]
+                .solo_runs()[aid % 2]
+                .outputs
+            )
+
+    def test_merged_mixed_sides_promotes_positional_ids(self, grid):
+        left = Workload(grid, [BFS(0, hops=2)], algorithm_ids=["a"])
+        right = Workload(grid, [BFS(1, hops=2)])  # positional
+        assert left.merged(right).algorithm_ids == ("a", 0)
+
+    def test_merged_without_ids_stays_positional(self, grid):
+        left = Workload(grid, [BFS(0, hops=2)])
+        right = Workload(grid, [BFS(1, hops=2)])
+        assert left.merged(right).algorithm_ids is None
+
+    def test_subset_preserves_pinned_identities(self, grid):
+        algos = _randomized(grid, 4)
+        ids = ["a", "b", "c", "d"]
+        workload = Workload(grid, algos, algorithm_ids=ids, solo_cache=None)
+        sub = workload.subset([3, 1])
+        assert sub.algorithm_ids == ("d", "b")
+        assert sub.solo_runs()[0].outputs == workload.solo_runs()[3].outputs
+        assert sub.solo_runs()[1].outputs == workload.solo_runs()[1].outputs
+
+    def test_subset_without_ids_stays_positional(self, grid):
+        workload = Workload(grid, [BFS(0, hops=2), BFS(1, hops=2)])
+        assert workload.subset([1]).algorithm_ids is None

@@ -1,0 +1,55 @@
+"""Admission policy decisions and validation."""
+
+import pytest
+
+from repro.metrics.congestion import WorkloadParams
+from repro.service import AdmissionPolicy
+
+
+def _params(congestion, dilation):
+    return WorkloadParams(congestion=congestion, dilation=dilation, num_algorithms=1)
+
+
+class TestPolicy:
+    def test_default_admits_everything(self):
+        policy = AdmissionPolicy()
+        assert policy.check(_params(10**6, 10**6), queue_depth=10**6).admitted
+
+    def test_over_budget_dilation_rejected(self):
+        policy = AdmissionPolicy(round_budget=10)
+        decision = policy.check(_params(2, 11), queue_depth=0)
+        assert decision.action == "reject"
+        assert "round budget 10" in decision.reason
+
+    def test_over_budget_congestion_rejected(self):
+        policy = AdmissionPolicy(round_budget=10)
+        assert policy.check(_params(11, 2), queue_depth=0).action == "reject"
+
+    def test_at_budget_admitted(self):
+        policy = AdmissionPolicy(round_budget=10)
+        assert policy.check(_params(10, 10), queue_depth=0).admitted
+
+    def test_park_over_budget(self):
+        policy = AdmissionPolicy(round_budget=10, park_over_budget=True)
+        decision = policy.check(_params(11, 1), queue_depth=0)
+        assert decision.action == "park" and not decision.admitted
+
+    def test_queue_depth_sheds_load(self):
+        policy = AdmissionPolicy(max_queue_depth=2)
+        assert policy.check(_params(1, 1), queue_depth=1).admitted
+        decision = policy.check(_params(1, 1), queue_depth=2)
+        assert decision.action == "reject"
+        assert "capacity" in decision.reason
+
+    def test_depth_check_wins_over_parking(self):
+        policy = AdmissionPolicy(
+            round_budget=10, max_queue_depth=1, park_over_budget=True
+        )
+        assert policy.check(_params(99, 99), queue_depth=5).action == "reject"
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"round_budget": 0}, {"max_queue_depth": 0}]
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**kwargs)

@@ -1,0 +1,129 @@
+"""The service CLI: submit spools, serve drains, status reports."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        code, out = _run(capsys, "--version")
+        assert code == 0
+        assert out.strip() == f"repro {repro.__version__}"
+
+    @pytest.mark.parametrize("flag", ["-V", "version"])
+    def test_aliases(self, capsys, flag):
+        code, out = _run(capsys, flag)
+        assert code == 0 and out.startswith("repro ")
+
+
+class TestSubmit:
+    def test_submit_spools_a_record(self, tmp_path, capsys):
+        code, out = _run(
+            capsys,
+            "submit",
+            "--dir", str(tmp_path),
+            "--net", "grid:4x4",
+            "--algo", "bfs:source=0,hops=3",
+        )
+        assert code == 0 and "spooled s0001" in out
+        record = json.loads((tmp_path / "spool" / "s0001.json").read_text())
+        assert record == {
+            "id": "s0001",
+            "net": "grid:4x4",
+            "algo": "bfs:source=0,hops=3",
+            "seed": 0,
+        }
+
+    def test_submit_count_allocates_sequential_ids(self, tmp_path, capsys):
+        _run(
+            capsys,
+            "submit", "--dir", str(tmp_path),
+            "--net", "path:6", "--algo", "bfs:source=0,hops=2",
+            "--count", "3",
+        )
+        stems = sorted(p.stem for p in (tmp_path / "spool").glob("*.json"))
+        assert stems == ["s0001", "s0002", "s0003"]
+
+    def test_bad_spec_rejected_before_spooling(self, tmp_path, capsys):
+        with pytest.raises(ValueError):
+            main([
+                "submit", "--dir", str(tmp_path),
+                "--net", "blob:9", "--algo", "bfs:source=0,hops=2",
+            ])
+        assert not (tmp_path / "spool").exists()
+
+
+class TestServeAndStatus:
+    def _spool(self, capsys, tmp_path, algo, count=1):
+        _run(
+            capsys,
+            "submit", "--dir", str(tmp_path),
+            "--net", "grid:4x4", "--algo", algo,
+            "--count", str(count),
+        )
+
+    def test_serve_drains_and_status_reports_done(self, tmp_path, capsys):
+        self._spool(capsys, tmp_path, "bfs:source=0,hops=3", count=3)
+        self._spool(capsys, tmp_path, "broadcast:source=5,token=42,hops=3")
+
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path))
+        assert code == 0
+        assert "4 done / 0 failed" in out
+        assert "in 1 batches" in out  # all four jobs share one network
+        # terminal jobs leave the spool; results persist in state.json
+        assert list((tmp_path / "spool").glob("*.json")) == []
+        state = json.loads((tmp_path / "state.json").read_text())
+        assert set(state["jobs"]) == {"s0001", "s0002", "s0003", "s0004"}
+        assert all(e["state"] == "done" for e in state["jobs"].values())
+
+        code, out = _run(capsys, "status", "--dir", str(tmp_path))
+        assert code == 0
+        assert out.count("done") >= 4
+
+        code, out = _run(capsys, "status", "--dir", str(tmp_path), "--job", "s0002")
+        assert code == 0 and "state: done" in out
+
+    def test_resubmitted_spec_served_from_registry(self, tmp_path, capsys):
+        self._spool(capsys, tmp_path, "bfs:source=1,hops=3")
+        _run(capsys, "serve", "--dir", str(tmp_path))
+
+        # same spec again, fresh process-equivalent service: disk registry hit
+        self._spool(capsys, tmp_path, "bfs:source=1,hops=3")
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path))
+        assert code == 0 and "registry" in out
+        state = json.loads((tmp_path / "state.json").read_text())
+        assert state["jobs"]["s0002"]["from_registry"] is True
+        # ids continued across serve runs instead of clobbering s0001
+        assert state["jobs"]["s0001"]["state"] == "done"
+
+    def test_budget_rejection_surfaces_in_status(self, tmp_path, capsys):
+        self._spool(capsys, tmp_path, "bfs:source=0,hops=6")
+        code, out = _run(
+            capsys, "serve", "--dir", str(tmp_path), "--budget", "2"
+        )
+        assert code == 0 and "rejected" in out
+        code, out = _run(capsys, "status", "--dir", str(tmp_path))
+        assert "rejected" in out
+
+    def test_serve_empty_spool_is_a_noop(self, tmp_path, capsys):
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path))
+        assert code == 0 and "nothing to serve" in out
+
+    def test_status_unknown_job(self, tmp_path, capsys):
+        code, out = _run(capsys, "status", "--dir", str(tmp_path), "--job", "s0009")
+        assert code == 1 and "unknown job" in out
+
+    def test_status_spooled_before_serve(self, tmp_path, capsys):
+        self._spool(capsys, tmp_path, "bfs:source=0,hops=2")
+        code, out = _run(capsys, "status", "--dir", str(tmp_path))
+        assert code == 0 and "spooled" in out

@@ -1,0 +1,93 @@
+"""Job identity, compatibility, and lifecycle invariants."""
+
+import pytest
+
+from repro.algorithms import BFS, HopBroadcast
+from repro.congest import topology
+from repro.service import Job, JobState, job_fingerprint
+
+
+def _job(network, algorithm, seed=0, bits=64, job_id="j0001"):
+    fp = job_fingerprint(network, algorithm, seed, bits)
+    return Job(
+        job_id=job_id,
+        network=network,
+        algorithm=algorithm,
+        master_seed=seed,
+        message_bits=bits,
+        fingerprint=fp,
+        tape_id=f"job:{fp[:24]}" if fp else f"job-anon:{job_id}",
+    )
+
+
+class TestFingerprint:
+    def test_deterministic_across_equal_objects(self):
+        net_a = topology.grid_graph(4, 4)
+        net_b = topology.grid_graph(4, 4)
+        fp_a = job_fingerprint(net_a, BFS(0, hops=3), 0, 64)
+        fp_b = job_fingerprint(net_b, BFS(0, hops=3), 0, 64)
+        assert fp_a == fp_b
+
+    def test_sensitive_to_every_input(self):
+        net = topology.grid_graph(4, 4)
+        base = job_fingerprint(net, BFS(0, hops=3), 0, 64)
+        assert base != job_fingerprint(net, BFS(1, hops=3), 0, 64)
+        assert base != job_fingerprint(net, BFS(0, hops=4), 0, 64)
+        assert base != job_fingerprint(net, BFS(0, hops=3), 1, 64)
+        assert base != job_fingerprint(net, BFS(0, hops=3), 0, 32)
+        assert base != job_fingerprint(
+            topology.grid_graph(4, 5), BFS(0, hops=3), 0, 64
+        )
+
+    def test_unfingerprintable_algorithm_yields_none(self):
+        class Weird(BFS):
+            def __init__(self):
+                super().__init__(0, hops=2)
+                self.hook = lambda: None  # lambdas cannot be fingerprinted
+
+        assert job_fingerprint(topology.path_graph(4), Weird(), 0, 64) is None
+
+
+class TestCompatibility:
+    def test_same_network_seed_bits_compatible(self):
+        net = topology.grid_graph(3, 3)
+        a = _job(net, BFS(0, hops=2), job_id="j0001")
+        b = _job(net, HopBroadcast(1, 7, 2), job_id="j0002")
+        assert a.compatible_with(b) and b.compatible_with(a)
+
+    def test_differing_seed_or_bits_incompatible(self):
+        net = topology.grid_graph(3, 3)
+        a = _job(net, BFS(0, hops=2))
+        assert not a.compatible_with(_job(net, BFS(0, hops=2), seed=1))
+        assert not a.compatible_with(_job(net, BFS(0, hops=2), bits=32))
+
+    def test_different_network_incompatible(self):
+        a = _job(topology.grid_graph(3, 3), BFS(0, hops=2))
+        b = _job(topology.path_graph(9), BFS(0, hops=2))
+        assert not a.compatible_with(b)
+
+
+class TestLifecycle:
+    def test_progression_and_terminality(self):
+        job = _job(topology.path_graph(4), BFS(0, hops=2))
+        assert job.state is JobState.QUEUED and not job.terminal
+        job.transition(JobState.BATCHED)
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.DONE)
+        assert job.terminal
+
+    def test_terminal_states_are_sticky(self):
+        job = _job(topology.path_graph(4), BFS(0, hops=2))
+        job.transition(JobState.FAILED, reason="boom")
+        assert job.reason == "boom"
+        with pytest.raises(ValueError, match="failed"):
+            job.transition(JobState.QUEUED)
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        job = _job(topology.path_graph(4), BFS(0, hops=2))
+        record = job.describe()
+        assert record["state"] == "queued"
+        assert record["job_id"] == "j0001"
+        json.dumps(record)  # must not raise

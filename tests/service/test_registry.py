@@ -1,0 +1,94 @@
+"""RunRegistry persistence, counters, and corruption handling."""
+
+import pickle
+
+from repro.service import RunArtifact, RunRegistry
+from repro.telemetry import InMemoryRecorder
+
+
+def _artifact(fp="f" * 8, **meta):
+    return RunArtifact(
+        fingerprint=fp,
+        outputs={0: 1, 1: 2},
+        solo_rounds=3,
+        scheduler="random-delay",
+        batch_size=4,
+        meta=meta,
+    )
+
+
+class TestMemoryTier:
+    def test_put_then_get(self):
+        registry = RunRegistry()
+        registry.put(_artifact())
+        artifact = registry.get("f" * 8)
+        assert artifact is not None and artifact.outputs == {0: 1, 1: 2}
+        assert registry.stats()["hits"] == 1
+        assert registry.stats()["stores"] == 1
+
+    def test_none_fingerprint_always_misses(self):
+        registry = RunRegistry()
+        assert registry.get(None) is None
+        assert registry.stats()["misses"] == 1
+
+    def test_memory_tier_is_bounded(self):
+        registry = RunRegistry(max_memory_entries=2)
+        for i in range(5):
+            registry.put(_artifact(fp=f"fp{i}"))
+        assert len(registry) == 2
+        assert registry.get("fp0") is None  # evicted
+        assert registry.get("fp4") is not None
+
+    def test_version_stamped(self):
+        import repro
+
+        assert _artifact().version == repro.__version__
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        RunRegistry(tmp_path).put(_artifact(batch="b0001"))
+        fresh = RunRegistry(tmp_path)
+        artifact = fresh.get("f" * 8)
+        assert artifact is not None
+        assert artifact.meta["batch"] == "b0001"
+        assert fresh.stats()["hits"] == 1
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.put(_artifact())
+        path = tmp_path / ("f" * 8 + ".pkl")
+        path.write_bytes(b"not a pickle")
+        fresh = RunRegistry(tmp_path)
+        assert fresh.get("f" * 8) is None
+
+    def test_wrong_type_entry_counts_as_miss(self, tmp_path):
+        path = tmp_path / ("a" * 8 + ".pkl")
+        path.write_bytes(pickle.dumps({"not": "an artifact"}))
+        assert RunRegistry(tmp_path).get("a" * 8) is None
+
+    def test_fingerprints_lists_both_tiers(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.put(_artifact(fp="aa"))
+        fresh = RunRegistry(tmp_path)
+        fresh.put(_artifact(fp="bb"))
+        assert fresh.fingerprints() == ["aa", "bb"]
+
+    def test_clear_disk(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.put(_artifact())
+        registry.clear(disk=True)
+        assert RunRegistry(tmp_path).get("f" * 8) is None
+
+
+class TestTelemetry:
+    def test_counters_emitted(self):
+        recorder = InMemoryRecorder()
+        registry = RunRegistry(recorder=recorder)
+        registry.get("missing")
+        registry.put(_artifact())
+        registry.get("f" * 8)
+        counters = recorder.snapshot()["counters"]
+        assert counters["service.registry_miss"] == 1
+        assert counters["service.registry_store"] == 1
+        assert counters["service.registry_hit"] == 1

@@ -1,0 +1,77 @@
+"""Spec parsing for the service CLI: networks, algorithms, round-trips."""
+
+import pytest
+
+from repro.algorithms import BFS, HopBroadcast, PathToken
+from repro.service import job_fingerprint, parse_algorithm, parse_network
+
+
+class TestNetworks:
+    def test_grid(self):
+        net = parse_network("grid:4x5")
+        assert net.num_nodes == 20
+
+    def test_path(self):
+        assert parse_network("path:8").num_nodes == 8
+
+    def test_ring(self):
+        net = parse_network("ring:6")
+        assert net.num_nodes == 6
+        assert all(len(net.neighbors(v)) == 2 for v in net.nodes)
+
+    def test_complete(self):
+        net = parse_network("complete:5")
+        assert net.num_edges == 10
+
+    def test_tree(self):
+        assert parse_network("tree:3").num_nodes == 15
+
+    def test_case_and_whitespace_tolerated(self):
+        assert parse_network("  GRID:3x3 ").num_nodes == 9
+
+    @pytest.mark.parametrize(
+        "spec", ["mesh:3", "grid:3", "grid:axb", "path:", "grid"]
+    )
+    def test_bad_specs_raise_with_context(self, spec):
+        with pytest.raises(ValueError):
+            parse_network(spec)
+
+
+class TestAlgorithms:
+    def test_bfs(self):
+        algo = parse_algorithm("bfs:source=2,hops=5")
+        assert isinstance(algo, BFS)
+
+    def test_broadcast(self):
+        algo = parse_algorithm("broadcast:source=0,token=77,hops=3")
+        assert isinstance(algo, HopBroadcast)
+
+    def test_pathtoken(self):
+        algo = parse_algorithm("pathtoken:path=0-1-2-3,token=9")
+        assert isinstance(algo, PathToken)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bfs:source=2",  # missing hops
+            "bfs:hops",  # not key=value
+            "sort:source=0",  # unknown kind
+            "pathtoken:path=0,token=1",  # single-node path
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError, match="spec|key=value|kind"):
+            parse_algorithm(spec)
+
+
+class TestRoundTrip:
+    def test_reparsed_specs_share_a_fingerprint(self):
+        # the registry contract for the CLI: a spec parsed in two
+        # different processes addresses the same artifact
+        first = job_fingerprint(
+            parse_network("grid:5x5"), parse_algorithm("bfs:source=3,hops=4"), 0, 64
+        )
+        second = job_fingerprint(
+            parse_network("grid:5x5"), parse_algorithm("bfs:source=3,hops=4"), 0, 64
+        )
+        assert first is not None and first == second

@@ -1,0 +1,46 @@
+"""Package version resolution and provenance stamping."""
+
+import re
+
+import repro
+from repro._version import resolve_version
+from repro.algorithms import BFS
+from repro.congest import topology
+from repro.core import SequentialScheduler, Workload
+
+
+class TestResolution:
+    def test_version_attribute_exists(self):
+        assert isinstance(repro.__version__, str) and repro.__version__
+
+    def test_matches_pyproject(self):
+        from pathlib import Path
+
+        pyproject = (
+            Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        )
+        declared = re.search(
+            r"^version\s*=\s*[\"']([^\"']+)[\"']",
+            pyproject.read_text(),
+            re.MULTILINE,
+        ).group(1)
+        assert repro.__version__ == declared
+
+    def test_resolver_is_idempotent(self):
+        assert resolve_version() == repro.__version__
+
+
+class TestProvenance:
+    def test_schedule_report_is_stamped(self):
+        net = topology.path_graph(6)
+        result = SequentialScheduler().run(Workload(net, [BFS(0, hops=2)]))
+        assert result.report.version == repro.__version__
+
+    def test_dataclass_serialization_carries_version(self):
+        from dataclasses import asdict
+
+        net = topology.path_graph(6)
+        report = SequentialScheduler().run(
+            Workload(net, [BFS(0, hops=2)])
+        ).report
+        assert asdict(report)["version"] == repro.__version__
