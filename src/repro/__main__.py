@@ -48,6 +48,24 @@ the spool — batching compatible jobs into single scheduled executions
 and persisting results into the directory's content-addressed run
 registry (resubmitted specs are served from it without re-execution) —
 and ``status`` reports every job's lifecycle state at any time.
+``serve`` also appends a job-lifecycle event log (``events.jsonl``) and
+persists the service stats — including p50/p90/p99 queue and
+end-to-end latency histograms derived from that log — into
+``state.json``; ``status --json`` emits the whole thing as JSON and
+``status --metrics`` as Prometheus text.
+
+And the observability subcommands (see ``docs/OBSERVABILITY.md``)::
+
+    python -m repro profile <trace>            # wall-time attribution
+    python -m repro metrics [state|trace]      # Prometheus exposition
+    python -m repro bench compare OLD NEW      # benchmark trajectory
+
+``profile`` attributes self/total wall time across the spans of a
+Chrome trace or JSONL stream; ``metrics`` renders a metrics snapshot
+(service ``state.json``, raw registry snapshot, or JSONL trace) in the
+Prometheus text exposition format; ``bench compare`` diffs two e-series
+result artifacts — or two whole ``benchmarks/results`` directories —
+and flags metric regressions beyond a threshold.
 
 ``python -m repro --version`` prints the package version.
 """
@@ -55,6 +73,7 @@ and ``status`` reports every job's lifecycle state at any time.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -442,6 +461,7 @@ def _serve_cli(args) -> int:
     from repro.parallel import ParallelRunner
     from repro.service import (
         AdmissionPolicy,
+        EventLog,
         RunRegistry,
         SchedulerService,
         parse_algorithm,
@@ -465,6 +485,7 @@ def _serve_cli(args) -> int:
         registry=RunRegistry(base / "registry"),
         runner=ParallelRunner(args.workers),
         schedule_seed=args.seed,
+        events=EventLog(base / "events.jsonl"),
     )
     state = _read_state(base)
     spool_of = {}
@@ -501,16 +522,60 @@ def _serve_cli(args) -> int:
             ]
         )
     state["version"] = __version__
+    stats = service.stats()
+    state["stats"] = stats
     (base / "state.json").write_text(json.dumps(state, indent=2))
 
     print(format_table(["job", "algorithm", "state", "served by", "note"], rows))
-    stats = service.stats()
     print(
         f"\n{stats['jobs']['done']} done / {stats['jobs']['failed']} failed / "
         f"{stats['jobs']['rejected']} rejected / {stats['jobs']['parked']} parked "
         f"in {stats['batches']} batches; registry {stats['registry']}"
     )
+    latency = stats.get("latency")
+    if latency and latency["e2e_latency_s"]["count"]:
+        e2e = latency["e2e_latency_s"]
+        print(
+            f"e2e latency p50={e2e['p50'] * 1e3:.1f}ms "
+            f"p90={e2e['p90'] * 1e3:.1f}ms p99={e2e['p99'] * 1e3:.1f}ms; "
+            f"{latency['jobs_per_sec']:.1f} jobs/s "
+            f"({latency['events']} events -> {base / 'events.jsonl'})"
+        )
     return 1 if stats["jobs"]["failed"] else 0
+
+
+def _stats_snapshot(stats: dict) -> dict:
+    """Service stats (as persisted in ``state.json``) as a metrics snapshot.
+
+    Rebuilds the ``{"counters", "gauges", "histograms"}`` shape
+    :func:`repro.telemetry.prometheus_text` renders, so the persisted
+    service state is scrapeable without a live recorder.
+    """
+    counters = {
+        f"service.jobs.{state}": count
+        for state, count in (stats.get("jobs") or {}).items()
+    }
+    counters["service.batches"] = stats.get("batches", 0)
+    for name, value in (stats.get("engine_counters") or {}).items():
+        counters[name] = value
+    registry = stats.get("registry") or {}
+    if isinstance(registry, dict):
+        for key, value in registry.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                counters[f"service.registry.{key}"] = value
+    gauges = {
+        "service.queue_depth": stats.get("queue_depth", 0),
+        "service.backlog": stats.get("backlog", 0),
+        "service.events": stats.get("events", 0),
+    }
+    histograms = {}
+    latency = stats.get("latency") or {}
+    for key in ("queue_latency_s", "e2e_latency_s"):
+        if isinstance(latency.get(key), dict):
+            histograms[f"service.{key}"] = latency[key]
+    if latency:
+        gauges["service.jobs_per_sec"] = latency.get("jobs_per_sec", 0.0)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
 def _status_cli(args) -> int:
@@ -528,6 +593,27 @@ def _status_cli(args) -> int:
                 record["id"],
                 {"state": "spooled", "algo": record["algo"], "net": record["net"]},
             )
+    if getattr(args, "json", False):
+        import json
+
+        payload = {
+            "dir": str(args.dir),
+            "version": state.get("version"),
+            "jobs": jobs,
+            "stats": state.get("stats"),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        failed = sum(1 for e in jobs.values() if e.get("state") == "failed")
+        return 1 if failed else 0
+    if getattr(args, "metrics", False):
+        from repro.telemetry import prometheus_text
+
+        stats = state.get("stats")
+        if not stats:
+            print(f"no persisted stats under {args.dir}; run serve first")
+            return 1
+        print(prometheus_text(_stats_snapshot(stats)), end="")
+        return 0
     if args.job:
         entry = jobs.get(args.job)
         if entry is None:
@@ -553,6 +639,137 @@ def _status_cli(args) -> int:
     failed = sum(1 for e in jobs.values() if e.get("state") == "failed")
     if failed:
         print(f"\n{failed} job(s) failed")
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# observability front ends: profile / metrics / bench compare
+# ---------------------------------------------------------------------------
+
+
+def _profile_cli(args) -> int:
+    from repro.telemetry import load_trace_spans, profile_spans, profile_table
+
+    try:
+        spans = load_trace_spans(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot profile {args.trace}: {exc}")
+        return 1
+    if not spans:
+        print(f"{args.trace} holds no spans to profile")
+        return 1
+    profile = profile_spans(spans)
+    print(f"profile of {args.trace}:\n")
+    print(profile_table(profile, top=args.top))
+    return 0
+
+
+def _metrics_cli(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import prometheus_text
+
+    source = Path(args.source) if args.source else Path(args.dir) / "state.json"
+    if not source.exists():
+        print(f"no metrics source at {source}")
+        return 1
+    text = source.read_text()
+    snapshot = None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict):
+        if "counters" in payload or "histograms" in payload:
+            snapshot = payload  # a raw registry snapshot
+        elif "stats" in payload or "jobs" in payload:
+            stats = payload.get("stats") or {}
+            if not stats:
+                print(f"{source} holds no persisted stats; run serve first")
+                return 1
+            snapshot = _stats_snapshot(stats)
+    if snapshot is None:
+        # JSONL trace stream: the trailing record is the metrics snapshot.
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and record.get("type") == "metrics":
+                snapshot = {
+                    "counters": record.get("counters"),
+                    "gauges": record.get("gauges"),
+                    "histograms": record.get("histograms"),
+                }
+    if snapshot is None:
+        print(f"{source} is neither a service state file nor a JSONL trace")
+        return 1
+    print(prometheus_text(snapshot), end="")
+    return 0
+
+
+def _bench_compare_cli(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments import (
+        compare_dirs,
+        compare_results,
+        load_result,
+        markdown_summary,
+    )
+
+    old, new = Path(args.old), Path(args.new)
+    skipped: list = []
+    if old.is_dir() and new.is_dir():
+        comparisons, skipped = compare_dirs(
+            old, new, threshold=args.threshold, names=args.only or None
+        )
+    elif old.is_file() and new.is_file():
+        try:
+            comparisons = [
+                compare_results(
+                    load_result(old), load_result(new), threshold=args.threshold
+                )
+            ]
+        except ValueError as exc:
+            print(f"cannot compare: {exc}")
+            return 2
+    else:
+        print(
+            f"old and new must both be files or both be directories "
+            f"(got {old} and {new})"
+        )
+        return 2
+    summary = markdown_summary(
+        comparisons, threshold=args.threshold, skipped=skipped
+    )
+    if args.markdown:
+        out = Path(args.markdown)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(summary)
+        print(f"wrote markdown summary to {out}")
+    regressions = [d for c in comparisons for d in c.regressions]
+    changes = [d for c in comparisons for d in c.changes]
+    print(
+        f"compared {len(comparisons)} artifact(s) at threshold "
+        f"{args.threshold:.0%}: {len(regressions)} regression(s), "
+        f"{len(changes)} change(s), {len(skipped)} skipped"
+    )
+    for comparison in comparisons:
+        for delta in comparison.regressions:
+            print(
+                f"  REGRESSED {comparison.name}: {delta.name} "
+                f"{delta.old:g} -> {delta.new:g} ({delta.rel_change:+.1%})"
+            )
+    if not args.markdown:
+        print()
+        print(summary)
+    if regressions and args.strict:
         return 1
     return 0
 
@@ -650,7 +867,78 @@ def main(argv=None) -> int:
         parser.add_argument(
             "--job", default=None, help="show one job's full record"
         )
+        parser.add_argument(
+            "--json", action="store_true",
+            help="emit the full service state (jobs + stats) as JSON",
+        )
+        parser.add_argument(
+            "--metrics", action="store_true",
+            help="emit persisted service stats as Prometheus text",
+        )
         return _status_cli(parser.parse_args(argv[1:]))
+
+    if argv and argv[0] == "profile":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro profile",
+            description="Attribute wall time across the spans of a trace.",
+        )
+        parser.add_argument(
+            "trace",
+            help="a Chrome trace JSON or JSONL stream written by "
+            "'python -m repro trace'",
+        )
+        parser.add_argument(
+            "--top", type=int, default=15,
+            help="hot spans to show (default: 15)",
+        )
+        return _profile_cli(parser.parse_args(argv[1:]))
+
+    if argv and argv[0] == "metrics":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro metrics",
+            description="Render metrics in Prometheus text exposition format.",
+        )
+        parser.add_argument(
+            "source", nargs="?", default=None,
+            help="a service state.json, raw metrics snapshot, or JSONL "
+            "trace (default: <dir>/state.json)",
+        )
+        parser.add_argument(
+            "--dir", default=SERVICE_DIR,
+            help=f"service directory (default: {SERVICE_DIR})",
+        )
+        return _metrics_cli(parser.parse_args(argv[1:]))
+
+    if argv and argv[0] == "bench":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro bench",
+            description="Benchmark-trajectory tools over e-series results.",
+        )
+        sub = parser.add_subparsers(dest="bench_cmd", required=True)
+        compare = sub.add_parser(
+            "compare",
+            help="diff two result artifacts (or directories of them)",
+        )
+        compare.add_argument("old", help="baseline result JSON or directory")
+        compare.add_argument("new", help="fresh result JSON or directory")
+        compare.add_argument(
+            "--threshold", type=float, default=0.05,
+            help="relative change flagged as significant (default: 0.05)",
+        )
+        compare.add_argument(
+            "--markdown", default=None,
+            help="write the markdown summary to this path",
+        )
+        compare.add_argument(
+            "--only", action="append", default=None, metavar="STEM",
+            help="restrict directory mode to these artifact stems "
+            "(repeatable)",
+        )
+        compare.add_argument(
+            "--strict", action="store_true",
+            help="exit 1 when any metric regressed beyond the threshold",
+        )
+        return _bench_compare_cli(parser.parse_args(argv[1:]))
 
     if argv and argv[0] == "trace":
         parser = argparse.ArgumentParser(
@@ -756,4 +1044,11 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. piped into `head`); die the
+        # way a well-behaved unix filter does instead of tracing back.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(128 + 13)

@@ -22,7 +22,7 @@ from ..errors import (
 )
 from ..faults import NULL_INJECTOR, FaultInjector, FaultPlan
 from ..metrics.schedule import ENGINE_COUNTERS, ScheduleReport
-from ..telemetry import NULL_RECORDER, Recorder
+from ..telemetry import NULL_RECORDER, Recorder, report_profile
 from .workload import OutputMap, Workload
 
 __all__ = [
@@ -253,6 +253,7 @@ class Scheduler(ABC):
                 self.recorder.counter("scheduler.failures")
                 report.telemetry = self.recorder.snapshot()
                 _surface_engine_counters(report.telemetry)
+                report.profile = report_profile(self.recorder)
             self._stamp_faults(report)
             return ScheduleResult(
                 outputs={}, report=report, mismatches=[], failure=failure
@@ -285,5 +286,6 @@ class Scheduler(ABC):
             )
             report.telemetry = recorder.snapshot()
             _surface_engine_counters(report.telemetry)
+            report.profile = report_profile(recorder)
         self._stamp_faults(report)
         return ScheduleResult(outputs=outputs, report=report, mismatches=mismatches)

@@ -12,10 +12,24 @@ from .runners import (
 )
 from .stats import Summary, fit_log_slope, fit_power_law, summarize
 from .sweeps import SweepPoint, repeat, sweep
+from .trajectory import (
+    Comparison,
+    MetricDelta,
+    compare_dirs,
+    compare_results,
+    load_result,
+    markdown_summary,
+)
 
 __all__ = [
+    "Comparison",
     "ComparisonRow",
+    "MetricDelta",
     "Summary",
+    "compare_dirs",
+    "compare_results",
+    "load_result",
+    "markdown_summary",
     "broadcast_workload",
     "compare_schedulers",
     "fit_log_slope",

@@ -1,0 +1,298 @@
+"""Benchmark-trajectory tracking: diff e-series result artifacts.
+
+Every benchmark under ``benchmarks/`` persists its rows as JSON in
+``benchmarks/results/`` (see ``benchmarks/conftest.py:emit``):
+``{"name", "headers", "rows" (stringified), "notes", "extra"
+(machine-readable scalars)}``. Those 30+ artifacts were, until now,
+write-only — nothing compared a fresh run against the committed
+baseline, so a quiet performance regression (wall-clock, scheduled
+rounds, speedup ratios) would land unnoticed.
+
+This module is the tracker: load two result files (or two directories
+of them), extract every numeric metric — all ``extra`` scalars plus any
+leading-number table cell, keyed ``row-label/column`` — and flag
+relative changes beyond a threshold. Direction matters: a *speedup*
+going down is a regression, a *runtime* going up is a regression, and
+metrics whose better-direction is unknown are reported as changes but
+never counted as regressions. :func:`markdown_summary` renders the
+verdicts as the markdown report the CI job uploads;
+``python -m repro bench compare`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Comparison",
+    "MetricDelta",
+    "compare_dirs",
+    "compare_results",
+    "extract_metrics",
+    "load_result",
+    "markdown_summary",
+    "metric_direction",
+]
+
+#: Leading signed decimal number, as found in cells like ``"8.00x (...)"``.
+_NUMBER = re.compile(r"^\s*([+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)")
+
+#: Substrings marking a metric where **bigger is better** (a drop beyond
+#: the threshold is a regression).
+_HIGHER_BETTER = (
+    "speedup", "throughput", "jobs_per", "per_round", "hits", "ok",
+    "survived", "verified", "coverage",
+)
+
+#: Substrings marking a metric where **smaller is better** (a rise
+#: beyond the threshold is a regression).
+_LOWER_BETTER = (
+    "ms", "time", "seconds", "rounds", "overhead", "misses", "failed",
+    "latency", "pre", "ratio", "messages", "retries",
+)
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"`` / ``"lower"`` is better, or ``"unknown"``.
+
+    Matched on substrings of the lower-cased metric name; higher-better
+    markers win ties (``"round_speedup"`` contains both ``rounds`` and
+    ``speedup`` and is a speedup).
+    """
+    lowered = name.lower()
+    if any(marker in lowered for marker in _HIGHER_BETTER):
+        return "higher"
+    if any(marker in lowered for marker in _LOWER_BETTER):
+        return "lower"
+    return "unknown"
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between two runs of the same benchmark."""
+
+    name: str
+    old: float
+    new: float
+    #: Relative change ``(new - old) / |old|`` (``inf`` from zero).
+    rel_change: float
+    #: ``"higher"`` / ``"lower"`` is better, or ``"unknown"``.
+    direction: str
+    #: Whether the change crosses the threshold *in the bad direction*.
+    regressed: bool
+    #: Whether the change crosses the threshold in either direction.
+    changed: bool
+
+
+@dataclass
+class Comparison:
+    """Old-vs-new verdict for one benchmark artifact."""
+
+    name: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Metric names present only in the new (added) / old (removed) run.
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def changes(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.changed]
+
+
+def load_result(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load one e-series result JSON (validated minimally)."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValueError(f"{path} is not a benchmark result artifact")
+    payload.setdefault("name", path.stem)
+    payload.setdefault("headers", [])
+    payload.setdefault("extra", {})
+    return payload
+
+
+def _cell_number(cell: Any) -> Optional[float]:
+    if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+        return float(cell)
+    match = _NUMBER.match(str(cell))
+    return float(match.group(1)) if match else None
+
+
+def extract_metrics(result: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a result artifact into ``{metric name: value}``.
+
+    ``extra`` scalars keep their key; numeric table cells are keyed
+    ``<row label>/<column header>`` (row label = first cell). Non-numeric
+    cells and the label column itself are skipped.
+    """
+    metrics: Dict[str, float] = {}
+    for key, value in (result.get("extra") or {}).items():
+        number = _cell_number(value)
+        if number is not None:
+            metrics[str(key)] = number
+    headers = [str(h) for h in result.get("headers", [])]
+    for row in result.get("rows", []):
+        if not row:
+            continue
+        label = str(row[0])
+        for index, cell in enumerate(row[1:], start=1):
+            number = _cell_number(cell)
+            if number is None:
+                continue
+            column = headers[index] if index < len(headers) else f"col{index}"
+            metrics[f"{label}/{column}"] = number
+    return metrics
+
+
+def compare_results(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = 0.05,
+) -> Comparison:
+    """Diff two result artifacts of the same benchmark."""
+    old_metrics = extract_metrics(old)
+    new_metrics = extract_metrics(new)
+    comparison = Comparison(name=str(new.get("name") or old.get("name")))
+    comparison.added = sorted(set(new_metrics) - set(old_metrics))
+    comparison.removed = sorted(set(old_metrics) - set(new_metrics))
+    for name in sorted(set(old_metrics) & set(new_metrics)):
+        before, after = old_metrics[name], new_metrics[name]
+        if before == after:
+            rel = 0.0
+        elif before == 0:
+            rel = float("inf") if after > 0 else float("-inf")
+        else:
+            rel = (after - before) / abs(before)
+        direction = metric_direction(name)
+        changed = abs(rel) > threshold
+        regressed = changed and (
+            (direction == "higher" and rel < 0)
+            or (direction == "lower" and rel > 0)
+        )
+        comparison.deltas.append(
+            MetricDelta(
+                name=name,
+                old=before,
+                new=after,
+                rel_change=rel,
+                direction=direction,
+                regressed=regressed,
+                changed=changed,
+            )
+        )
+    return comparison
+
+
+def compare_dirs(
+    old_dir: Union[str, Path],
+    new_dir: Union[str, Path],
+    threshold: float = 0.05,
+    names: Optional[Sequence[str]] = None,
+) -> Tuple[List[Comparison], List[str]]:
+    """Diff every matching ``*.json`` artifact across two directories.
+
+    ``names`` restricts the comparison to specific artifact stems.
+    Returns ``(comparisons, skipped)`` where ``skipped`` lists artifacts
+    present in only one directory (or unparsable) — surfaced rather than
+    silently dropped.
+    """
+    old_dir, new_dir = Path(old_dir), Path(new_dir)
+    stems = sorted(
+        {p.stem for p in old_dir.glob("*.json")}
+        | {p.stem for p in new_dir.glob("*.json")}
+    )
+    if names is not None:
+        wanted = set(names)
+        stems = [s for s in stems if s in wanted]
+    comparisons: List[Comparison] = []
+    skipped: List[str] = []
+    for stem in stems:
+        if stem.endswith(".trace"):
+            continue  # Chrome traces living next to results
+        old_path = old_dir / f"{stem}.json"
+        new_path = new_dir / f"{stem}.json"
+        if not old_path.exists():
+            skipped.append(f"{stem} (no baseline)")
+            continue
+        if not new_path.exists():
+            skipped.append(f"{stem} (not in new run)")
+            continue
+        try:
+            comparisons.append(
+                compare_results(
+                    load_result(old_path), load_result(new_path), threshold
+                )
+            )
+        except (ValueError, json.JSONDecodeError):
+            skipped.append(f"{stem} (unparsable)")
+    return comparisons, skipped
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def markdown_summary(
+    comparisons: Sequence[Comparison],
+    threshold: float = 0.05,
+    skipped: Sequence[str] = (),
+) -> str:
+    """Render comparisons as the markdown report CI uploads."""
+    total_regressions = sum(len(c.regressions) for c in comparisons)
+    total_changes = sum(len(c.changes) for c in comparisons)
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        f"Compared {len(comparisons)} artifact(s) at threshold "
+        f"{threshold:.0%}: **{total_regressions} regression(s)**, "
+        f"{total_changes} change(s) beyond threshold.",
+        "",
+    ]
+    for comparison in comparisons:
+        flagged = comparison.changes
+        verdict = (
+            f"{len(comparison.regressions)} regression(s)"
+            if comparison.regressions
+            else ("changes" if flagged else "stable")
+        )
+        lines.append(f"## {comparison.name} — {verdict}")
+        lines.append("")
+        if flagged:
+            lines.append("| metric | old | new | change | direction | verdict |")
+            lines.append("| --- | --- | --- | --- | --- | --- |")
+            for delta in sorted(
+                flagged, key=lambda d: (not d.regressed, -abs(d.rel_change))
+            ):
+                verdict_cell = "**REGRESSED**" if delta.regressed else "changed"
+                lines.append(
+                    f"| {delta.name} | {_fmt(delta.old)} | {_fmt(delta.new)} "
+                    f"| {delta.rel_change:+.1%} | {delta.direction} "
+                    f"| {verdict_cell} |"
+                )
+        else:
+            lines.append(
+                f"All {len(comparison.deltas)} shared metrics within "
+                f"{threshold:.0%}."
+            )
+        if comparison.added:
+            lines.append(f"- added: {', '.join(comparison.added)}")
+        if comparison.removed:
+            lines.append(f"- removed: {', '.join(comparison.removed)}")
+        lines.append("")
+    if skipped:
+        lines.append("## Skipped")
+        lines.append("")
+        for item in skipped:
+            lines.append(f"- {item}")
+        lines.append("")
+    return "\n".join(lines)

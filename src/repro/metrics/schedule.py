@@ -69,6 +69,11 @@ class ScheduleReport:
     #: Metrics snapshot from the run's recorder (``None`` when the run
     #: used the default :data:`~repro.telemetry.NULL_RECORDER`).
     telemetry: Optional[Dict[str, Any]] = None
+    #: Wall-time attribution summary from the run's recorder spans
+    #: (per-category totals, top hot spans with self-vs-child time; see
+    #: :func:`repro.telemetry.profile.report_profile`). ``None`` when
+    #: the run was unrecorded.
+    profile: Optional[Dict[str, Any]] = None
     #: Package version that produced this report (provenance stamp,
     #: also persisted into :mod:`repro.service` registry artifacts).
     version: str = field(default=__version__)

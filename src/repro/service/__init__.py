@@ -15,11 +15,15 @@ so resubmissions never re-execute.
 * :class:`AdmissionPolicy` — round-budget and queue-depth gates;
 * :class:`RunRegistry` / :class:`RunArtifact` — the persistent
   content-addressed run registry;
+* :class:`EventLog` / :class:`JobEvent` — the structured job-lifecycle
+  event log (JSONL spool), from which :func:`latency_stats` derives
+  p50/p90/p99 queue and end-to-end latency plus jobs/sec;
 * :mod:`repro.service.specs` — the ``kind:key=value`` spec language of
   the ``python -m repro serve|submit|status`` CLI.
 """
 
 from .admission import AdmissionDecision, AdmissionPolicy
+from .events import EventLog, JobEvent, latency_stats, read_events
 from .jobs import Job, JobResult, JobState, job_fingerprint
 from .registry import RunArtifact, RunRegistry
 from .service import JobQueue, SchedulerService, ServiceClosed
@@ -28,7 +32,9 @@ from .specs import parse_algorithm, parse_network
 __all__ = [
     "AdmissionDecision",
     "AdmissionPolicy",
+    "EventLog",
     "Job",
+    "JobEvent",
     "JobQueue",
     "JobResult",
     "JobState",
@@ -37,6 +43,8 @@ __all__ = [
     "SchedulerService",
     "ServiceClosed",
     "job_fingerprint",
+    "latency_stats",
     "parse_algorithm",
     "parse_network",
+    "read_events",
 ]

@@ -1,0 +1,295 @@
+"""The job-lifecycle event log: structured JSONL telemetry for serving.
+
+Every transition a job goes through in the
+:class:`~repro.service.service.SchedulerService` —
+``submitted / admitted / parked / released / rejected / batched /
+retried / done / failed`` — is emitted as one :class:`JobEvent`: the
+event kind, the job id and content fingerprint, the batch id (once
+batched), the queue depth at emission, and a **wall-clock** timestamp
+(``time.time()``, so logs from different processes line up on one
+timeline, matching the recorder's wall-clock anchor).
+
+The log is the service's source of truth for latency telemetry:
+:func:`latency_stats` replays a stream of events into per-job
+**queue latency** (submitted → first batched) and **end-to-end latency**
+(submitted → done/failed) quantile histograms plus a **jobs/sec**
+throughput gauge — exactly the p50/p99 serving numbers ROADMAP item 2
+asks for, derived rather than separately maintained.
+
+:class:`EventLog` keeps events in memory and, given a path, appends each
+one as a JSON line to a spool file (``events.jsonl``); :func:`read_events`
+parses such a file back, so ``stats`` can be recomputed offline from the
+spool directory alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
+
+from ..telemetry.metrics import HistogramStats
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "JobEvent",
+    "latency_stats",
+    "read_events",
+]
+
+#: Every event kind the service emits, in rough lifecycle order.
+EVENT_KINDS = (
+    "submitted",
+    "admitted",
+    "parked",
+    "released",
+    "rejected",
+    "batched",
+    "retried",
+    "done",
+    "failed",
+)
+
+#: Kinds that end a job's lifecycle (close its end-to-end latency).
+TERMINAL_KINDS = frozenset({"done", "failed", "rejected"})
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One structured lifecycle event."""
+
+    kind: str
+    job_id: str
+    #: Wall-clock unix seconds (``time.time()``) at emission.
+    ts: float
+    #: Content fingerprint of the job (``None``: unaddressable).
+    fingerprint: Optional[str] = None
+    #: Batch the job was grouped into (``batched`` and later events).
+    batch: Optional[str] = None
+    #: Queued jobs at emission time.
+    queue_depth: Optional[int] = None
+    #: Free-form extras (admission reason, retry attempt, registry hit).
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly record (what the spool file stores per line)."""
+        record: Dict[str, Any] = {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "ts": self.ts,
+        }
+        if self.fingerprint is not None:
+            record["fingerprint"] = self.fingerprint
+        if self.batch is not None:
+            record["batch"] = self.batch
+        if self.queue_depth is not None:
+            record["queue_depth"] = self.queue_depth
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "JobEvent":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            kind=str(record["kind"]),
+            job_id=str(record["job_id"]),
+            ts=float(record["ts"]),
+            fingerprint=record.get("fingerprint"),
+            batch=record.get("batch"),
+            queue_depth=record.get("queue_depth"),
+            attrs=dict(record.get("attrs", {})),
+        )
+
+
+class EventLog:
+    """In-memory event list with an optional JSONL spool file.
+
+    Parameters
+    ----------
+    path:
+        Optional spool file; every event is appended as one JSON line.
+        Parent directories are created on first write.
+    clock:
+        Timestamp source (default ``time.time``); injectable for
+        deterministic tests.
+    flush_every:
+        Flush the spool handle every this-many events (and on
+        :meth:`close`). The default of 32 keeps the per-event cost to a
+        buffered write — one flush syscall per block instead of per
+        line — at the price of losing at most ``flush_every - 1``
+        trailing events if the process dies without closing;
+        :func:`read_events` tolerates the torn tail. Pass ``1`` to
+        flush every event.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        clock=time.time,
+        flush_every: int = 32,
+    ):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path) if path is not None else None
+        self.clock = clock
+        self.flush_every = flush_every
+        self.events: List[JobEvent] = []
+        self._handle: Optional[IO[str]] = None
+        self._unflushed = 0
+
+    def emit(
+        self,
+        kind: str,
+        job_id: str,
+        fingerprint: Optional[str] = None,
+        batch: Optional[str] = None,
+        queue_depth: Optional[int] = None,
+        **attrs: Any,
+    ) -> JobEvent:
+        """Record one event now; returns it."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
+            )
+        event = JobEvent(
+            kind=kind,
+            job_id=job_id,
+            ts=self.clock(),
+            fingerprint=fingerprint,
+            batch=batch,
+            queue_depth=queue_depth,
+            attrs=attrs,
+        )
+        self.events.append(event)
+        if self.path is not None:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a")
+            self._handle.write(
+                json.dumps(event.as_dict(), separators=(",", ":"))
+            )
+            self._handle.write("\n")
+            self._unflushed += 1
+            if self._unflushed >= self.flush_every:
+                self._handle.flush()
+                self._unflushed = 0
+        return event
+
+    def flush(self) -> None:
+        """Force buffered spool lines to disk."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        """Flush and close the spool handle (events stay in memory)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._unflushed = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f", path={self.path}" if self.path else ""
+        return f"EventLog(events={len(self.events)}{where})"
+
+
+def read_events(path: Union[str, Path]) -> List[JobEvent]:
+    """Parse an ``events.jsonl`` spool file back into events.
+
+    Blank lines are skipped; a torn final line (killed process) is
+    tolerated and dropped rather than raising.
+    """
+    events: List[JobEvent] = []
+    text = Path(path).read_text()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "kind" in record:
+            events.append(JobEvent.from_dict(record))
+    return events
+
+
+def latency_stats(events: Iterable[JobEvent]) -> Dict[str, Any]:
+    """Derive serving telemetry from a lifecycle event stream.
+
+    Returns a JSON-friendly dict::
+
+        {
+          "queue_latency_s":  <sketch summary with p50/p90/p99>,
+          "e2e_latency_s":    <sketch summary with p50/p90/p99>,
+          "jobs_per_sec":     <completed jobs / observed window>,
+          "completed":        <jobs that reached done>,
+          "failed":           <jobs that reached failed>,
+          "window_s":         <first submit .. last terminal event>,
+          "events":           <events replayed>,
+        }
+
+    Queue latency is ``submitted → first batched`` (time spent waiting
+    in the queue); end-to-end latency is ``submitted → done/failed``.
+    Jobs served straight from the registry (no ``batched`` event) count
+    toward e2e latency and throughput but not queue latency.
+    """
+    submitted: Dict[str, float] = {}
+    first_batched: Dict[str, float] = {}
+    queue_hist = HistogramStats()
+    e2e_hist = HistogramStats()
+    completed = failed = 0
+    count = 0
+    first_ts: Optional[float] = None
+    last_terminal_ts: Optional[float] = None
+
+    for event in events:
+        count += 1
+        if event.kind == "submitted":
+            submitted[event.job_id] = event.ts
+            if first_ts is None or event.ts < first_ts:
+                first_ts = event.ts
+        elif event.kind == "batched":
+            if event.job_id not in first_batched:
+                first_batched[event.job_id] = event.ts
+                start = submitted.get(event.job_id)
+                if start is not None:
+                    queue_hist.observe(max(event.ts - start, 0.0))
+        elif event.kind in ("done", "failed"):
+            if event.kind == "done":
+                completed += 1
+            else:
+                failed += 1
+            start = submitted.get(event.job_id)
+            if start is not None:
+                e2e_hist.observe(max(event.ts - start, 0.0))
+            if last_terminal_ts is None or event.ts > last_terminal_ts:
+                last_terminal_ts = event.ts
+
+    window = 0.0
+    if first_ts is not None and last_terminal_ts is not None:
+        window = max(last_terminal_ts - first_ts, 0.0)
+    jobs_per_sec = completed / window if window > 0 else 0.0
+    return {
+        "queue_latency_s": queue_hist.as_dict(),
+        "e2e_latency_s": e2e_hist.as_dict(),
+        "jobs_per_sec": jobs_per_sec,
+        "completed": completed,
+        "failed": failed,
+        "window_s": window,
+        "events": count,
+    }

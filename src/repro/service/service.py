@@ -39,7 +39,7 @@ and ``service.batch`` / ``service.drain`` spans.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..congest.message import default_message_bits
 from ..congest.network import Network
@@ -54,6 +54,7 @@ from ..parallel.cache import SoloRunCache, default_cache
 from ..parallel.runner import ParallelRunner
 from ..telemetry import NULL_RECORDER, Recorder
 from .admission import AdmissionPolicy
+from .events import EventLog, latency_stats
 from .jobs import Job, JobResult, JobState, job_fingerprint
 from .registry import RunArtifact, RunRegistry
 
@@ -178,6 +179,13 @@ class SchedulerService:
         Passed through to every workload built by the service (default:
         the process-wide solo-run cache, which also makes admission
         probes free once the reference exists).
+    events:
+        Job-lifecycle event log (see :mod:`repro.service.events`). The
+        default ``"memory"`` keeps an in-memory log so :meth:`stats`
+        can always derive queue/end-to-end latency histograms and a
+        jobs/sec gauge; pass an :class:`~repro.service.events.EventLog`
+        with a path to also spool ``events.jsonl``, or ``None`` to
+        disable lifecycle events entirely.
     """
 
     def __init__(
@@ -191,6 +199,7 @@ class SchedulerService:
         max_retries: int = 1,
         schedule_seed: int = 1,
         solo_cache: Any = "default",
+        events: Union[EventLog, str, None] = "memory",
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -207,6 +216,11 @@ class SchedulerService:
         self.max_retries = max_retries
         self.schedule_seed = schedule_seed
         self.solo_cache = solo_cache
+        if events == "memory":
+            events = EventLog()
+        elif isinstance(events, str):
+            raise ValueError("events must be an EventLog, 'memory', or None")
+        self.events: Optional[EventLog] = events
         self.queue = JobQueue()
         #: Reports of every workload execution (batches and solo
         #: retries), in execution order — the raw material for
@@ -235,6 +249,7 @@ class SchedulerService:
         if self._closed:
             raise ServiceClosed("service has been shut down")
         recorder = self.recorder
+        events = self.events
         if message_bits == -1:
             message_bits = default_message_bits(network.num_nodes)
         fingerprint = job_fingerprint(
@@ -257,6 +272,13 @@ class SchedulerService:
         )
         if recorder.enabled:
             recorder.counter("service.submitted")
+        if events is not None:
+            events.emit(
+                "submitted",
+                job.job_id,
+                fingerprint=fingerprint,
+                queue_depth=self.queue.depth,
+            )
 
         artifact = self.registry.get(fingerprint)
         if artifact is not None:
@@ -270,6 +292,14 @@ class SchedulerService:
                 version=artifact.version,
             )
             self.queue.add(job)
+            if events is not None:
+                events.emit(
+                    "done",
+                    job.job_id,
+                    fingerprint=fingerprint,
+                    queue_depth=self.queue.depth,
+                    from_registry=True,
+                )
             return job
 
         probe = self._probe(job)
@@ -290,6 +320,20 @@ class SchedulerService:
             if recorder.enabled:
                 recorder.counter("service.rejected")
         self.queue.add(job)
+        if events is not None:
+            kind = {
+                JobState.QUEUED: "admitted",
+                JobState.PARKED: "parked",
+                JobState.REJECTED: "rejected",
+            }[job.state]
+            attrs = {"reason": job.reason} if job.reason else {}
+            events.emit(
+                kind,
+                job.job_id,
+                fingerprint=fingerprint,
+                queue_depth=self.queue.depth,
+                **attrs,
+            )
         self._gauge_depth()
         return job
 
@@ -348,6 +392,13 @@ class SchedulerService:
         for job in self.queue.parked():
             self.queue.requeue(job)
             released.append(job)
+            if self.events is not None:
+                self.events.emit(
+                    "released",
+                    job.job_id,
+                    fingerprint=job.fingerprint,
+                    queue_depth=self.queue.depth,
+                )
         self._gauge_depth()
         return released
 
@@ -372,6 +423,15 @@ class SchedulerService:
         for job in batch:
             job.transition(JobState.BATCHED)
             job.meta["batch"] = batch_id
+            if self.events is not None:
+                self.events.emit(
+                    "batched",
+                    job.job_id,
+                    fingerprint=job.fingerprint,
+                    batch=batch_id,
+                    queue_depth=self.queue.depth,
+                    batch_jobs=len(batch),
+                )
         if self.recorder.enabled:
             self.recorder.counter("service.batches")
             self.recorder.observe("service.batch_size", len(batch))
@@ -472,6 +532,16 @@ class SchedulerService:
         for _ in range(self.max_retries):
             if self.recorder.enabled:
                 self.recorder.counter("service.retries")
+            if self.events is not None:
+                self.events.emit(
+                    "retried",
+                    job.job_id,
+                    fingerprint=job.fingerprint,
+                    batch=batch_id,
+                    queue_depth=self.queue.depth,
+                    attempt=job.attempts + 1,
+                    reason=last_reason,
+                )
             job.attempts += 1
             workload = Workload(
                 job.network,
@@ -507,6 +577,15 @@ class SchedulerService:
         job.transition(JobState.FAILED, reason=last_reason)
         if self.recorder.enabled:
             self.recorder.counter("service.jobs_failed")
+        if self.events is not None:
+            self.events.emit(
+                "failed",
+                job.job_id,
+                fingerprint=job.fingerprint,
+                batch=batch_id,
+                queue_depth=self.queue.depth,
+                reason=last_reason,
+            )
 
     def _complete(
         self,
@@ -529,6 +608,15 @@ class SchedulerService:
         job.transition(JobState.DONE)
         if self.recorder.enabled:
             self.recorder.counter("service.jobs_done")
+        if self.events is not None:
+            self.events.emit(
+                "done",
+                job.job_id,
+                fingerprint=job.fingerprint,
+                batch=batch_id,
+                queue_depth=self.queue.depth,
+                batch_size=batch_size,
+            )
         if job.fingerprint is not None:
             self.registry.put(
                 RunArtifact(
@@ -559,17 +647,26 @@ class SchedulerService:
         return sorted(self.queue.jobs.values(), key=lambda j: j.job_id)
 
     def stats(self) -> Dict[str, Any]:
-        """Service-level aggregate: states, queue, registry, engines.
+        """Service-level aggregate: states, queue, latency, registry.
 
         The ``engine_counters`` block sums the uniform
         :data:`~repro.metrics.schedule.ENGINE_COUNTERS` over every
         execution report — possible without touching engine internals
-        because recorded reports surface them zero-filled.
+        because recorded reports surface them zero-filled. The
+        ``latency`` block is derived by replaying the job-lifecycle
+        event log (:func:`repro.service.events.latency_stats`):
+        p50/p90/p99 queue and end-to-end latency plus jobs/sec; it is
+        ``None`` when the service was built with ``events=None``.
         """
         engines = {name: 0.0 for name in ENGINE_COUNTERS}
         for report in self.reports:
             for name, value in report.engine_counters().items():
                 engines[name] += value
+        latency = (
+            latency_stats(self.events.events)
+            if self.events is not None
+            else None
+        )
         return {
             "jobs": self.queue.by_state(),
             "queue_depth": self.queue.depth,
@@ -577,6 +674,8 @@ class SchedulerService:
             "batches": self._batch_counter,
             "registry": self.registry.stats(),
             "engine_counters": engines,
+            "latency": latency,
+            "events": len(self.events) if self.events is not None else 0,
             "closed": self._closed,
         }
 
@@ -594,6 +693,8 @@ class SchedulerService:
         """
         processed = self.drain() if drain else []
         self._closed = True
+        if self.events is not None:
+            self.events.close()
         return processed
 
     def _gauge_depth(self) -> None:

@@ -27,6 +27,14 @@ from .export import (
     write_jsonl,
 )
 from .metrics import HistogramStats, MetricsRegistry
+from .profile import (
+    load_trace_spans,
+    profile_recorder,
+    profile_spans,
+    profile_table,
+    report_profile,
+)
+from .prometheus import prometheus_text
 from .recorder import (
     NULL_RECORDER,
     EventRecord,
@@ -47,6 +55,12 @@ __all__ = [
     "SpanRecord",
     "chrome_trace",
     "jsonl_records",
+    "load_trace_spans",
+    "profile_recorder",
+    "profile_spans",
+    "profile_table",
+    "prometheus_text",
+    "report_profile",
     "summary_table",
     "write_chrome_trace",
     "write_jsonl",

@@ -87,7 +87,17 @@ def chrome_trace(
                 "args": {"value": value},
             }
         )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        # Wall-clock anchor: trace ts 0 corresponds to this unix time,
+        # so traces from different processes (parallel drain workers)
+        # can be shifted onto one shared timeline.
+        "metadata": {
+            "wall_origin_unix_s": recorder.wall_origin,
+            "clock": "perf_counter",
+        },
+    }
 
 
 def write_chrome_trace(
@@ -103,7 +113,17 @@ def write_chrome_trace(
 
 
 def jsonl_records(recorder: InMemoryRecorder) -> Iterator[Dict[str, Any]]:
-    """Yield every record as a JSON-friendly dict, metrics last."""
+    """Yield every record as a JSON-friendly dict, meta first, metrics last.
+
+    The leading ``meta`` record carries the recorder's wall-clock anchor
+    (unix seconds at relative timestamp 0), so JSONL streams emitted by
+    different processes can be merged onto one timeline.
+    """
+    yield {
+        "type": "meta",
+        "wall_origin_unix_s": recorder.wall_origin,
+        "clock": "perf_counter",
+    }
     for span in recorder.spans:
         yield {
             "type": "span",
@@ -186,13 +206,20 @@ def summary_table(recorder: InMemoryRecorder) -> str:
             stats["count"],
             stats["min"],
             f"{stats['mean']:.2f}",
+            f"{stats.get('p50', 0.0):.2f}",
+            f"{stats.get('p90', 0.0):.2f}",
+            f"{stats.get('p99', 0.0):.2f}",
             stats["max"],
         ]
         for name, stats in sorted(snapshot["histograms"].items())
     ]
     if histogram_rows:
         sections.append(
-            format_table(["histogram", "count", "min", "mean", "max"], histogram_rows)
+            format_table(
+                ["histogram", "count", "min", "mean", "p50", "p90", "p99",
+                 "max"],
+                histogram_rows,
+            )
         )
     if not sections:
         return "(no telemetry recorded)"

@@ -6,24 +6,79 @@ scheduled execution, one benchmark) into a JSON-friendly snapshot that
 :class:`~repro.metrics.schedule.ScheduleReport` can carry. Time-series
 data (per-round message counts and loads) lives in the recorder's
 ``samples`` instead.
+
+Histograms are *quantile sketches*: alongside count/total/min/max,
+:class:`HistogramStats` folds every observation into a fixed-base
+logarithmic bucket table (an HDR/DDSketch-style layout, pure python and
+fully deterministic), so any histogram can report p50/p90/p99 with
+bounded relative error and two sketches :meth:`~HistogramStats.merge`
+associatively — shard-local histograms from a parallel drain aggregate
+to exactly the sketch a single-process run would have built.
+
+Merge semantics (the rule aggregators rely on):
+
+* **counters** add — order-independent;
+* **histograms** merge bucket-wise — exactly associative and
+  commutative (integer adds per bucket);
+* **gauges** combine by element-wise **max** — within one registry
+  :meth:`~MetricsRegistry.gauge_set` is last-writer-wins (a gauge is
+  "the latest value"), but across registries there is no meaningful
+  "latest", and last-writer-wins would make the result depend on the
+  merge order of shards. Max is deterministic, associative, and
+  commutative, and reads naturally for the gauges this repo records
+  (``service.queue_depth`` becomes the peak shard depth,
+  ``pool.workers`` the widest pool).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Any, Dict
 
-__all__ = ["HistogramStats", "MetricsRegistry"]
+__all__ = ["HistogramStats", "MetricsRegistry", "QUANTILES"]
+
+#: Relative bucket growth of the quantile sketch. Bucket ``i`` covers
+#: ``[GAMMA**i, GAMMA**(i+1))``, so any quantile estimate is within one
+#: bucket (≈4% relative error) of an exact order statistic.
+GAMMA = 1.04
+
+_LOG_GAMMA = math.log(GAMMA)
+
+#: The quantiles every histogram summary reports.
+QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+def _bucket_index(magnitude: float) -> int:
+    """Sketch bucket of a strictly positive magnitude."""
+    return math.floor(math.log(magnitude) / _LOG_GAMMA)
+
+
+def _bucket_value(index: int) -> float:
+    """Representative value of bucket ``index`` (its geometric mean)."""
+    return GAMMA ** (index + 0.5)
 
 
 @dataclass
 class HistogramStats:
-    """Streaming summary of one histogram's observations."""
+    """Streaming summary of one histogram's observations.
+
+    Exact count/total/min/max/mean plus a deterministic log-bucket
+    quantile sketch. The sketch keys buckets by sign and magnitude, so
+    negative observations are supported; merging two sketches is a plain
+    per-bucket integer add and therefore exactly associative.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    #: Sketch buckets for positive observations: index -> count.
+    positive: Dict[int, int] = field(default_factory=dict)
+    #: Sketch buckets for negative observations, keyed on ``|value|``.
+    negative: Dict[int, int] = field(default_factory=dict)
+    #: Exact-zero observations (no logarithm to take).
+    zeros: int = 0
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary."""
@@ -33,23 +88,85 @@ class HistogramStats:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if value > 0:
+            index = _bucket_index(value)
+            self.positive[index] = self.positive.get(index, 0) + 1
+        elif value < 0:
+            index = _bucket_index(-value)
+            self.negative[index] = self.negative.get(index, 0) + 1
+        else:
+            self.zeros += 1
 
     @property
     def mean(self) -> float:
         """Average of all observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
-        """JSON-friendly summary dict."""
+    def merge(self, other: "HistogramStats") -> None:
+        """Fold another sketch into this one (associative, commutative)."""
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        for index, n in other.positive.items():
+            self.positive[index] = self.positive.get(index, 0) + n
+        for index, n in other.negative.items():
+            self.negative[index] = self.negative.get(index, 0) + n
+        self.zeros += other.zeros
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank ``q``-quantile estimate (``0 <= q <= 1``).
+
+        Walks the buckets in value order to the bucket holding the
+        rank-``ceil(q·count)`` observation and returns that bucket's
+        representative, clamped into ``[min, max]`` — so the estimate is
+        always within the width of the bucket containing the exact
+        order statistic.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        return {
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        # Value order: most-negative first (descending |value| index),
+        # then zeros, then positives ascending.
+        for index in sorted(self.negative, reverse=True):
+            seen += self.negative[index]
+            if seen >= rank:
+                return self._clamp(-_bucket_value(index))
+        seen += self.zeros
+        if seen >= rank:
+            return self._clamp(0.0)
+        for index in sorted(self.positive):
+            seen += self.positive[index]
+            if seen >= rank:
+                return self._clamp(_bucket_value(index))
+        return self.maximum  # pragma: no cover - counts always add up
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.minimum), self.maximum)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard :data:`QUANTILES` (p50/p90/p99) as a dict."""
+        return {name: self.quantile(q) for name, q in QUANTILES}
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary dict (now including p50/p90/p99)."""
+        if not self.count:
+            summary = {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                       "mean": 0.0}
+            summary.update({name: 0.0 for name, _ in QUANTILES})
+            return summary
+        summary = {
             "count": self.count,
             "total": self.total,
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
         }
+        summary.update(self.percentiles())
+        return summary
 
 
 class MetricsRegistry:
@@ -65,7 +182,7 @@ class MetricsRegistry:
         self.counters[name] = self.counters.get(name, 0.0) + value
 
     def gauge_set(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value``."""
+        """Set gauge ``name`` to ``value`` (last writer wins in-process)."""
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
@@ -76,19 +193,23 @@ class MetricsRegistry:
         stats.observe(value)
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry into this one (counters add, gauges
-        overwrite, histograms combine)."""
+        """Fold another registry into this one.
+
+        Deterministic regardless of merge order: counters add,
+        histograms merge their sketches bucket-wise, and gauges combine
+        by element-wise max (see the module docstring for why
+        last-writer-wins would be order-dependent across shards).
+        """
         for name, value in other.counters.items():
             self.counter_add(name, value)
-        self.gauges.update(other.gauges)
+        for name, value in other.gauges.items():
+            mine = self.gauges.get(name)
+            self.gauges[name] = value if mine is None else max(mine, value)
         for name, stats in other.histograms.items():
             mine = self.histograms.get(name)
             if mine is None:
                 mine = self.histograms[name] = HistogramStats()
-            mine.count += stats.count
-            mine.total += stats.total
-            mine.minimum = min(mine.minimum, stats.minimum)
-            mine.maximum = max(mine.maximum, stats.maximum)
+            mine.merge(stats)
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-friendly dict of everything recorded so far."""

@@ -1,0 +1,261 @@
+"""Profiling attribution: where did the wall-clock time actually go?
+
+Recorder spans are a tree (the recorder tracks nesting depth, and every
+span's interval is contained in its parent's), so they support real
+profiler accounting: for each span name we can report **total** time
+(with children) and **self** time (total minus the time spent in child
+spans), aggregate either per span name or per category (scheduler /
+simulator / clustering / service / ...), and rank the hot spots. This is
+the evidence ROADMAP item 1 asks for — which part of the per-round
+python loop the transport refactor must attack first.
+
+Three entry points:
+
+* :func:`profile_spans` — the core aggregation over any iterable of
+  span-like records (``SpanRecord`` objects, JSONL dicts, or Chrome
+  ``trace_event`` dicts);
+* :func:`profile_recorder` — convenience over a live
+  :class:`~repro.telemetry.recorder.InMemoryRecorder`;
+* :func:`load_trace_spans` — read spans back out of an exported Chrome
+  trace or JSONL file, feeding ``python -m repro profile <trace>``.
+
+:func:`profile_table` renders the result as aligned text;
+:func:`report_profile` produces the compact top-N summary stamped onto
+:attr:`~repro.metrics.schedule.ScheduleReport.profile` by recorded runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+__all__ = [
+    "load_trace_spans",
+    "profile_recorder",
+    "profile_spans",
+    "profile_table",
+    "report_profile",
+]
+
+#: Normalized span tuple: ``(name, category, start_s, end_s)``.
+_Span = Tuple[str, str, float, float]
+
+
+def _normalize(span: Any) -> _Span:
+    """Coerce a SpanRecord / JSONL dict / Chrome event into a tuple."""
+    if isinstance(span, dict):
+        if "dur" in span:  # Chrome trace_event: micros since origin
+            start = float(span.get("ts", 0.0)) / 1e6
+            return (
+                str(span.get("name", "?")),
+                str(span.get("cat", "phase")),
+                start,
+                start + float(span["dur"]) / 1e6,
+            )
+        start = float(span.get("start", 0.0))
+        return (
+            str(span.get("name", "?")),
+            str(span.get("category", "phase")),
+            start,
+            start + float(span.get("duration", 0.0)),
+        )
+    return (span.name, span.category, float(span.start), float(span.end))
+
+
+def profile_spans(spans: Iterable[Any]) -> Dict[str, Any]:
+    """Aggregate spans into a wall-time attribution report.
+
+    Returns a JSON-friendly dict::
+
+        {
+          "total_wall_s": <sum of root-span durations>,
+          "span_count": <spans aggregated>,
+          "spans": [  # sorted by self time, descending
+            {"name", "category", "count", "total_s", "self_s",
+             "mean_s", "max_s", "self_share"},
+            ...
+          ],
+          "categories": {cat: {"count", "total_s", "self_s"}, ...},
+        }
+
+    ``self_s`` is the span's own time excluding child spans (recovered
+    from interval containment, the same nesting the recorder tracked);
+    ``self_share`` is ``self_s / total_wall_s``. Self times sum to the
+    root wall time, so the table reads like a flat profiler output.
+    """
+    normalized = sorted(
+        (_normalize(span) for span in spans),
+        key=lambda s: (s[2], -s[3]),
+    )
+    per_name: Dict[Tuple[str, str], Dict[str, float]] = {}
+    per_category: Dict[str, Dict[str, float]] = {}
+    total_wall = 0.0
+
+    # Reconstruct nesting with an interval stack: sorted by (start asc,
+    # end desc), a span's parent is on top of the stack when the span is
+    # visited, so each span adds its duration to its parent's child time.
+    stack: List[Tuple[float, int]] = []  # (end, span index) per open span
+    child_time = [0.0] * len(normalized)
+    for i, (_name, _category, start, end) in enumerate(normalized):
+        while stack and stack[-1][0] <= start:
+            stack.pop()
+        duration = max(end - start, 0.0)
+        if stack:
+            child_time[stack[-1][1]] += duration
+        else:
+            total_wall += duration
+        stack.append((end, i))
+
+    for i, (name, category, start, end) in enumerate(normalized):
+        duration = max(end - start, 0.0)
+        self_time = max(duration - child_time[i], 0.0)
+        bucket = per_name.setdefault(
+            (name, category),
+            {"count": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0},
+        )
+        bucket["count"] += 1
+        bucket["total_s"] += duration
+        bucket["self_s"] += self_time
+        bucket["max_s"] = max(bucket["max_s"], duration)
+        cat = per_category.setdefault(
+            category, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        cat["count"] += 1
+        cat["total_s"] += duration
+        cat["self_s"] += self_time
+
+    rows = [
+        {
+            "name": name,
+            "category": category,
+            "count": int(stats["count"]),
+            "total_s": stats["total_s"],
+            "self_s": stats["self_s"],
+            "mean_s": stats["total_s"] / stats["count"],
+            "max_s": stats["max_s"],
+            "self_share": (
+                stats["self_s"] / total_wall if total_wall > 0 else 0.0
+            ),
+        }
+        for (name, category), stats in per_name.items()
+    ]
+    rows.sort(key=lambda r: (-r["self_s"], r["name"]))
+    return {
+        "total_wall_s": total_wall,
+        "span_count": len(normalized),
+        "spans": rows,
+        "categories": {
+            cat: {
+                "count": int(stats["count"]),
+                "total_s": stats["total_s"],
+                "self_s": stats["self_s"],
+            }
+            for cat, stats in sorted(per_category.items())
+        },
+    }
+
+
+def profile_recorder(recorder: Any) -> Dict[str, Any]:
+    """Attribution report over a live recorder's collected spans."""
+    return profile_spans(recorder.spans)
+
+
+def report_profile(recorder: Any, top: int = 10) -> Dict[str, Any]:
+    """Compact profile summary stamped onto ``ScheduleReport.profile``.
+
+    Keeps the per-category breakdown and only the ``top`` hottest spans
+    (by self time), so reports stay small enough to persist.
+    """
+    full = profile_spans(recorder.spans)
+    return {
+        "total_wall_s": full["total_wall_s"],
+        "span_count": full["span_count"],
+        "categories": full["categories"],
+        "top_spans": full["spans"][:top],
+    }
+
+
+def profile_table(profile: Dict[str, Any], top: int = 15) -> str:
+    """Render an attribution report as aligned plain-text tables."""
+    from ..experiments.reporting import format_table
+
+    if not profile["span_count"]:
+        return "(no spans to profile)"
+    total = profile["total_wall_s"]
+    sections = [
+        f"wall time {total * 1e3:.3f} ms across "
+        f"{profile['span_count']} spans"
+    ]
+    span_rows = [
+        [
+            row["name"],
+            row["category"],
+            row["count"],
+            f"{row['total_s'] * 1e3:.3f}",
+            f"{row['self_s'] * 1e3:.3f}",
+            f"{row['self_share'] * 100:.1f}%",
+            f"{row['max_s'] * 1e3:.3f}",
+        ]
+        for row in profile["spans"][:top]
+    ]
+    sections.append(
+        format_table(
+            ["span", "category", "count", "total ms", "self ms",
+             "self %", "max ms"],
+            span_rows,
+        )
+    )
+    cat_rows = [
+        [
+            cat,
+            stats["count"],
+            f"{stats['total_s'] * 1e3:.3f}",
+            f"{stats['self_s'] * 1e3:.3f}",
+            f"{(stats['self_s'] / total * 100) if total > 0 else 0.0:.1f}%",
+        ]
+        for cat, stats in sorted(
+            profile["categories"].items(),
+            key=lambda kv: -kv[1]["self_s"],
+        )
+    ]
+    sections.append(
+        format_table(
+            ["category", "count", "total ms", "self ms", "self %"], cat_rows
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def load_trace_spans(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read span records back out of an exported trace file.
+
+    Accepts both export formats: a Chrome ``trace_event`` JSON file
+    (``"X"`` complete events become spans) and a JSONL stream
+    (``{"type": "span", ...}`` records). Raises ``ValueError`` for
+    files in neither format.
+    """
+    path = Path(path)
+    text = path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:2048]:
+        trace = json.loads(text)
+        return [
+            event
+            for event in trace.get("traceEvents", [])
+            if event.get("ph") == "X"
+        ]
+    spans: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path} is neither a Chrome trace nor a JSONL stream: {exc}"
+            ) from exc
+        if isinstance(record, dict) and record.get("type") == "span":
+            spans.append(record)
+    return spans

@@ -1,0 +1,95 @@
+"""Prometheus text exposition for metrics snapshots.
+
+Renders any :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`
+dict — live from a recorder, carried on ``report.telemetry``, read back
+from a JSONL trace, or rebuilt from persisted service stats — in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a
+scrape-and-forget pipeline (node exporter textfile collector, pushgateway,
+plain curl) can ingest it without bespoke parsing.
+
+Mapping:
+
+* counters → ``# TYPE <name> counter`` samples;
+* gauges → ``# TYPE <name> gauge`` samples;
+* histogram summaries → Prometheus *summary* families:
+  ``<name>{quantile="0.5|0.9|0.99"}`` from the sketch percentiles, plus
+  ``<name>_sum`` / ``<name>_count``, and ``<name>_min`` / ``<name>_max``
+  gauges (Prometheus summaries do not carry min/max natively).
+
+Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots and
+other separators become underscores) and prefixed (default ``repro_``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping
+
+__all__ = ["prometheus_text"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantile labels emitted for each histogram summary, mapped onto the
+#: keys of :meth:`~repro.telemetry.metrics.HistogramStats.as_dict`.
+_SUMMARY_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _sanitize(name: str, prefix: str) -> str:
+    cleaned = _NAME_OK.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return f"{prefix}{cleaned}" if prefix else cleaned
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_text(
+    snapshot: Mapping[str, Any], prefix: str = "repro_"
+) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    ``snapshot`` is a ``{"counters": ..., "gauges": ..., "histograms":
+    ...}`` dict (missing sections are treated as empty). Histogram
+    values may be full sketch summaries or any dict with ``count`` /
+    ``total``; quantile samples are emitted only for the keys present.
+    """
+    lines: List[str] = []
+
+    counters: Dict[str, Any] = dict(snapshot.get("counters") or {})
+    for name in sorted(counters):
+        metric = _sanitize(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+
+    gauges: Dict[str, Any] = dict(snapshot.get("gauges") or {})
+    for name in sorted(gauges):
+        metric = _sanitize(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+
+    histograms: Dict[str, Any] = dict(snapshot.get("histograms") or {})
+    for name in sorted(histograms):
+        stats = histograms[name]
+        metric = _sanitize(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for label, key in _SUMMARY_QUANTILES:
+            if key in stats:
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} '
+                    f"{_format_value(stats[key])}"
+                )
+        lines.append(f"{metric}_sum {_format_value(stats.get('total', 0.0))}")
+        lines.append(f"{metric}_count {_format_value(stats.get('count', 0))}")
+        for bound in ("min", "max"):
+            if bound in stats:
+                lines.append(f"# TYPE {metric}_{bound} gauge")
+                lines.append(
+                    f"{metric}_{bound} {_format_value(stats[bound])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -20,7 +20,7 @@ scheduler cannot change outputs, delays, or reports — only observe them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, time
 from typing import Any, Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry
@@ -177,7 +177,14 @@ class InMemoryRecorder(Recorder):
     enabled = True
 
     def __init__(self) -> None:
+        #: ``perf_counter()`` at creation — the zero point of every
+        #: relative timestamp this recorder hands to exporters.
         self.origin = perf_counter()
+        #: Wall-clock (``time.time()``) captured at the same instant as
+        #: :attr:`origin`, so traces recorded by different processes
+        #: (parallel drain workers) can be aligned on one timeline:
+        #: ``wall = wall_origin + relative(ts)``.
+        self.wall_origin = time()
         self.spans: List[SpanRecord] = []
         self.events: List[EventRecord] = []
         self.samples: List[SampleRecord] = []
@@ -227,6 +234,15 @@ class InMemoryRecorder(Recorder):
     def relative(self, ts: float) -> float:
         """A timestamp shifted so the recorder's creation is 0."""
         return ts - self.origin
+
+    def wall_time(self, ts: float) -> float:
+        """A ``perf_counter`` timestamp mapped onto the wall clock.
+
+        Unix seconds, comparable across processes (up to clock skew);
+        the anchor is captured once at recorder creation so the mapping
+        is a pure offset.
+        """
+        return self.wall_origin + (ts - self.origin)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

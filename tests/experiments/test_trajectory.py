@@ -1,0 +1,193 @@
+"""Tests for the benchmark-trajectory tracker (bench compare)."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    compare_dirs,
+    compare_results,
+    load_result,
+    markdown_summary,
+)
+from repro.experiments.trajectory import extract_metrics, metric_direction
+
+
+def _artifact(name="e99_synthetic", extra=None, rows=None, headers=None):
+    return {
+        "name": name,
+        "headers": headers or ["leg", "ms", "speedup"],
+        "rows": rows or [["batched", "100.0", "4.00x (>=2x asserted)"]],
+        "notes": "synthetic",
+        "extra": extra or {},
+    }
+
+
+class TestMetricDirection:
+    def test_known_directions(self):
+        assert metric_direction("wall_speedup") == "higher"
+        assert metric_direction("batched/ms") == "lower"
+        assert metric_direction("total_rounds") == "lower"
+        assert metric_direction("jobs_per_sec") == "higher"
+
+    def test_higher_wins_ties(self):
+        # contains both "rounds" (lower) and "speedup" (higher)
+        assert metric_direction("round_speedup") == "higher"
+
+    def test_unknown(self):
+        assert metric_direction("flux_capacitance") == "unknown"
+
+
+class TestExtractMetrics:
+    def test_extra_scalars_and_numeric_cells(self):
+        metrics = extract_metrics(
+            _artifact(extra={"wall_speedup": 3.5, "label": "text"})
+        )
+        assert metrics["wall_speedup"] == 3.5
+        assert "label" not in metrics
+        assert metrics["batched/ms"] == 100.0
+        # "4.00x (...)" parses by its leading number
+        assert metrics["batched/speedup"] == 4.0
+
+    def test_non_numeric_cells_skipped(self):
+        metrics = extract_metrics(
+            _artifact(rows=[["leg", "-", "registry"]])
+        )
+        assert metrics == {}
+
+
+class TestCompareResults:
+    def test_stable_pair_flags_nothing(self):
+        comparison = compare_results(_artifact(), _artifact())
+        assert comparison.regressions == []
+        assert comparison.changes == []
+        assert len(comparison.deltas) == 2
+
+    def test_regression_in_bad_direction(self):
+        old = _artifact(extra={"round_speedup": 4.0})
+        new = _artifact(extra={"round_speedup": 3.0})
+        comparison = compare_results(old, new, threshold=0.05)
+        (delta,) = [d for d in comparison.regressions]
+        assert delta.name == "round_speedup"
+        assert delta.rel_change == pytest.approx(-0.25)
+
+    def test_improvement_is_a_change_but_not_a_regression(self):
+        old = _artifact(extra={"round_speedup": 3.0})
+        new = _artifact(extra={"round_speedup": 4.0})
+        comparison = compare_results(old, new, threshold=0.05)
+        assert comparison.regressions == []
+        assert any(d.name == "round_speedup" for d in comparison.changes)
+
+    def test_time_going_up_regresses(self):
+        old = _artifact(rows=[["batched", "100.0", "4.00x"]])
+        new = _artifact(rows=[["batched", "150.0", "4.00x"]])
+        comparison = compare_results(old, new)
+        assert [d.name for d in comparison.regressions] == ["batched/ms"]
+
+    def test_unknown_direction_never_regresses(self):
+        old = _artifact(extra={"flux_capacitance": 1.0})
+        new = _artifact(extra={"flux_capacitance": 100.0})
+        comparison = compare_results(old, new)
+        assert comparison.regressions == []
+        assert any(d.name == "flux_capacitance" for d in comparison.changes)
+
+    def test_within_threshold_is_quiet(self):
+        old = _artifact(extra={"wall_speedup": 100.0})
+        new = _artifact(extra={"wall_speedup": 97.0})
+        comparison = compare_results(old, new, threshold=0.05)
+        assert comparison.changes == []
+
+    def test_added_and_removed_metrics(self):
+        old = _artifact(extra={"gone": 1.0})
+        new = _artifact(extra={"fresh": 2.0})
+        comparison = compare_results(old, new)
+        assert comparison.added == ["fresh"]
+        assert comparison.removed == ["gone"]
+
+    def test_from_zero_is_infinite_change(self):
+        old = _artifact(extra={"retries": 0.0})
+        new = _artifact(extra={"retries": 3.0})
+        comparison = compare_results(old, new)
+        (delta,) = comparison.regressions
+        assert delta.rel_change == float("inf")
+
+
+class TestCompareDirs:
+    def _write(self, directory, artifact):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{artifact['name']}.json"
+        path.write_text(json.dumps(artifact))
+        return path
+
+    def test_matching_artifacts_compared(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        self._write(old_dir, _artifact(extra={"wall_speedup": 4.0}))
+        self._write(new_dir, _artifact(extra={"wall_speedup": 2.0}))
+        comparisons, skipped = compare_dirs(old_dir, new_dir)
+        assert skipped == []
+        (comparison,) = comparisons
+        assert [d.name for d in comparison.regressions] == ["wall_speedup"]
+
+    def test_one_sided_artifacts_are_skipped_loudly(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        self._write(old_dir, _artifact(name="only_old"))
+        self._write(new_dir, _artifact(name="only_new"))
+        comparisons, skipped = compare_dirs(old_dir, new_dir)
+        assert comparisons == []
+        assert sorted(skipped) == [
+            "only_new (no baseline)",
+            "only_old (not in new run)",
+        ]
+
+    def test_names_filter(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        for name in ("e1_a", "e2_b"):
+            self._write(old_dir, _artifact(name=name))
+            self._write(new_dir, _artifact(name=name))
+        comparisons, _ = compare_dirs(old_dir, new_dir, names=["e2_b"])
+        assert [c.name for c in comparisons] == ["e2_b"]
+
+    def test_real_results_are_self_stable(self, tmp_path):
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+        if not any(results.glob("*.json")):  # pragma: no cover
+            pytest.skip("no committed benchmark results")
+        comparisons, skipped = compare_dirs(results, results)
+        assert comparisons and not skipped
+        assert all(not c.regressions for c in comparisons)
+
+
+class TestMarkdownSummary:
+    def test_summary_shape(self):
+        old = _artifact(extra={"round_speedup": 4.0})
+        new = _artifact(extra={"round_speedup": 3.0})
+        comparison = compare_results(old, new)
+        text = markdown_summary([comparison], skipped=["e5 (no baseline)"])
+        assert "# Benchmark trajectory" in text
+        assert "**1 regression(s)**" in text
+        assert "**REGRESSED**" in text
+        assert "round_speedup" in text
+        assert "e5 (no baseline)" in text
+
+    def test_stable_summary(self):
+        comparison = compare_results(_artifact(), _artifact())
+        text = markdown_summary([comparison])
+        assert "stable" in text
+        assert "REGRESSED" not in text
+
+
+class TestLoadResult:
+    def test_rejects_non_artifacts(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"no": "rows"}))
+        with pytest.raises(ValueError):
+            load_result(path)
+
+    def test_defaults_filled(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"rows": []}))
+        result = load_result(path)
+        assert result["name"] == "bare"
+        assert result["headers"] == []
+        assert result["extra"] == {}

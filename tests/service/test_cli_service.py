@@ -127,3 +127,68 @@ class TestServeAndStatus:
         self._spool(capsys, tmp_path, "bfs:source=0,hops=2")
         code, out = _run(capsys, "status", "--dir", str(tmp_path))
         assert code == 0 and "spooled" in out
+
+
+class TestObservabilityCli:
+    """serve persists stats; status --json / --metrics expose them."""
+
+    def _serve(self, capsys, tmp_path, count=3):
+        _run(
+            capsys,
+            "submit", "--dir", str(tmp_path),
+            "--net", "grid:4x4", "--algo", "bfs:source=0,hops=3",
+            "--count", str(count),
+        )
+        return _run(capsys, "serve", "--dir", str(tmp_path))
+
+    def test_serve_spools_events_and_reports_latency(self, tmp_path, capsys):
+        code, out = self._serve(capsys, tmp_path)
+        assert code == 0
+        assert "e2e latency p50=" in out and "jobs/s" in out
+        events = (tmp_path / "events.jsonl").read_text().splitlines()
+        kinds = [json.loads(line)["kind"] for line in events]
+        assert kinds.count("submitted") == 3
+        assert kinds.count("done") == 3
+
+    def test_status_json_is_machine_readable(self, tmp_path, capsys):
+        self._serve(capsys, tmp_path)
+        code, out = _run(capsys, "status", "--dir", str(tmp_path), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload["jobs"]) == {"s0001", "s0002", "s0003"}
+        stats = payload["stats"]
+        assert stats["jobs"]["done"] == 3
+        latency = stats["latency"]
+        assert latency["e2e_latency_s"]["count"] == 3
+        assert latency["e2e_latency_s"]["p50"] <= latency["e2e_latency_s"]["p99"]
+        assert latency["jobs_per_sec"] > 0
+
+    def test_status_json_before_any_serve(self, tmp_path, capsys):
+        code, out = _run(capsys, "status", "--dir", str(tmp_path), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["jobs"] == {} and payload["stats"] is None
+
+    def test_status_metrics_prometheus_text(self, tmp_path, capsys):
+        self._serve(capsys, tmp_path)
+        code, out = _run(capsys, "status", "--dir", str(tmp_path), "--metrics")
+        assert code == 0
+        assert "# TYPE repro_service_jobs_done counter" in out
+        assert "repro_service_jobs_done 3" in out
+        assert "# TYPE repro_service_e2e_latency_s summary" in out
+        assert 'repro_service_e2e_latency_s{quantile="0.99"}' in out
+        assert "repro_service_jobs_per_sec" in out
+
+    def test_status_metrics_without_stats(self, tmp_path, capsys):
+        code, out = _run(capsys, "status", "--dir", str(tmp_path), "--metrics")
+        assert code == 1 and "no persisted stats" in out
+
+    def test_metrics_subcommand_reads_state(self, tmp_path, capsys):
+        self._serve(capsys, tmp_path)
+        code, out = _run(capsys, "metrics", "--dir", str(tmp_path))
+        assert code == 0
+        assert "repro_service_jobs_done 3" in out
+
+    def test_metrics_subcommand_missing_source(self, tmp_path, capsys):
+        code, out = _run(capsys, "metrics", str(tmp_path / "nope.json"))
+        assert code == 1 and "no metrics source" in out

@@ -1,0 +1,210 @@
+"""Tests for the job-lifecycle event log and derived latency stats."""
+
+import json
+
+import pytest
+
+from repro.algorithms import BFS
+from repro.congest import topology
+from repro.parallel import SoloRunCache
+from repro.service import (
+    EventLog,
+    JobEvent,
+    SchedulerService,
+    latency_stats,
+    read_events,
+)
+
+
+class _Clock:
+    """Deterministic monotone clock for latency assertions."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestEventLog:
+    def test_emit_validates_kind(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.emit("teleported", "j0001")
+
+    def test_events_accumulate_in_memory(self):
+        log = EventLog(clock=_Clock())
+        log.emit("submitted", "j0001", fingerprint="abc", queue_depth=0)
+        log.emit("admitted", "j0001", queue_depth=0)
+        assert len(log) == 2
+        assert [e.kind for e in log.events] == ["submitted", "admitted"]
+        assert log.events[0].ts < log.events[1].ts
+
+    def test_spool_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        with EventLog(path, clock=_Clock()) as log:
+            log.emit("submitted", "j0001", fingerprint="abc", queue_depth=1)
+            log.emit(
+                "batched", "j0001", batch="b0001", queue_depth=0, batch_jobs=2
+            )
+            log.emit("done", "j0001", batch="b0001", batch_size=2)
+        loaded = read_events(path)
+        assert loaded == log.events
+        assert loaded[1].attrs == {"batch_jobs": 2}
+        assert loaded[1].batch == "b0001"
+
+    def test_read_tolerates_blank_and_torn_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = json.dumps(
+            JobEvent(kind="submitted", job_id="j0001", ts=1.0).as_dict()
+        )
+        path.write_text(f"{good}\n\n{{\"kind\": \"done\", \"job_i")
+        events = read_events(path)
+        assert len(events) == 1
+        assert events[0].job_id == "j0001"
+
+    def test_spool_flushes_in_blocks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, clock=_Clock(), flush_every=2)
+        log.emit("submitted", "j0001")
+        log.emit("admitted", "j0001")
+        log.emit("batched", "j0001", batch="b0001")
+        # two events crossed the flush threshold; the third is buffered
+        assert len(read_events(path)) == 2
+        log.flush()
+        assert len(read_events(path)) == 3
+        log.emit("done", "j0001", batch="b0001")
+        log.close()
+        assert read_events(path) == log.events
+
+    def test_flush_every_validates(self):
+        with pytest.raises(ValueError):
+            EventLog(flush_every=0)
+
+    def test_as_dict_omits_empty_fields(self):
+        record = JobEvent(kind="submitted", job_id="j0001", ts=1.0).as_dict()
+        assert record == {"kind": "submitted", "job_id": "j0001", "ts": 1.0}
+
+
+class TestLatencyStats:
+    def _event(self, kind, job_id, ts, **kwargs):
+        return JobEvent(kind=kind, job_id=job_id, ts=ts, **kwargs)
+
+    def test_queue_and_e2e_latency(self):
+        events = [
+            self._event("submitted", "j0001", 0.0),
+            self._event("submitted", "j0002", 1.0),
+            self._event("batched", "j0001", 2.0, batch="b0001"),
+            self._event("batched", "j0002", 2.0, batch="b0001"),
+            self._event("done", "j0001", 10.0, batch="b0001"),
+            self._event("failed", "j0002", 10.0, batch="b0001"),
+        ]
+        stats = latency_stats(events)
+        assert stats["completed"] == 1
+        assert stats["failed"] == 1
+        assert stats["events"] == 6
+        assert stats["window_s"] == pytest.approx(10.0)
+        assert stats["jobs_per_sec"] == pytest.approx(0.1)
+        queue = stats["queue_latency_s"]
+        assert queue["count"] == 2
+        assert queue["min"] == pytest.approx(1.0)
+        assert queue["max"] == pytest.approx(2.0)
+        e2e = stats["e2e_latency_s"]
+        assert e2e["count"] == 2
+        assert e2e["p50"] <= e2e["p90"] <= e2e["p99"]
+
+    def test_only_first_batched_counts_for_queue_latency(self):
+        events = [
+            self._event("submitted", "j0001", 0.0),
+            self._event("batched", "j0001", 1.0, batch="b0001"),
+            self._event("retried", "j0001", 5.0, batch="b0001"),
+            self._event("batched", "j0001", 9.0, batch="b0002"),
+            self._event("done", "j0001", 10.0, batch="b0002"),
+        ]
+        stats = latency_stats(events)
+        assert stats["queue_latency_s"]["count"] == 1
+        assert stats["queue_latency_s"]["max"] == pytest.approx(1.0)
+
+    def test_registry_hits_skip_queue_latency(self):
+        events = [
+            self._event("submitted", "j0001", 0.0),
+            self._event("done", "j0001", 0.5, attrs={"from_registry": True}),
+        ]
+        stats = latency_stats(events)
+        assert stats["queue_latency_s"]["count"] == 0
+        assert stats["e2e_latency_s"]["count"] == 1
+        assert stats["completed"] == 1
+
+    def test_empty_stream(self):
+        stats = latency_stats([])
+        assert stats["events"] == 0
+        assert stats["jobs_per_sec"] == 0.0
+        assert stats["queue_latency_s"]["count"] == 0
+
+
+class TestServiceIntegration:
+    def _serve(self, events):
+        network = topology.grid_graph(4, 4)
+        service = SchedulerService(
+            batch_size=2, solo_cache=SoloRunCache(), events=events
+        )
+        service.submit_many(
+            network, [BFS(0, hops=3), BFS(5, hops=3), BFS(10, hops=3)]
+        )
+        service.shutdown(drain=True)
+        return service
+
+    def test_lifecycle_events_emitted_in_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        service = self._serve(EventLog(path))
+        kinds = [e.kind for e in service.events.events]
+        assert kinds.count("submitted") == 3
+        assert kinds.count("admitted") == 3
+        assert kinds.count("batched") == 3
+        assert kinds.count("done") == 3
+        for job_id in ("j0001", "j0002", "j0003"):
+            job_kinds = [
+                e.kind for e in service.events.events if e.job_id == job_id
+            ]
+            assert job_kinds == ["submitted", "admitted", "batched", "done"]
+        # the spool file holds the exact same stream
+        assert read_events(path) == service.events.events
+
+    def test_stats_latency_block(self):
+        service = self._serve("memory")
+        stats = service.stats()
+        latency = stats["latency"]
+        assert latency["completed"] == 3
+        assert latency["e2e_latency_s"]["count"] == 3
+        assert (
+            latency["e2e_latency_s"]["p50"]
+            <= latency["e2e_latency_s"]["p99"]
+        )
+        assert latency["jobs_per_sec"] > 0
+        assert stats["events"] == len(service.events)
+
+    def test_registry_hit_emits_done_with_marker(self):
+        network = topology.grid_graph(4, 4)
+        service = SchedulerService(
+            batch_size=2, solo_cache=SoloRunCache(), events="memory"
+        )
+        service.submit(network, BFS(0, hops=3))
+        service.drain()
+        job = service.submit(network, BFS(0, hops=3))
+        assert job.result.from_registry
+        hit = service.events.events[-1]
+        assert hit.kind == "done"
+        assert hit.attrs.get("from_registry") is True
+
+    def test_events_none_disables_everything(self):
+        service = self._serve(None)
+        assert service.events is None
+        stats = service.stats()
+        assert stats["latency"] is None
+        assert stats["events"] == 0
+
+    def test_invalid_events_argument(self):
+        with pytest.raises(ValueError):
+            SchedulerService(events="not-a-mode")

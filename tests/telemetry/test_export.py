@@ -63,21 +63,36 @@ class TestChromeTrace:
         assert "traceEvents" in loaded
         assert len(loaded["traceEvents"]) == 1 + 2 + 1 + 2
 
+    def test_wall_clock_anchor(self):
+        recorder = _sample_recorder()
+        trace = chrome_trace(recorder)
+        metadata = trace["metadata"]
+        assert metadata["wall_origin_unix_s"] == recorder.wall_origin
+        assert metadata["clock"] == "perf_counter"
+
 
 class TestJsonl:
     def test_records_cover_everything(self):
         records = list(jsonl_records(_sample_recorder()))
         kinds = [r["type"] for r in records]
+        assert kinds[0] == "meta"
         assert kinds.count("span") == 2
         assert kinds.count("event") == 1
         assert kinds.count("sample") == 2
         assert kinds[-1] == "metrics"
         assert records[-1]["counters"] == {"messages": 19}
 
+    def test_meta_record_carries_wall_anchor(self):
+        recorder = _sample_recorder()
+        meta = next(iter(jsonl_records(recorder)))
+        assert meta["type"] == "meta"
+        assert meta["wall_origin_unix_s"] == recorder.wall_origin
+
     def test_write_jsonl(self, tmp_path):
         path = write_jsonl(_sample_recorder(), tmp_path / "events.jsonl")
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert len(lines) == 6
+        assert len(lines) == 7
+        assert lines[0]["type"] == "meta"
         assert lines[-1]["type"] == "metrics"
 
 

@@ -32,9 +32,11 @@ def workload(grid6):
 
 
 def _reports_equal(a, b) -> bool:
-    """Compare reports field-by-field, ignoring the telemetry snapshot."""
+    """Compare reports field-by-field, ignoring observability output."""
     fields = [
-        f.name for f in dataclasses.fields(a) if f.name != "telemetry"
+        f.name
+        for f in dataclasses.fields(a)
+        if f.name not in ("telemetry", "profile")
     ]
     return all(getattr(a, f) == getattr(b, f) for f in fields)
 

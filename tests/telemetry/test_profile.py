@@ -1,0 +1,146 @@
+"""Tests for the span-tree profiling attribution."""
+
+import json
+
+import pytest
+
+from repro.algorithms import BFS
+from repro.congest import topology
+from repro.core import PrivateScheduler, Workload
+from repro.telemetry import (
+    InMemoryRecorder,
+    load_trace_spans,
+    profile_recorder,
+    profile_spans,
+    profile_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _jsonl_span(name, category, start, duration):
+    return {
+        "type": "span",
+        "name": name,
+        "category": category,
+        "start": start,
+        "duration": duration,
+    }
+
+
+#: outer [0, 10] wraps child [1, 4] and child [5, 8]; root sibling [12, 14].
+SYNTHETIC = [
+    _jsonl_span("outer", "run", 0.0, 10.0),
+    _jsonl_span("child", "phase", 1.0, 3.0),
+    _jsonl_span("child", "phase", 5.0, 3.0),
+    _jsonl_span("tail", "run", 12.0, 2.0),
+]
+
+
+class TestProfileSpans:
+    def test_self_time_excludes_children(self):
+        profile = profile_spans(SYNTHETIC)
+        by_name = {row["name"]: row for row in profile["spans"]}
+        assert by_name["outer"]["total_s"] == pytest.approx(10.0)
+        assert by_name["outer"]["self_s"] == pytest.approx(4.0)
+        assert by_name["child"]["count"] == 2
+        assert by_name["child"]["self_s"] == pytest.approx(6.0)
+        assert by_name["tail"]["self_s"] == pytest.approx(2.0)
+
+    def test_wall_time_is_root_spans_and_self_times_sum_to_it(self):
+        profile = profile_spans(SYNTHETIC)
+        assert profile["total_wall_s"] == pytest.approx(12.0)
+        assert sum(r["self_s"] for r in profile["spans"]) == pytest.approx(
+            profile["total_wall_s"]
+        )
+        shares = sum(r["self_share"] for r in profile["spans"])
+        assert shares == pytest.approx(1.0)
+
+    def test_categories_aggregate(self):
+        profile = profile_spans(SYNTHETIC)
+        assert profile["categories"]["phase"]["self_s"] == pytest.approx(6.0)
+        assert profile["categories"]["run"]["count"] == 2
+
+    def test_sorted_by_self_time_desc(self):
+        profile = profile_spans(SYNTHETIC)
+        selfs = [row["self_s"] for row in profile["spans"]]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_empty(self):
+        profile = profile_spans([])
+        assert profile["span_count"] == 0
+        assert profile["total_wall_s"] == 0.0
+        assert profile_table(profile) == "(no spans to profile)"
+
+    def test_chrome_event_dicts_are_accepted(self):
+        events = [
+            {"name": "a", "cat": "x", "ph": "X", "ts": 0.0, "dur": 2e6},
+            {"name": "b", "cat": "x", "ph": "X", "ts": 5e5, "dur": 1e6},
+        ]
+        profile = profile_spans(events)
+        by_name = {row["name"]: row for row in profile["spans"]}
+        assert by_name["a"]["self_s"] == pytest.approx(1.0)
+        assert by_name["b"]["total_s"] == pytest.approx(1.0)
+
+
+class TestRecorderIntegration:
+    def _recorded(self):
+        recorder = InMemoryRecorder()
+        net = topology.grid_graph(4, 4)
+        work = Workload(net, [BFS(0, hops=3)])
+        result = (
+            PrivateScheduler().with_recorder(recorder).run(work, seed=1)
+        )
+        return recorder, result
+
+    def test_profile_recorder_covers_every_span(self):
+        recorder, _ = self._recorded()
+        profile = profile_recorder(recorder)
+        assert profile["span_count"] == len(recorder.spans)
+        assert profile["total_wall_s"] > 0
+
+    def test_report_profile_is_stamped_onto_recorded_reports(self):
+        recorder, result = self._recorded()
+        profile = result.report.profile
+        assert profile is not None
+        assert profile["span_count"] == len(recorder.spans)
+        assert len(profile["top_spans"]) <= 10
+        # JSON-friendly: persists like telemetry does
+        json.dumps(profile)
+
+    def test_unrecorded_runs_carry_no_profile(self):
+        net = topology.grid_graph(4, 4)
+        work = Workload(net, [BFS(0, hops=3)])
+        result = PrivateScheduler().run(work, seed=1)
+        assert result.report.profile is None
+
+    def test_profile_table_renders(self):
+        recorder, _ = self._recorded()
+        text = profile_table(profile_recorder(recorder), top=5)
+        assert "wall time" in text
+        assert "self ms" in text
+
+
+class TestLoadTraceSpans:
+    def test_round_trip_chrome(self, tmp_path):
+        recorder, _ = TestRecorderIntegration()._recorded()
+        path = write_chrome_trace(recorder, tmp_path / "t.json")
+        spans = load_trace_spans(path)
+        assert len(spans) == len(recorder.spans)
+        profile = profile_spans(spans)
+        live = profile_recorder(recorder)
+        assert profile["total_wall_s"] == pytest.approx(
+            live["total_wall_s"], rel=1e-6
+        )
+
+    def test_round_trip_jsonl(self, tmp_path):
+        recorder, _ = TestRecorderIntegration()._recorded()
+        path = write_jsonl(recorder, tmp_path / "t.jsonl")
+        spans = load_trace_spans(path)
+        assert len(spans) == len(recorder.spans)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "nope.txt"
+        path.write_text("not a trace at all")
+        with pytest.raises(ValueError):
+            load_trace_spans(path)

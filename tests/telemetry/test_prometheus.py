@@ -1,0 +1,51 @@
+"""Tests for the Prometheus text exposition."""
+
+from repro.telemetry import MetricsRegistry, prometheus_text
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter_add("service.submitted", 4)
+    registry.gauge_set("service.queue_depth", 2)
+    for value in (0.01, 0.02, 0.5):
+        registry.observe("service.e2e_latency_s", value)
+    return registry.snapshot()
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self):
+        text = prometheus_text(_snapshot())
+        assert "# TYPE repro_service_submitted counter" in text
+        assert "repro_service_submitted 4" in text
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 2" in text
+
+    def test_histograms_become_summaries_with_quantiles(self):
+        text = prometheus_text(_snapshot())
+        assert "# TYPE repro_service_e2e_latency_s summary" in text
+        for label in ('quantile="0.5"', 'quantile="0.9"', 'quantile="0.99"'):
+            assert f"repro_service_e2e_latency_s{{{label}}}" in text
+        assert "repro_service_e2e_latency_s_count 3" in text
+        assert "repro_service_e2e_latency_s_sum 0.53" in text
+        assert "repro_service_e2e_latency_s_min 0.01" in text
+        assert "repro_service_e2e_latency_s_max 0.5" in text
+
+    def test_name_sanitization_and_prefix(self):
+        text = prometheus_text(
+            {"counters": {"a.b-c d": 1}}, prefix="x_"
+        )
+        assert "x_a_b_c_d 1" in text
+
+    def test_no_prefix(self):
+        text = prometheus_text({"gauges": {"depth": 1}}, prefix="")
+        assert "# TYPE depth gauge" in text
+
+    def test_empty_snapshot_is_empty_string(self):
+        assert prometheus_text({}) == ""
+
+    def test_every_line_is_sample_or_comment(self):
+        for line in prometheus_text(_snapshot()).splitlines():
+            assert line.startswith("# TYPE ") or " " in line
+            if not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                float(value)  # parses as a number

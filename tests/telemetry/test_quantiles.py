@@ -1,0 +1,158 @@
+"""Property tests for the log-bucket quantile sketch.
+
+The sketch's two load-bearing contracts, hypothesis-hunted:
+
+* **merge associativity** — shard-local sketches from a parallel drain
+  must aggregate to exactly the sketch a single process would have
+  built, regardless of how the stream was split or in which order the
+  shards merged (per-bucket integer adds make this exact, not
+  approximate);
+* **quantile accuracy** — every percentile estimate lies within the
+  width of the log bucket holding the exact nearest-rank order
+  statistic (relative error bounded by the bucket base ``GAMMA``).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import HistogramStats, MetricsRegistry
+from repro.telemetry.metrics import GAMMA, QUANTILES
+
+#: Observation values: spans ~9 orders of magnitude, both signs, zero.
+values = st.one_of(
+    st.just(0.0),
+    st.floats(
+        min_value=1e-6,
+        max_value=1e3,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    st.floats(
+        min_value=-1e3,
+        max_value=-1e-6,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+)
+
+
+def _sketch(observations) -> HistogramStats:
+    stats = HistogramStats()
+    for value in observations:
+        stats.observe(value)
+    return stats
+
+
+def _assert_identical(a: HistogramStats, b: HistogramStats) -> None:
+    assert a.count == b.count
+    assert a.total == pytest.approx(b.total)
+    assert a.minimum == b.minimum
+    assert a.maximum == b.maximum
+    assert a.positive == b.positive
+    assert a.negative == b.negative
+    assert a.zeros == b.zeros
+
+
+class TestMergeAssociativity:
+    @given(
+        st.lists(values, min_size=0, max_size=60),
+        st.lists(values, min_size=0, max_size=60),
+        st.lists(values, min_size=0, max_size=60),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_split_points_and_grouping_do_not_matter(self, xs, ys, zs):
+        # (x + y) + z
+        left = _sketch(xs)
+        left.merge(_sketch(ys))
+        left.merge(_sketch(zs))
+        # x + (y + z)
+        right_tail = _sketch(ys)
+        right_tail.merge(_sketch(zs))
+        right = _sketch(xs)
+        right.merge(right_tail)
+        # one process seeing the whole stream
+        direct = _sketch(xs + ys + zs)
+        _assert_identical(left, right)
+        _assert_identical(left, direct)
+
+    @given(st.lists(values, min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, xs):
+        half = len(xs) // 2
+        ab = _sketch(xs[:half])
+        ab.merge(_sketch(xs[half:]))
+        ba = _sketch(xs[half:])
+        ba.merge(_sketch(xs[:half]))
+        _assert_identical(ab, ba)
+
+    def test_merge_into_empty(self):
+        empty = HistogramStats()
+        full = _sketch([1.0, 2.0, 3.0])
+        empty.merge(full)
+        _assert_identical(empty, full)
+        assert empty.as_dict() == full.as_dict()
+
+
+class TestQuantileAccuracy:
+    @given(
+        st.lists(values, min_size=1, max_size=120),
+        st.sampled_from([q for _, q in QUANTILES] + [0.0, 1.0, 0.75]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_estimate_within_bucket_of_exact_order_statistic(self, xs, q):
+        stats = _sketch(xs)
+        estimate = stats.quantile(q)
+        ordered = sorted(xs)
+        exact = ordered[max(1, math.ceil(q * len(xs))) - 1]
+        # Same bucket => relative error bounded by the bucket width.
+        if exact == 0.0:
+            # Clamping can move a zero estimate toward min/max, but only
+            # within one bucket of zero's neighbours; accept tiny drift.
+            assert abs(estimate) <= max(abs(v) for v in xs)
+        else:
+            assert estimate == pytest.approx(exact, rel=GAMMA - 1.0), (
+                f"quantile({q}) = {estimate} vs exact {exact}"
+            )
+
+    @given(st.lists(values, min_size=1, max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_percentiles_are_monotone_and_clamped(self, xs):
+        stats = _sketch(xs)
+        pct = stats.percentiles()
+        assert pct["p50"] <= pct["p90"] <= pct["p99"]
+        assert min(xs) <= pct["p50"] and pct["p99"] <= max(xs)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            HistogramStats().quantile(1.5)
+
+    def test_empty_sketch_quantile_is_zero(self):
+        assert HistogramStats().quantile(0.99) == 0.0
+
+
+class TestRegistryMergeDeterminism:
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gauge_merge_is_order_independent(self, depths):
+        shards = []
+        for depth in depths:
+            shard = MetricsRegistry()
+            shard.gauge_set("service.queue_depth", depth)
+            shards.append(shard)
+        forward = MetricsRegistry()
+        for shard in shards:
+            forward.merge(shard)
+        backward = MetricsRegistry()
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.gauges == backward.gauges
+        assert forward.gauges["service.queue_depth"] == max(depths)

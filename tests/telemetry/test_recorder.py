@@ -88,13 +88,14 @@ class TestInMemoryRecorder:
         snap = recorder.snapshot()
         assert snap["counters"]["msgs"] == 4
         assert snap["gauges"]["depth"] == 2
-        assert snap["histograms"]["lat"] == {
-            "count": 2,
-            "total": 4.0,
-            "min": 1.0,
-            "max": 3.0,
-            "mean": 2.0,
-        }
+        lat = snap["histograms"]["lat"]
+        assert lat["count"] == 2
+        assert lat["total"] == 4.0
+        assert lat["min"] == 1.0
+        assert lat["max"] == 3.0
+        assert lat["mean"] == 2.0
+        # sketch percentiles ride along in every summary
+        assert 1.0 <= lat["p50"] <= lat["p90"] <= lat["p99"] <= 3.0
 
     def test_query_helpers(self):
         recorder = InMemoryRecorder()
@@ -124,6 +125,9 @@ class TestMetricsRegistry:
             "min": 0.0,
             "max": 0.0,
             "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
         }
 
     def test_merge(self):

@@ -80,6 +80,87 @@ def test_sweep_serial(capsys):
     assert "solo-run cache" in out
 
 
+def test_profile_attributes_trace_wall_time(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "quickstart", "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["profile", str(out), "--top", "5"]) == 0
+    text = capsys.readouterr().out
+    assert "wall time" in text
+    assert "self ms" in text
+    assert "cluster-copies" in text
+
+
+def test_profile_jsonl_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    assert main([
+        "trace", "quickstart", "--out", str(out), "--jsonl", str(jsonl)
+    ]) == 0
+    capsys.readouterr()
+    assert main(["profile", str(jsonl)]) == 0
+    assert "wall time" in capsys.readouterr().out
+
+
+def test_profile_rejects_non_trace(tmp_path, capsys):
+    path = tmp_path / "junk.txt"
+    path.write_text("garbage")
+    assert main(["profile", str(path)]) == 1
+    assert "cannot profile" in capsys.readouterr().out
+
+
+def test_metrics_from_jsonl_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    assert main([
+        "trace", "quickstart", "--out", str(out), "--jsonl", str(jsonl)
+    ]) == 0
+    capsys.readouterr()
+    assert main(["metrics", str(jsonl)]) == 0
+    text = capsys.readouterr().out
+    assert "# TYPE repro_cluster_messages_sent counter" in text
+    assert 'quantile="0.99"' in text
+
+
+def test_bench_compare_files_flags_regression(tmp_path, capsys):
+    import json
+
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    base = {"name": "e99", "headers": [], "rows": [], "notes": ""}
+    old.write_text(json.dumps({**base, "extra": {"wall_speedup": 4.0}}))
+    new.write_text(json.dumps({**base, "extra": {"wall_speedup": 2.0}}))
+    report = tmp_path / "report.md"
+    assert main([
+        "bench", "compare", str(old), str(new), "--markdown", str(report)
+    ]) == 0  # regressions reported but not fatal without --strict
+    out = capsys.readouterr().out
+    assert "1 regression(s)" in out
+    assert "REGRESSED e99: wall_speedup" in out
+    assert "**REGRESSED**" in report.read_text()
+    # --strict turns the regression into a failing exit code
+    assert main(["bench", "compare", str(old), str(new), "--strict"]) == 1
+
+
+def test_bench_compare_directory_self_stable(tmp_path, capsys):
+    from pathlib import Path
+
+    results = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+    if not any(results.glob("*.json")):  # pragma: no cover
+        pytest.skip("no committed benchmark results")
+    assert main([
+        "bench", "compare", str(results), str(results), "--strict"
+    ]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+
+def test_bench_compare_mismatched_arguments(tmp_path, capsys):
+    assert main([
+        "bench", "compare", str(tmp_path), str(tmp_path / "nope.json")
+    ]) == 2
+    assert "both be files or both be directories" in capsys.readouterr().out
+
+
 def test_sweep_with_pool_matches_serial(capsys):
     assert main(["sweep", "--sides", "5", "--k", "4", "--seeds", "1"]) == 0
     serial = capsys.readouterr().out
