@@ -54,6 +54,16 @@ end-to-end latency histograms derived from that log — into
 ``state.json``; ``status --json`` emits the whole thing as JSON and
 ``status --metrics`` as Prometheus text.
 
+``serve`` is crash-safe: every job transition is written ahead to
+``journal.jsonl`` (fsync policy via ``--fsync``), and a serve killed
+mid-drain is recovered with ``serve --resume`` — acknowledged
+completions are served from the registry without re-execution, and a
+job that repeatedly took the process down is quarantined.
+``python -m repro crashpoints`` lists the named crash-injection points
+(arm one with ``REPRO_CRASH_POINT=<name>[:<hit>]``) used to test that
+contract; see the "Durability & recovery" section of
+``docs/SERVICE.md``.
+
 And the observability subcommands (see ``docs/OBSERVABILITY.md``)::
 
     python -m repro profile <trace>            # wall-time attribution
@@ -419,6 +429,7 @@ def _read_state(base) -> dict:
 def _submit_cli(args) -> None:
     import json
 
+    from repro._util import atomic_write_text
     from repro.service import parse_algorithm, parse_network
 
     # Validate the specs before spooling anything.
@@ -441,7 +452,11 @@ def _submit_cli(args) -> None:
             "algo": args.algo,
             "seed": args.seed,
         }
-        (spool / f"{spool_id}.json").write_text(json.dumps(record, indent=2))
+        # Atomic: a submit killed mid-write must not leave a torn spool
+        # file for the next serve to choke on.
+        atomic_write_text(
+            spool / f"{spool_id}.json", json.dumps(record, indent=2)
+        )
         submitted.append(spool_id)
     noun = "job" if len(submitted) == 1 else "jobs"
     print(
@@ -457,11 +472,13 @@ def _serve_cli(args) -> int:
     from pathlib import Path
 
     from repro import __version__
+    from repro._util import atomic_write_text
     from repro.experiments import format_table
     from repro.parallel import ParallelRunner
     from repro.service import (
         AdmissionPolicy,
         EventLog,
+        JobJournal,
         RunRegistry,
         SchedulerService,
         parse_algorithm,
@@ -471,14 +488,25 @@ def _serve_cli(args) -> int:
     base = Path(args.dir)
     spool = _spool_dir(base)
     specs = sorted(spool.glob("s*.json")) if spool.exists() else []
-    if not specs:
+    journal = JobJournal(base / "journal.jsonl", fsync=args.fsync)
+    pending = journal.state.pending()
+    if pending and not getattr(args, "resume", False):
+        preview = ", ".join(pending[:5]) + ("..." if len(pending) > 5 else "")
+        print(
+            f"{len(pending)} journaled job(s) from a previous serve are "
+            f"unfinished ({preview}); re-run with --resume to recover "
+            f"them, or delete {base / 'journal.jsonl'} to discard."
+        )
+        return 1
+    resuming = bool(pending) and getattr(args, "resume", False)
+    if not specs and not resuming:
         print(f"nothing to serve: no spooled jobs under {spool}")
         return 0
 
     policy = AdmissionPolicy(
         round_budget=args.budget, park_over_budget=args.park
     )
-    service = SchedulerService(
+    kwargs = dict(
         scheduler=_service_scheduler(args.scheduler),
         batch_size=args.batch_size,
         policy=policy,
@@ -486,22 +514,51 @@ def _serve_cli(args) -> int:
         runner=ParallelRunner(args.workers),
         schedule_seed=args.seed,
         events=EventLog(base / "events.jsonl"),
+        journal=journal,
     )
+    if resuming:
+        service = SchedulerService.recover(**kwargs)
+        recovered = sum(
+            1 for job in service.jobs() if job.meta.get("recovered")
+        )
+        print(f"recovered {recovered} journaled job(s) from {journal.path}")
+    else:
+        service = SchedulerService(**kwargs)
     state = _read_state(base)
+    # Spool files already journaled by a crashed serve belong to
+    # recovery, not resubmission; everything else is submitted fresh.
+    journaled_spools = {
+        entry.get("spool")
+        for entry in journal.state.jobs.values()
+        if entry.get("spool")
+    }
     spool_of = {}
     for path in specs:
         record = json.loads(path.read_text())
+        if record["id"] in journaled_spools:
+            continue
         job = service.submit(
             parse_network(record["net"]),
             parse_algorithm(record["algo"]),
             master_seed=record.get("seed", 0),
+            spec=record,
         )
-        spool_of[job.job_id] = (record, path)
+        spool_of[job.job_id] = record
     service.shutdown(drain=True)
 
     rows = []
     for job in service.jobs():
-        record, path = spool_of[job.job_id]
+        record = spool_of.get(job.job_id)
+        if record is None:
+            spool_id = job.meta.get("spool")
+            if spool_id is None:
+                continue
+            record = {
+                "id": spool_id,
+                "net": job.meta.get("net", "?"),
+                "algo": job.meta.get("algo", "?"),
+                "seed": job.master_seed,
+            }
         entry = job.describe()
         entry["net"] = record["net"]
         entry["algo"] = record["algo"]
@@ -509,7 +566,7 @@ def _serve_cli(args) -> int:
         entry["repro_version"] = __version__
         state["jobs"][record["id"]] = entry
         if job.terminal:
-            path.unlink(missing_ok=True)
+            (spool / f"{record['id']}.json").unlink(missing_ok=True)
         rows.append(
             [
                 record["id"],
@@ -524,13 +581,19 @@ def _serve_cli(args) -> int:
     state["version"] = __version__
     stats = service.stats()
     state["stats"] = stats
-    (base / "state.json").write_text(json.dumps(state, indent=2))
+    atomic_write_text(base / "state.json", json.dumps(state, indent=2))
+    # Compact the surviving history into one checkpoint record: the next
+    # serve replays O(live jobs), not O(everything ever journaled).
+    journal.checkpoint()
+    journal.close()
 
     print(format_table(["job", "algorithm", "state", "served by", "note"], rows))
+    quarantined = stats["jobs"].get("quarantined", 0)
+    extra = f" / {quarantined} quarantined" if quarantined else ""
     print(
         f"\n{stats['jobs']['done']} done / {stats['jobs']['failed']} failed / "
-        f"{stats['jobs']['rejected']} rejected / {stats['jobs']['parked']} parked "
-        f"in {stats['batches']} batches; registry {stats['registry']}"
+        f"{stats['jobs']['rejected']} rejected / {stats['jobs']['parked']} parked"
+        f"{extra} in {stats['batches']} batches; registry {stats['registry']}"
     )
     latency = stats.get("latency")
     if latency and latency["e2e_latency_s"]["count"]:
@@ -541,7 +604,7 @@ def _serve_cli(args) -> int:
             f"{latency['jobs_per_sec']:.1f} jobs/s "
             f"({latency['events']} events -> {base / 'events.jsonl'})"
         )
-    return 1 if stats["jobs"]["failed"] else 0
+    return 1 if stats["jobs"]["failed"] or quarantined else 0
 
 
 def _stats_snapshot(stats: dict) -> dict:
@@ -853,7 +916,26 @@ def main(argv=None) -> int:
         parser.add_argument(
             "--seed", type=int, default=1, help="schedule seed (default: 1)"
         )
+        parser.add_argument(
+            "--resume", action="store_true",
+            help="recover unfinished jobs from the write-ahead journal "
+            "left by a crashed serve (idempotent; acknowledged "
+            "completions are never re-executed)",
+        )
+        parser.add_argument(
+            "--fsync", default="batch", choices=("always", "batch", "never"),
+            help="journal durability: 'always' fsyncs every record "
+            "(power-loss safe), 'batch' flushes to the OS (kill -9 "
+            "safe, default), 'never' is buffered",
+        )
         return _serve_cli(parser.parse_args(argv[1:]))
+
+    if argv and argv[0] == "crashpoints":
+        from repro.service import CRASH_POINTS
+
+        for name in CRASH_POINTS:
+            print(name)
+        return 0
 
     if argv and argv[0] == "status":
         parser = argparse.ArgumentParser(

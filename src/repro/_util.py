@@ -3,13 +3,33 @@
 from __future__ import annotations
 
 import hashlib
-from typing import Any
+import os
+from pathlib import Path
+from typing import Any, Union
 
 __all__ = [
+    "atomic_write_text",
     "derive_seed",
     "stable_digest",
     "ceil_log2",
 ]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The replacement is fully written and fsynced before the rename, so
+    a crash at any instruction leaves either the old file or the
+    complete new one — never a torn half-write. Used for every spool
+    metadata file the service CLI persists (``state.json``, ``s*.json``).
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with tmp.open("w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 def stable_digest(*parts: Any) -> bytes:

@@ -17,11 +17,17 @@ first-class, exactly reproducible workload:
   retransmission transport with bounded retries and exponential backoff
   that makes any black-box algorithm tolerate bounded message loss while
   staying a legal CONGEST algorithm.
+* :func:`crash_point` / :class:`InjectedCrash`
+  (:mod:`repro.faults.crashpoints`) — named process-death injection
+  points, armed in-process or via ``REPRO_CRASH_POINT``, which the
+  scheduling service threads through its write-ahead-journal critical
+  sections so crash recovery is testable at every point.
 
 See ``docs/ROBUSTNESS.md`` for the fault-model semantics and
 ``python -m repro chaos`` for the survival-curve CLI.
 """
 
+from .crashpoints import InjectedCrash, arm, armed, crash_point, disarm
 from .injector import NULL_INJECTOR, FaultInjector, NullInjector, SeededInjector
 from .plan import EdgeOutage, FaultPlan, NodeCrash
 from .retransmit import ResilientAlgorithm, window_rounds, wrap_workload
@@ -30,11 +36,16 @@ __all__ = [
     "EdgeOutage",
     "FaultInjector",
     "FaultPlan",
+    "InjectedCrash",
     "NULL_INJECTOR",
     "NodeCrash",
     "NullInjector",
     "ResilientAlgorithm",
     "SeededInjector",
+    "arm",
+    "armed",
+    "crash_point",
+    "disarm",
     "window_rounds",
     "wrap_workload",
 ]

@@ -1,0 +1,174 @@
+"""Named crash points: deterministic process-death injection.
+
+The chaos layer (:mod:`repro.faults`) perturbs *messages*; this module
+perturbs the *process*. Code that wants its crash-recovery story to be
+testable threads named crash points through its critical sections::
+
+    from repro.faults.crashpoints import crash_point
+
+    crash_point("complete.pre_journal")   # no-op unless armed
+    journal.append("done", job=job_id)
+    crash_point("complete.post_journal")
+
+A crash point is a no-op until **armed**, mirroring the seeded-fault
+philosophy: which point fires, and on which hit, is an explicit input,
+never wall-clock or scheduling luck, so every crash a test observes is
+exactly reproducible.
+
+Arming is either
+
+* **in-process** — :func:`arm` / the :func:`armed` context manager,
+  used by the crash-matrix property tests: the point raises
+  :class:`InjectedCrash` (a ``BaseException``, so blanket
+  ``except Exception`` recovery paths cannot accidentally swallow the
+  "crash" and keep running); or
+* **by environment** — ``REPRO_CRASH_POINT=<name>[:<hit>]`` makes the
+  matching point kill the process on its ``hit``-th execution
+  (default: first). The kill mode comes from ``REPRO_CRASH_MODE``:
+  ``kill`` (default) sends the process ``SIGKILL`` — a true ``kill -9``,
+  no atexit hooks, no buffered flushes — while ``exit`` calls
+  ``os._exit(137)`` and ``raise`` raises :class:`InjectedCrash`.
+  This is how CI murders ``python -m repro serve`` mid-drain.
+
+Disarmed overhead is one dict lookup plus one ``os.environ.get`` per
+crash point; the service's points sit on job-lifecycle transitions
+(not per-message paths), so this costs nothing measurable.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "CRASH_MODE_ENV",
+    "CRASH_POINT_ENV",
+    "InjectedCrash",
+    "arm",
+    "armed",
+    "crash_point",
+    "disarm",
+    "hit_counts",
+    "parse_crash_spec",
+]
+
+#: Environment variable naming the crash point to fire (``name[:hit]``).
+CRASH_POINT_ENV = "REPRO_CRASH_POINT"
+
+#: Environment variable selecting how an env-armed point dies.
+CRASH_MODE_ENV = "REPRO_CRASH_MODE"
+
+
+class InjectedCrash(BaseException):
+    """An armed crash point fired.
+
+    Deliberately a ``BaseException``: recovery code that catches
+    ``Exception`` (retry loops, ``run_resilient``) must not be able to
+    absorb an injected crash — the whole point is that the process is
+    considered dead from this line onward.
+    """
+
+    def __init__(self, name: str, hit: int):
+        super().__init__(f"injected crash at {name!r} (hit {hit})")
+        self.name = name
+        self.hit = hit
+
+
+# (name, fire-on-hit, action) armed in-process; None when disarmed.
+_armed: Optional[Tuple[str, int, Optional[Callable[[str, int], None]]]] = None
+# Executions seen per point name since the last (dis)arm — lets tests
+# and ``name:hit`` specs target "the third completion", i.e. mid-drain.
+_hits: Dict[str, int] = {}
+
+
+def parse_crash_spec(spec: str) -> Tuple[str, int]:
+    """Split ``name[:hit]`` into ``(name, hit)`` (hit is 1-based).
+
+    A missing or unparsable hit means 1 (fire on the first execution).
+    """
+    name, sep, raw = spec.partition(":")
+    hit = 1
+    if sep and raw.strip():
+        try:
+            hit = max(1, int(raw))
+        except ValueError:
+            hit = 1
+    return name.strip(), hit
+
+
+def arm(
+    name: str,
+    hit: int = 1,
+    action: Optional[Callable[[str, int], None]] = None,
+) -> None:
+    """Arm one crash point in-process (fires on its ``hit``-th execution).
+
+    ``action(name, hit)`` replaces the default raise of
+    :class:`InjectedCrash`; hit counters restart from zero.
+    """
+    global _armed
+    if hit < 1:
+        raise ValueError(f"hit must be >= 1, got {hit}")
+    _armed = (name, hit, action)
+    _hits.clear()
+
+
+def disarm() -> None:
+    """Disarm any in-process crash point and clear the hit counters."""
+    global _armed
+    _armed = None
+    _hits.clear()
+
+
+@contextmanager
+def armed(
+    name: str,
+    hit: int = 1,
+    action: Optional[Callable[[str, int], None]] = None,
+) -> Iterator[None]:
+    """Context manager arming ``name`` and always disarming on exit."""
+    arm(name, hit=hit, action=action)
+    try:
+        yield
+    finally:
+        disarm()
+
+
+def hit_counts() -> Dict[str, int]:
+    """Executions seen per crash-point name since the last (dis)arm."""
+    return dict(_hits)
+
+
+def _die_by_env(name: str, hit: int) -> None:
+    mode = os.environ.get(CRASH_MODE_ENV, "kill").strip().lower()
+    if mode == "raise":
+        raise InjectedCrash(name, hit)
+    if mode == "exit":
+        os._exit(137)
+    # kill -9 semantics: no atexit, no flushes, no finally blocks.
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def crash_point(name: str) -> None:
+    """Execute the crash point ``name``: dies iff armed for this hit."""
+    target = _armed
+    env_spec = None
+    if target is None:
+        env_spec = os.environ.get(CRASH_POINT_ENV, "")
+        if not env_spec:
+            return
+    count = _hits.get(name, 0) + 1
+    _hits[name] = count
+    if target is not None:
+        armed_name, armed_hit, action = target
+        if name != armed_name or count != armed_hit:
+            return
+        if action is not None:
+            action(name, count)
+            return
+        raise InjectedCrash(name, count)
+    armed_name, armed_hit = parse_crash_spec(env_spec)
+    if name == armed_name and count == armed_hit:
+        _die_by_env(name, count)

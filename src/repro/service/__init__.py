@@ -18,26 +18,44 @@ so resubmissions never re-execute.
 * :class:`EventLog` / :class:`JobEvent` — the structured job-lifecycle
   event log (JSONL spool), from which :func:`latency_stats` derives
   p50/p90/p99 queue and end-to-end latency plus jobs/sec;
+* :class:`JobJournal` / :class:`JournalState` — the CRC-framed
+  write-ahead job journal giving the service crash safety:
+  transitions are journaled before they are applied, and
+  :meth:`SchedulerService.recover` replays the journal (idempotently,
+  against the registry) after a crash — see the ``Durability &
+  recovery`` section of ``docs/SERVICE.md`` and :data:`CRASH_POINTS`
+  for the injection points that keep the contract tested;
 * :mod:`repro.service.specs` — the ``kind:key=value`` spec language of
   the ``python -m repro serve|submit|status`` CLI.
 """
 
 from .admission import AdmissionDecision, AdmissionPolicy
-from .events import EventLog, JobEvent, latency_stats, read_events
+from .events import (
+    FSYNC_POLICIES,
+    EventLog,
+    JobEvent,
+    latency_stats,
+    read_events,
+)
 from .jobs import Job, JobResult, JobState, job_fingerprint
+from .journal import JobJournal, JournalState, read_journal
 from .registry import RunArtifact, RunRegistry
-from .service import JobQueue, SchedulerService, ServiceClosed
+from .service import CRASH_POINTS, JobQueue, SchedulerService, ServiceClosed
 from .specs import parse_algorithm, parse_network
 
 __all__ = [
     "AdmissionDecision",
     "AdmissionPolicy",
+    "CRASH_POINTS",
     "EventLog",
+    "FSYNC_POLICIES",
     "Job",
     "JobEvent",
+    "JobJournal",
     "JobQueue",
     "JobResult",
     "JobState",
+    "JournalState",
     "RunArtifact",
     "RunRegistry",
     "SchedulerService",
@@ -47,4 +65,5 @@ __all__ = [
     "parse_algorithm",
     "parse_network",
     "read_events",
+    "read_journal",
 ]

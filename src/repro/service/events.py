@@ -24,7 +24,9 @@ spool directory alone.
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,7 +37,9 @@ from ..telemetry.metrics import HistogramStats
 __all__ = [
     "EVENT_KINDS",
     "EventLog",
+    "FSYNC_POLICIES",
     "JobEvent",
+    "check_fsync",
     "latency_stats",
     "read_events",
 ]
@@ -49,12 +53,31 @@ EVENT_KINDS = (
     "rejected",
     "batched",
     "retried",
+    "recovered",
     "done",
     "failed",
+    "quarantined",
 )
 
 #: Kinds that end a job's lifecycle (close its end-to-end latency).
-TERMINAL_KINDS = frozenset({"done", "failed", "rejected"})
+TERMINAL_KINDS = frozenset({"done", "failed", "rejected", "quarantined"})
+
+#: Durability policies shared by :class:`EventLog` and
+#: :class:`~repro.service.journal.JobJournal`: ``"always"`` flushes and
+#: ``os.fsync``-s every write (survives power loss), ``"batch"`` flushes
+#: to the OS without fsync (survives ``kill -9``), ``"never"`` leaves
+#: buffering to the interpreter (fastest; loses the buffered tail on a
+#: crash).
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+def check_fsync(policy: str) -> str:
+    """Validate an fsync policy name; returns it for chaining."""
+    if policy not in FSYNC_POLICIES:
+        raise ValueError(
+            f"fsync must be one of {FSYNC_POLICIES}, got {policy!r}"
+        )
+    return policy
 
 
 @dataclass(frozen=True)
@@ -124,6 +147,17 @@ class EventLog:
         trailing events if the process dies without closing;
         :func:`read_events` tolerates the torn tail. Pass ``1`` to
         flush every event.
+    fsync:
+        Durability policy (see :data:`FSYNC_POLICIES`, shared with the
+        job journal). ``"batch"`` (default) keeps the ``flush_every``
+        behaviour; ``"always"`` flushes **and** ``os.fsync``-s every
+        event; ``"never"`` skips periodic flushes entirely.
+
+    A path-backed log registers an ``atexit`` hook when it first opens
+    its spool handle (removed again on :meth:`close`), so events
+    buffered between flushes are not silently dropped when the
+    interpreter exits without an explicit shutdown — an abrupt
+    ``kill -9`` is what the fsync policies are for.
     """
 
     def __init__(
@@ -131,15 +165,19 @@ class EventLog:
         path: Union[str, Path, None] = None,
         clock=time.time,
         flush_every: int = 32,
+        fsync: str = "batch",
     ):
         if flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        check_fsync(fsync)
         self.path = Path(path) if path is not None else None
         self.clock = clock
         self.flush_every = flush_every
+        self.fsync = fsync
         self.events: List[JobEvent] = []
         self._handle: Optional[IO[str]] = None
         self._unflushed = 0
+        self._atexit_registered = False
 
     def emit(
         self,
@@ -169,12 +207,21 @@ class EventLog:
             if self._handle is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = self.path.open("a")
+                if not self._atexit_registered:
+                    atexit.register(self.close)
+                    self._atexit_registered = True
             self._handle.write(
                 json.dumps(event.as_dict(), separators=(",", ":"))
             )
             self._handle.write("\n")
             self._unflushed += 1
-            if self._unflushed >= self.flush_every:
+            if self.fsync == "always":
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._unflushed = 0
+            elif (
+                self.fsync == "batch" and self._unflushed >= self.flush_every
+            ):
                 self._handle.flush()
                 self._unflushed = 0
         return event
@@ -187,6 +234,9 @@ class EventLog:
 
     def close(self) -> None:
         """Flush and close the spool handle (events stay in memory)."""
+        if self._atexit_registered:
+            atexit.unregister(self.close)
+            self._atexit_registered = False
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -214,7 +264,7 @@ def read_events(path: Union[str, Path]) -> List[JobEvent]:
     tolerated and dropped rather than raising.
     """
     events: List[JobEvent] = []
-    text = Path(path).read_text()
+    text = Path(path).read_text(errors="replace")
     for line in text.splitlines():
         line = line.strip()
         if not line:

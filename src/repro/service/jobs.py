@@ -20,8 +20,10 @@ that well-defined:
 
 States progress ``queued → batched → running → done``; admission can
 divert a submission to ``rejected`` (hard no) or ``parked`` (wait for a
-budget raise), and an execution that exhausts its retries ends
-``failed``.
+budget raise), an execution that exhausts its retries ends ``failed``,
+and crash recovery dead-letters a job that repeatedly took its batch
+down with it as ``quarantined`` (see
+:meth:`~repro.service.service.SchedulerService.recover`).
 """
 
 from __future__ import annotations
@@ -75,13 +77,18 @@ class JobState(str, Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    #: Dead-letter: the job repeatedly killed the process mid-batch and
+    #: is isolated so it cannot sink its batchmates again after restart.
+    QUARANTINED = "quarantined"
 
     def __str__(self) -> str:
         return self.value
 
 
 #: States a job can never leave.
-TERMINAL_STATES = frozenset({JobState.REJECTED, JobState.DONE, JobState.FAILED})
+TERMINAL_STATES = frozenset(
+    {JobState.REJECTED, JobState.DONE, JobState.FAILED, JobState.QUARANTINED}
+)
 
 
 @dataclass
@@ -165,7 +172,13 @@ class Job:
         record: Dict[str, Any] = {
             "job_id": self.job_id,
             "state": self.state.value,
-            "algorithm": self.algorithm.name,
+            # A journal-recovered terminal job carries no live algorithm
+            # object; its journaled name rides in ``meta``.
+            "algorithm": (
+                self.algorithm.name
+                if self.algorithm is not None
+                else self.meta.get("algorithm", "?")
+            ),
             "fingerprint": self.fingerprint,
             "attempts": self.attempts,
         }

@@ -1,0 +1,479 @@
+"""The write-ahead job journal: durable service state as an append log.
+
+``state.json`` records what the service *did*; the journal records what
+it is *about to do*. :class:`~repro.service.service.SchedulerService`
+appends one record **before** applying every job state transition
+(submit / admitted / parked / released / rejected / batch / done /
+failed / quarantined), so after a crash at any instruction the journal
+holds a prefix of the service's history whose replay reconstructs a
+consistent queue — acknowledged jobs are never lost, and jobs whose
+``done`` record (or registry artifact) survived are never re-executed.
+
+Format
+------
+One JSON object per line (the :mod:`repro.service.events` spool
+pattern), three framing fields added::
+
+    {"seq": 7, "kind": "done", "job": "j0003", ..., "crc": "7d1aa0f3"}
+
+* ``seq`` — strictly sequential; a gap means lost lines, replay stops.
+* ``crc`` — CRC-32 of the record serialized without the ``crc`` field
+  (``json.dumps(..., sort_keys=True)``); any torn or bit-flipped line
+  fails the check.
+* ``kind`` — one of :data:`RECORD_KINDS`.
+
+:func:`read_journal` is torn-tail-tolerant the way a write-ahead log
+must be: replay accepts the longest valid prefix and drops everything
+from the first unparsable / CRC-mismatched / out-of-sequence line
+onward. A process killed mid-``write`` therefore loses at most the
+record being appended — which by the write-ahead discipline had not
+been applied yet.
+
+Durability knobs follow :data:`FSYNC_POLICIES` (shared with
+:class:`~repro.service.events.EventLog`): ``"batch"`` (default) flushes
+every append to the OS — survives ``kill -9`` — ``"always"`` adds an
+``os.fsync`` per append — survives power loss — and ``"never"`` leaves
+buffering to the interpreter (benchmarks only).
+
+Checkpoint + compaction
+-----------------------
+Replay cost is bounded: the journal materializes its own
+:class:`JournalState` incrementally, and :meth:`JobJournal.checkpoint`
+atomically rewrites the file as a single ``checkpoint`` record carrying
+that state (temp file + ``os.replace``), which replay uses as its new
+starting point. With ``compact_every=N`` the journal checkpoints itself
+after every ``N`` appended records, so the file stays O(live state)
+instead of O(history).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import re
+import time
+import zlib
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Tuple, Union
+
+from .events import FSYNC_POLICIES, check_fsync
+
+__all__ = [
+    "JobJournal",
+    "JournalState",
+    "RECORD_KINDS",
+    "TERMINAL_RECORD_STATES",
+    "decode_job_payload",
+    "encode_job_payload",
+    "read_journal",
+]
+
+#: Every record kind the journal accepts, in rough lifecycle order.
+RECORD_KINDS = (
+    "submit",
+    "admitted",
+    "parked",
+    "released",
+    "rejected",
+    "batch",
+    "done",
+    "failed",
+    "quarantined",
+    "checkpoint",
+)
+
+#: Replayed job states no later record may change (mirrors
+#: :data:`repro.service.jobs.TERMINAL_STATES` plus the dead-letter).
+TERMINAL_RECORD_STATES = frozenset({"done", "failed", "rejected", "quarantined"})
+
+_JOB_NUMBER = re.compile(r"^j(\d+)$")
+_BATCH_NUMBER = re.compile(r"^b(\d+)$")
+
+
+def _encode(record: Dict[str, Any]) -> str:
+    """Serialize a record (sans CRC) deterministically for hashing."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(payload: str) -> str:
+    return format(zlib.crc32(payload.encode("utf8")) & 0xFFFFFFFF, "08x")
+
+
+def encode_job_payload(
+    network: Any, algorithm: Any, spec: Optional[Dict[str, Any]] = None
+) -> Optional[Dict[str, Any]]:
+    """How a job's executable content rides in its ``submit`` record.
+
+    A CLI-style spec (``{"net": "grid:6x6", "algo": "bfs:..."}``) is
+    stored verbatim — human-readable and stable across versions. Without
+    one, the ``(network, algorithm)`` pair is pickled (they already
+    cross process boundaries for the parallel drain) and base64-armored
+    into the JSON line. Returns ``None`` when neither works; such a job
+    is journaled for bookkeeping but cannot be rebuilt after a crash.
+    """
+    if spec is not None and "net" in spec and "algo" in spec:
+        payload: Dict[str, Any] = {"net": str(spec["net"]), "algo": str(spec["algo"])}
+        return payload
+    try:
+        blob = pickle.dumps((network, algorithm), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+    return {"pickle": base64.b64encode(blob).decode("ascii")}
+
+
+def decode_job_payload(
+    payload: Optional[Dict[str, Any]]
+) -> Optional[Tuple[Any, Any]]:
+    """Rebuild ``(network, algorithm)`` from a ``submit`` payload.
+
+    Returns ``None`` when the payload is absent or unusable (corrupt
+    pickle, unknown spec) — the caller decides what a non-rebuildable
+    pending job becomes (the service marks it ``failed`` with a reason).
+    """
+    if not payload:
+        return None
+    if "net" in payload and "algo" in payload:
+        from .specs import parse_algorithm, parse_network
+
+        try:
+            return parse_network(payload["net"]), parse_algorithm(payload["algo"])
+        except ValueError:
+            return None
+    blob = payload.get("pickle")
+    if not blob:
+        return None
+    try:
+        network, algorithm = pickle.loads(base64.b64decode(blob))
+    except Exception:
+        return None
+    return network, algorithm
+
+
+class JournalState:
+    """Materialized view of a journal: what replaying it reconstructs.
+
+    ``jobs`` maps job id to a JSON-friendly record::
+
+        {"state": "queued", "fingerprint": ..., "master_seed": 0,
+         "message_bits": 9, "algorithm": "BFS", "payload": {...},
+         "reason": "", "batch_attempts": 1, "batch": "b0002",
+         "spool": "s0004", "from_registry": False}
+
+    plus the two id counters (``last_job`` / ``last_batch``) the service
+    must not reuse after recovery. The whole state round-trips through
+    :meth:`as_payload` / :meth:`from_payload`, which is exactly what a
+    ``checkpoint`` record carries.
+    """
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, Dict[str, Any]] = {}
+        self.last_job = 0
+        self.last_batch = 0
+        self.applied = 0
+
+    # ------------------------------------------------------------------
+
+    def pending(self) -> List[str]:
+        """Job ids whose last journaled state is non-terminal."""
+        return sorted(
+            job_id
+            for job_id, record in self.jobs.items()
+            if record["state"] not in TERMINAL_RECORD_STATES
+        )
+
+    def by_state(self) -> Dict[str, int]:
+        """Job counts per journaled state (only states present appear)."""
+        counts: Dict[str, int] = {}
+        for record in self.jobs.values():
+            counts[record["state"]] = counts.get(record["state"], 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+
+    def apply(self, record: Dict[str, Any]) -> None:
+        """Fold one journal record into the state (replay step)."""
+        kind = record.get("kind")
+        if kind == "checkpoint":
+            restored = JournalState.from_payload(record.get("state") or {})
+            self.jobs = restored.jobs
+            self.last_job = restored.last_job
+            self.last_batch = restored.last_batch
+        elif kind == "submit":
+            job_id = record["job"]
+            match = _JOB_NUMBER.match(job_id)
+            if match:
+                self.last_job = max(self.last_job, int(match.group(1)))
+            self.jobs[job_id] = {
+                "state": "submitted",
+                "fingerprint": record.get("fingerprint"),
+                "master_seed": record.get("master_seed", 0),
+                "message_bits": record.get("message_bits"),
+                "algorithm": record.get("algorithm", "?"),
+                "payload": record.get("payload"),
+                "reason": "",
+                "batch_attempts": 0,
+                "batch": None,
+                "spool": record.get("spool"),
+                "from_registry": False,
+            }
+        elif kind == "batch":
+            match = _BATCH_NUMBER.match(record.get("batch", ""))
+            if match:
+                self.last_batch = max(self.last_batch, int(match.group(1)))
+            for job_id in record.get("jobs", ()):
+                entry = self.jobs.get(job_id)
+                if entry is not None and entry["state"] not in TERMINAL_RECORD_STATES:
+                    entry["state"] = "batched"
+                    entry["batch"] = record.get("batch")
+                    entry["batch_attempts"] += 1
+        elif kind in ("admitted", "parked", "released", "rejected",
+                      "done", "failed", "quarantined"):
+            entry = self.jobs.get(record.get("job"))
+            if entry is None or entry["state"] in TERMINAL_RECORD_STATES:
+                self.applied += 1
+                return
+            entry["state"] = {
+                "admitted": "queued",
+                "released": "queued",
+            }.get(kind, kind)
+            if record.get("reason"):
+                entry["reason"] = record["reason"]
+            if kind == "done":
+                entry["from_registry"] = bool(record.get("from_registry"))
+        self.applied += 1
+
+    # ------------------------------------------------------------------
+
+    def as_payload(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot (the body of a ``checkpoint`` record)."""
+        return {
+            "jobs": {job_id: dict(entry) for job_id, entry in self.jobs.items()},
+            "last_job": self.last_job,
+            "last_batch": self.last_batch,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "JournalState":
+        state = cls()
+        state.jobs = {
+            job_id: dict(entry)
+            for job_id, entry in (payload.get("jobs") or {}).items()
+        }
+        state.last_job = int(payload.get("last_job", 0))
+        state.last_batch = int(payload.get("last_batch", 0))
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JournalState(jobs={len(self.jobs)}, "
+            f"pending={len(self.pending())}, last_job={self.last_job})"
+        )
+
+
+def read_journal(
+    path: Union[str, Path]
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Parse a journal file into its longest valid record prefix.
+
+    Returns ``(records, problems)``: replay stops at the first line that
+    fails to parse, fails its CRC, or breaks the ``seq`` chain, and
+    every dropped line is described in ``problems`` (empty for a clean
+    file). A missing file reads as empty.
+    """
+    path = Path(path)
+    records: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    try:
+        # errors="replace": bit-rot can produce invalid UTF-8, which
+        # must read as a CRC/parse failure, not an exception.
+        text = path.read_text(errors="replace")
+    except FileNotFoundError:
+        return records, problems
+    expected_seq: Optional[int] = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            problems.append(f"line {lineno}: unparsable (torn tail)")
+            break
+        if not isinstance(record, dict) or "crc" not in record or "seq" not in record:
+            problems.append(f"line {lineno}: missing seq/crc framing")
+            break
+        crc = record.pop("crc")
+        if _crc(_encode(record)) != crc:
+            problems.append(f"line {lineno}: CRC mismatch")
+            break
+        seq = record["seq"]
+        if expected_seq is not None and seq != expected_seq:
+            problems.append(
+                f"line {lineno}: seq {seq} breaks chain (expected {expected_seq})"
+            )
+            break
+        expected_seq = int(seq) + 1
+        records.append(record)
+    if problems:
+        dropped = len(text.splitlines()) - len(records)
+        if dropped > 1:
+            problems.append(f"{dropped - 1} further line(s) after the break ignored")
+    return records, problems
+
+
+class JobJournal:
+    """Append-only, CRC-framed, checkpointable job journal.
+
+    Parameters
+    ----------
+    path:
+        The journal file (created, with parents, on first append). An
+        existing file is replayed on construction, seeding
+        :attr:`state` and the ``seq`` counter so appends continue the
+        chain across process restarts.
+    fsync:
+        Durability policy per append — see :data:`FSYNC_POLICIES`.
+        ``"batch"`` (default) flushes to the OS every append (survives
+        ``kill -9``); ``"always"`` adds ``os.fsync`` (survives power
+        loss); ``"never"`` is buffered (benchmarks).
+    compact_every:
+        Auto-checkpoint after this many appended records (``None``
+        never auto-compacts; :meth:`checkpoint` is always available).
+    clock:
+        Timestamp source stamped into each record (``time.time``).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync: str = "batch",
+        compact_every: Optional[int] = None,
+        clock=time.time,
+    ):
+        check_fsync(fsync)
+        if compact_every is not None and compact_every < 1:
+            raise ValueError(
+                f"compact_every must be >= 1 or None, got {compact_every}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self.compact_every = compact_every
+        self.clock = clock
+        self.state = JournalState()
+        self.problems: List[str] = []
+        self._handle: Optional[IO[str]] = None
+        self._seq = 0
+        self._since_checkpoint = 0
+        records, self.problems = read_journal(self.path)
+        for record in records:
+            self.state.apply(record)
+            self._seq = int(record["seq"])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last appended (or replayed) record."""
+        return self._seq
+
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Durably append one record, then fold it into :attr:`state`.
+
+        The write-ahead contract lives in the ordering here: the line is
+        written (and flushed per the fsync policy) *before* the caller
+        applies the transition it describes, so a crash immediately
+        after this call loses no acknowledged work.
+        """
+        if kind not in RECORD_KINDS:
+            raise ValueError(
+                f"unknown journal record kind {kind!r}; expected one of "
+                f"{RECORD_KINDS}"
+            )
+        record: Dict[str, Any] = {
+            "seq": self._seq + 1,
+            "kind": kind,
+            "ts": self.clock(),
+        }
+        record.update(fields)
+        payload = _encode(record)
+        line = _encode({**record, "crc": _crc(payload)})
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(line)
+        self._handle.write("\n")
+        if self.fsync == "always":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        elif self.fsync == "batch":
+            self._handle.flush()
+        self._seq += 1
+        self.state.apply(record)
+        self._since_checkpoint += 1
+        if (
+            self.compact_every is not None
+            and kind != "checkpoint"
+            and self._since_checkpoint >= self.compact_every
+        ):
+            self.checkpoint()
+        return record
+
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Compact the journal to one ``checkpoint`` record, atomically.
+
+        The replacement file is fully written and fsynced before the
+        ``os.replace``, so a crash at any point leaves either the old
+        journal or the complete compacted one — never a torn mix.
+        """
+        record: Dict[str, Any] = {
+            "seq": self._seq + 1,
+            "kind": "checkpoint",
+            "ts": self.clock(),
+            "state": self.state.as_payload(),
+        }
+        payload = _encode(record)
+        line = _encode({**record, "crc": _crc(payload)})
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w") as fh:
+            fh.write(line)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        os.replace(tmp, self.path)
+        self._seq += 1
+        self._since_checkpoint = 0
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS (a no-op for batch/always)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the file handle (state stays in memory)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    def __len__(self) -> int:
+        return self.state.applied
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobJournal(path={self.path}, seq={self._seq}, "
+            f"pending={len(self.state.pending())}, fsync={self.fsync!r})"
+        )

@@ -22,12 +22,28 @@ Execution is resilient by construction: batches run through
 errors (:class:`~repro.core.base.ScheduleFailure` from exhausted
 retransmissions, tripped round budgets, coverage collapse) become
 structured results; jobs whose batch died or diverged are retried as
-solo executions up to ``max_retries`` before being marked ``failed`` —
-one bad job cannot sink its batchmates. :meth:`~SchedulerService.drain`
-fans independent batches out over a
+solo executions — with bounded exponential backoff between attempts —
+up to ``max_retries`` before being marked ``failed``, and a batch that
+exceeds ``stuck_batch_timeout`` is distrusted wholesale and sent down
+the same retry path: one bad job cannot sink its batchmates.
+:meth:`~SchedulerService.drain` fans independent batches out over a
 :class:`~repro.parallel.runner.ParallelRunner` process pool, and
 :meth:`~SchedulerService.shutdown` drains gracefully before closing the
 queue.
+
+Crash safety is the journal's job (:mod:`repro.service.journal`): with
+a :class:`~repro.service.journal.JobJournal` attached, every state
+transition is appended to the write-ahead log *before* it is applied,
+and :meth:`SchedulerService.recover` rebuilds the queue, parked set,
+and id counters from the journal after a crash — replaying
+idempotently against the :class:`~repro.service.registry.RunRegistry`
+so an acknowledged completion (its artifact landed) is never executed
+twice, and quarantining a job whose batch died ``poison_threshold``
+times into the ``quarantined`` dead-letter state instead of letting it
+crash every restart. The critical sections are threaded with named
+:func:`~repro.faults.crashpoints.crash_point` markers
+(:data:`CRASH_POINTS`) so the recovery contract is enforced by killing
+the service at every one of them in tests and CI.
 
 Telemetry follows the Recorder pattern used everywhere else: attach an
 :class:`~repro.telemetry.InMemoryRecorder` for ``service.*`` counters
@@ -39,6 +55,8 @@ and ``service.batch`` / ``service.drain`` spans.
 from __future__ import annotations
 
 import copy
+import time
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..congest.message import default_message_bits
@@ -48,6 +66,7 @@ from ..congest.simulator import Simulator, SoloRun
 from ..core.base import ScheduleResult, Scheduler
 from ..core.random_delay import RandomDelayScheduler
 from ..core.workload import Workload
+from ..faults.crashpoints import crash_point
 from ..metrics.congestion import measure_params
 from ..metrics.schedule import ENGINE_COUNTERS, ScheduleReport
 from ..parallel.cache import SoloRunCache, default_cache
@@ -56,9 +75,36 @@ from ..telemetry import NULL_RECORDER, Recorder
 from .admission import AdmissionPolicy
 from .events import EventLog, latency_stats
 from .jobs import Job, JobResult, JobState, job_fingerprint
+from .journal import (
+    TERMINAL_RECORD_STATES,
+    JobJournal,
+    decode_job_payload,
+    encode_job_payload,
+)
 from .registry import RunArtifact, RunRegistry
 
-__all__ = ["JobQueue", "SchedulerService", "ServiceClosed"]
+__all__ = ["CRASH_POINTS", "JobQueue", "SchedulerService", "ServiceClosed"]
+
+#: Every named crash point the service threads through its write-ahead
+#: critical sections, in lifecycle order. ``pre_journal`` points kill
+#: the process before the intent record lands (the transition must
+#: vanish on recovery); ``post_journal`` points kill it after the
+#: record but before the in-memory transition (recovery must finish the
+#: transition); ``complete.pre_registry`` / ``complete.pre_journal``
+#: bracket the artifact store so recovery proves exactly-once
+#: completion on both sides of the acknowledgement.
+CRASH_POINTS = (
+    "submit.pre_journal",
+    "submit.post_journal",
+    "admission.post_journal",
+    "batch.pre_journal",
+    "batch.post_journal",
+    "complete.pre_registry",
+    "complete.pre_journal",
+    "complete.post_journal",
+    "failed.pre_journal",
+    "failed.post_journal",
+)
 
 
 class ServiceClosed(RuntimeError):
@@ -139,10 +185,14 @@ class JobQueue:
 
 def _execute_payload(
     payload: Tuple[Scheduler, Workload, int]
-) -> ScheduleResult:
+) -> Tuple[ScheduleResult, float]:
     # Module-level trampoline so ParallelRunner can pickle the task.
+    # Returns (result, elapsed) so the parent can apply its stuck-batch
+    # timeout to pool executions it never clocked itself.
     scheduler, workload, seed = payload
-    return scheduler.run_resilient(workload, seed=seed)
+    start = time.perf_counter()
+    result = scheduler.run_resilient(workload, seed=seed)
+    return result, time.perf_counter() - start
 
 
 class SchedulerService:
@@ -186,6 +236,27 @@ class SchedulerService:
         jobs/sec gauge; pass an :class:`~repro.service.events.EventLog`
         with a path to also spool ``events.jsonl``, or ``None`` to
         disable lifecycle events entirely.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal` write-ahead
+        log. When present, every state transition is journaled *before*
+        it is applied, the job/batch id counters continue from the
+        journal's replayed state, and :meth:`recover` can rebuild the
+        service after a crash. ``None`` (default) keeps the pre-journal
+        in-memory behaviour.
+    stuck_batch_timeout:
+        Wall-clock seconds after which a batch execution is distrusted:
+        its jobs go down the solo-retry path instead of being settled
+        from the (suspiciously slow) result. ``None`` never times out.
+    retry_backoff / retry_backoff_max:
+        Base and cap of the exponential backoff slept between solo
+        retries of a failed job (``min(retry_backoff * 2**attempt,
+        retry_backoff_max)`` seconds). The default base of 0 disables
+        sleeping, which keeps tests and in-memory services fast.
+    poison_threshold:
+        Journaled batch attempts after which :meth:`recover` moves a
+        still-pending job to the ``quarantined`` dead-letter state
+        instead of re-queueing it — a job that killed the process this
+        many times stops sinking its batchmates.
     """
 
     def __init__(
@@ -200,11 +271,22 @@ class SchedulerService:
         schedule_seed: int = 1,
         solo_cache: Any = "default",
         events: Union[EventLog, str, None] = "memory",
+        journal: Optional[JobJournal] = None,
+        stuck_batch_timeout: Optional[float] = None,
+        retry_backoff: float = 0.0,
+        retry_backoff_max: float = 0.5,
+        poison_threshold: int = 3,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if stuck_batch_timeout is not None and stuck_batch_timeout <= 0:
+            raise ValueError("stuck_batch_timeout must be positive (or None)")
+        if retry_backoff < 0 or retry_backoff_max < 0:
+            raise ValueError("retry backoff values must be non-negative")
+        if poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
         self.scheduler = scheduler if scheduler is not None else RandomDelayScheduler()
         self.batch_size = batch_size
         self.policy = policy if policy is not None else AdmissionPolicy()
@@ -221,6 +303,12 @@ class SchedulerService:
         elif isinstance(events, str):
             raise ValueError("events must be an EventLog, 'memory', or None")
         self.events: Optional[EventLog] = events
+        self.journal = journal
+        self.stuck_batch_timeout = stuck_batch_timeout
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self.poison_threshold = poison_threshold
+        self._sleep = time.sleep  # injectable for backoff tests
         self.queue = JobQueue()
         #: Reports of every workload execution (batches and solo
         #: retries), in execution order — the raw material for
@@ -228,6 +316,17 @@ class SchedulerService:
         self.reports: List[ScheduleReport] = []
         self._batch_counter = 0
         self._closed = False
+        if journal is not None:
+            # Continue the id chains of whatever history the journal
+            # replayed, so post-restart ids never collide with
+            # journaled ones.
+            self.queue._counter = journal.state.last_job
+            self._batch_counter = journal.state.last_batch
+
+    def _journal(self, kind: str, **fields: Any) -> None:
+        """Append one WAL record; no-op for journal-less services."""
+        if self.journal is not None:
+            self.journal.append(kind, **fields)
 
     # ------------------------------------------------------------------
     # submission
@@ -239,12 +338,19 @@ class SchedulerService:
         algorithm: Algorithm,
         master_seed: int = 0,
         message_bits: Optional[int] = -1,
+        spec: Optional[Dict[str, Any]] = None,
     ) -> Job:
         """Submit one job; returns it in its post-admission state.
 
         Resubmissions of content-identical jobs are served from the
         registry immediately (state ``done``, ``result.from_registry``),
         skipping admission and execution entirely.
+
+        ``spec`` is an optional JSON-able description of the job (the
+        CLI passes its spool record: ``{"id", "net", "algo", "seed"}``).
+        With a journal attached it rides in the ``submit`` record so
+        :meth:`recover` can rebuild the job human-readably; without one
+        the journal falls back to pickling ``(network, algorithm)``.
         """
         if self._closed:
             raise ServiceClosed("service has been shut down")
@@ -270,6 +376,29 @@ class SchedulerService:
             fingerprint=fingerprint,
             tape_id=tape_id,
         )
+        if spec is not None:
+            if "id" in spec:
+                job.meta["spool"] = spec["id"]
+            for key in ("net", "algo"):
+                if key in spec:
+                    job.meta[key] = spec[key]
+        if self.journal is not None:
+            # Write-ahead: the job exists durably before it exists in
+            # memory. A crash before this line means the submission was
+            # never acknowledged and legitimately vanishes.
+            payload = encode_job_payload(network, algorithm, spec)
+            crash_point("submit.pre_journal")
+            self.journal.append(
+                "submit",
+                job=job_id,
+                fingerprint=fingerprint,
+                master_seed=master_seed,
+                message_bits=message_bits,
+                algorithm=algorithm.name,
+                payload=payload,
+                spool=job.meta.get("spool"),
+            )
+            crash_point("submit.post_journal")
         if recorder.enabled:
             recorder.counter("service.submitted")
         if events is not None:
@@ -282,6 +411,7 @@ class SchedulerService:
 
         artifact = self.registry.get(fingerprint)
         if artifact is not None:
+            self._journal("done", job=job_id, from_registry=True)
             job.state = JobState.DONE
             job.result = JobResult(
                 outputs=dict(artifact.outputs),
@@ -305,37 +435,48 @@ class SchedulerService:
         probe = self._probe(job)
         job.params = measure_params([probe])
         decision = self.policy.check(job.params, self.queue.backlog)
+        self._admit(job, decision)
+        self._gauge_depth()
+        return job
+
+    def _admit(self, job: Job, decision) -> None:
+        """Journal and apply one admission decision (WAL order)."""
+        recorder = self.recorder
         if decision.admitted:
+            self._journal("admitted", job=job.job_id)
+            crash_point("admission.post_journal")
             job.state = JobState.QUEUED
             if recorder.enabled:
                 recorder.counter("service.admitted")
         elif decision.action == "park":
+            self._journal("parked", job=job.job_id, reason=decision.reason)
+            crash_point("admission.post_journal")
             job.state = JobState.PARKED
             job.reason = decision.reason
             if recorder.enabled:
                 recorder.counter("service.parked")
         else:
+            self._journal("rejected", job=job.job_id, reason=decision.reason)
+            crash_point("admission.post_journal")
             job.state = JobState.REJECTED
             job.reason = decision.reason
             if recorder.enabled:
                 recorder.counter("service.rejected")
         self.queue.add(job)
-        if events is not None:
+        if self.events is not None:
             kind = {
                 JobState.QUEUED: "admitted",
                 JobState.PARKED: "parked",
                 JobState.REJECTED: "rejected",
             }[job.state]
             attrs = {"reason": job.reason} if job.reason else {}
-            events.emit(
+            self.events.emit(
                 kind,
                 job.job_id,
-                fingerprint=fingerprint,
+                fingerprint=job.fingerprint,
                 queue_depth=self.queue.depth,
                 **attrs,
             )
-        self._gauge_depth()
-        return job
 
     def submit_many(
         self,
@@ -412,6 +553,18 @@ class SchedulerService:
             return None
         self._batch_counter += 1
         batch_id = f"b{self._batch_counter:04d}"
+        if self.journal is not None:
+            # Journal batch membership before any job transitions: a
+            # crash mid-batch must leave a durable record that these
+            # jobs were attempted (that is what the poison counter and
+            # quarantine decision are computed from on recovery).
+            crash_point("batch.pre_journal")
+            self.journal.append(
+                "batch",
+                batch=batch_id,
+                jobs=[job.job_id for job in batch],
+            )
+            crash_point("batch.post_journal")
         workload = Workload(
             batch[0].network,
             [job.algorithm for job in batch],
@@ -456,10 +609,12 @@ class SchedulerService:
         with self.recorder.span(
             "service.batch", category="service", batch=batch_id, jobs=len(batch)
         ):
+            start = time.perf_counter()
             result = self._batch_scheduler().run_resilient(
                 workload, seed=self.schedule_seed
             )
-            self._settle(batch_id, batch, result)
+            elapsed = time.perf_counter() - start
+            self._settle(batch_id, batch, result, elapsed=elapsed)
         return batch
 
     def drain(self) -> List[Job]:
@@ -495,17 +650,40 @@ class SchedulerService:
                     for _, _, workload in staged
                 ]
                 results = self.runner.map(_execute_payload, payloads)
-                for (batch_id, batch, _), result in zip(staged, results):
-                    self._settle(batch_id, batch, result)
+                for (batch_id, batch, _), (result, elapsed) in zip(
+                    staged, results
+                ):
+                    self._settle(batch_id, batch, result, elapsed=elapsed)
                     processed.extend(batch)
         return processed
 
     def _settle(
-        self, batch_id: str, batch: List[Job], result: ScheduleResult
+        self,
+        batch_id: str,
+        batch: List[Job],
+        result: ScheduleResult,
+        elapsed: Optional[float] = None,
     ) -> None:
         """Assign a batch execution's outcome to its jobs (with retries)."""
         self.reports.append(result.report)
-        served = set(result.verified_algorithms) if result.failure is None else set()
+        stuck = (
+            self.stuck_batch_timeout is not None
+            and elapsed is not None
+            and elapsed > self.stuck_batch_timeout
+        )
+        stuck_reason = ""
+        if stuck:
+            stuck_reason = (
+                f"stuck batch: {elapsed:.3f}s exceeded "
+                f"stuck_batch_timeout={self.stuck_batch_timeout}s"
+            )
+            if self.recorder.enabled:
+                self.recorder.counter("service.stuck_batches")
+        served = (
+            set(result.verified_algorithms)
+            if result.failure is None and not stuck
+            else set()
+        )
         for aid, job in enumerate(batch):
             job.transition(JobState.RUNNING)
             job.attempts += 1
@@ -524,12 +702,22 @@ class SchedulerService:
                     version=result.report.version,
                 )
             else:
-                self._retry_solo(job, batch_id, failure=result.failure)
+                self._retry_solo(
+                    job,
+                    batch_id,
+                    failure=stuck_reason if stuck else result.failure,
+                )
 
     def _retry_solo(self, job: Job, batch_id: str, failure=None) -> None:
         """Re-execute a job alone until it verifies or retries run out."""
         last_reason = str(failure) if failure is not None else "outputs diverged"
-        for _ in range(self.max_retries):
+        for attempt in range(self.max_retries):
+            if self.retry_backoff > 0:
+                delay = min(
+                    self.retry_backoff * 2**attempt, self.retry_backoff_max
+                )
+                if delay > 0:
+                    self._sleep(delay)
             if self.recorder.enabled:
                 self.recorder.counter("service.retries")
             if self.events is not None:
@@ -574,6 +762,12 @@ class SchedulerService:
                 if result.failure is not None
                 else f"{len(result.mismatches)} outputs diverged"
             )
+        if self.journal is not None:
+            crash_point("failed.pre_journal")
+            self.journal.append(
+                "failed", job=job.job_id, reason=last_reason
+            )
+            crash_point("failed.post_journal")
         job.transition(JobState.FAILED, reason=last_reason)
         if self.recorder.enabled:
             self.recorder.counter("service.jobs_failed")
@@ -598,6 +792,36 @@ class SchedulerService:
         version: str,
     ) -> None:
         solo_rounds = job.params.dilation if job.params is not None else 0
+        # Completion order is the exactly-once contract: the artifact
+        # lands in the registry FIRST, the journal acknowledges SECOND,
+        # the in-memory transition happens LAST. A crash between
+        # registry.put and the journal record leaves a pending job whose
+        # artifact already exists — recovery finds the registry hit and
+        # marks it done without re-executing; a crash before registry.put
+        # re-executes, which is legal because nothing was acknowledged.
+        crash_point("complete.pre_registry")
+        if job.fingerprint is not None:
+            self.registry.put(
+                RunArtifact(
+                    fingerprint=job.fingerprint,
+                    outputs=dict(outputs),
+                    solo_rounds=solo_rounds,
+                    scheduler=scheduler,
+                    batch_size=batch_size,
+                    version=version,
+                    meta={
+                        "batch": batch_id,
+                        "schedule_seed": self.schedule_seed,
+                        "length_rounds": length_rounds,
+                    },
+                )
+            )
+        if self.journal is not None:
+            crash_point("complete.pre_journal")
+            self.journal.append(
+                "done", job=job.job_id, batch=batch_id
+            )
+            crash_point("complete.post_journal")
         job.result = JobResult(
             outputs=outputs,
             solo_rounds=solo_rounds,
@@ -617,21 +841,221 @@ class SchedulerService:
                 queue_depth=self.queue.depth,
                 batch_size=batch_size,
             )
-        if job.fingerprint is not None:
-            self.registry.put(
-                RunArtifact(
-                    fingerprint=job.fingerprint,
-                    outputs=dict(outputs),
-                    solo_rounds=solo_rounds,
-                    scheduler=scheduler,
-                    batch_size=batch_size,
-                    version=version,
-                    meta={
-                        "batch": batch_id,
-                        "schedule_seed": self.schedule_seed,
-                        "length_rounds": length_rounds,
-                    },
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        directory: Union[str, Path, None] = None,
+        journal: Optional[JobJournal] = None,
+        **kwargs: Any,
+    ) -> "SchedulerService":
+        """Rebuild a service from its write-ahead journal after a crash.
+
+        Pass the spool ``directory`` (the journal is read from
+        ``<directory>/journal.jsonl`` and, unless a ``registry`` kwarg
+        overrides it, artifacts from ``<directory>/registry``) or an
+        already-opened ``journal``. Remaining kwargs go to the
+        constructor unchanged.
+
+        Recovery is an idempotent replay: terminal jobs are restored
+        as-is, and every still-pending job is re-decided against the
+        durable evidence — a registry artifact under its fingerprint
+        means the completion was acknowledged before the crash, so the
+        job is marked ``done`` **without re-execution** (exactly-once);
+        a job journaled into ``poison_threshold`` or more batch
+        attempts is dead-lettered as ``quarantined``; a job whose
+        payload cannot be rebuilt is ``failed`` with a reason; anything
+        else re-enters the queue (or parked set) to be drained again.
+        Each new decision is itself journaled first, so recovering a
+        recovered journal reaches the identical state.
+        """
+        if journal is None:
+            if directory is None:
+                raise ValueError("recover() needs a directory or a journal")
+            journal = JobJournal(Path(directory) / "journal.jsonl")
+        if directory is not None and "registry" not in kwargs:
+            kwargs["registry"] = RunRegistry(Path(directory) / "registry")
+        service = cls(journal=journal, **kwargs)
+        service._replay_journal()
+        return service
+
+    def _replay_journal(self) -> None:
+        """Materialize the journal's jobs into the live queue."""
+        journal = self.journal
+        if journal is None:
+            return
+        for job_id in sorted(journal.state.jobs):
+            if job_id in self.queue.jobs:
+                # Replaying twice is a no-op: the job already exists.
+                continue
+            entry = journal.state.jobs[job_id]
+            recorded_state = entry["state"]
+            fingerprint = entry.get("fingerprint")
+            tape_id = (
+                f"job:{fingerprint[:24]}"
+                if fingerprint
+                else f"job-anon:{job_id}"
+            )
+            decoded = None
+            if recorded_state not in TERMINAL_RECORD_STATES:
+                decoded = decode_job_payload(entry.get("payload"))
+            network, algorithm = decoded if decoded is not None else (None, None)
+            job = Job(
+                job_id=job_id,
+                network=network,
+                algorithm=algorithm,
+                master_seed=entry.get("master_seed", 0),
+                message_bits=entry.get("message_bits"),
+                fingerprint=fingerprint,
+                tape_id=tape_id,
+            )
+            job.attempts = entry.get("batch_attempts", 0)
+            job.meta["recovered"] = True
+            job.meta["algorithm"] = entry.get("algorithm", "?")
+            if entry.get("spool"):
+                job.meta["spool"] = entry["spool"]
+            if entry.get("batch"):
+                job.meta["batch"] = entry["batch"]
+            payload = entry.get("payload")
+            if isinstance(payload, dict) and "net" in payload:
+                job.meta["net"] = payload["net"]
+                job.meta["algo"] = payload["algo"]
+            if recorded_state in TERMINAL_RECORD_STATES:
+                self._restore_terminal(job, entry)
+            else:
+                self._redecide_pending(job, entry)
+        self._gauge_depth()
+
+    def _restore_terminal(self, job: Job, entry: Dict[str, Any]) -> None:
+        """Re-create a job whose journaled state is already terminal."""
+        state = entry["state"]
+        if state == "done":
+            artifact = self.registry.get(job.fingerprint)
+            if artifact is not None:
+                job.result = JobResult(
+                    outputs=dict(artifact.outputs),
+                    solo_rounds=artifact.solo_rounds,
+                    scheduler=artifact.scheduler,
+                    batch_size=artifact.batch_size,
+                    from_registry=True,
+                    version=artifact.version,
                 )
+            else:
+                # In-memory registry, or artifact pruned: the completion
+                # stands (it was acknowledged) but outputs are gone.
+                job.reason = "recovered: result artifact unavailable"
+            job.state = JobState.DONE
+        elif state == "failed":
+            job.state = JobState.FAILED
+            job.reason = entry.get("reason") or "failed before crash"
+        elif state == "rejected":
+            job.state = JobState.REJECTED
+            job.reason = entry.get("reason", "")
+        else:
+            job.state = JobState.QUARANTINED
+            job.reason = entry.get("reason") or "quarantined"
+        self.queue.add(job)
+
+    def _redecide_pending(self, job: Job, entry: Dict[str, Any]) -> None:
+        """Decide what a journaled-but-unfinished job becomes now.
+
+        Every outcome is journaled before it is applied, keeping the
+        WAL discipline through recovery itself — which is what makes
+        recovering twice converge to the same state.
+        """
+        artifact = self.registry.get(job.fingerprint)
+        if artifact is not None:
+            # The crash hit between registry.put and the journal's
+            # "done" record: the result was durably acknowledged, so
+            # finishing the paperwork — not re-executing — is the only
+            # correct move (exactly-once completion).
+            self._journal("done", job=job.job_id, from_registry=True)
+            job.result = JobResult(
+                outputs=dict(artifact.outputs),
+                solo_rounds=artifact.solo_rounds,
+                scheduler=artifact.scheduler,
+                batch_size=artifact.batch_size,
+                from_registry=True,
+                version=artifact.version,
+            )
+            job.state = JobState.DONE
+            self.queue.add(job)
+            if self.recorder.enabled:
+                self.recorder.counter("service.jobs_done")
+            if self.events is not None:
+                self.events.emit(
+                    "done",
+                    job.job_id,
+                    fingerprint=job.fingerprint,
+                    queue_depth=self.queue.depth,
+                    from_registry=True,
+                    recovered=True,
+                )
+            return
+        if entry.get("batch_attempts", 0) >= self.poison_threshold:
+            reason = (
+                f"quarantined after {entry['batch_attempts']} journaled "
+                f"batch attempts (poison_threshold={self.poison_threshold})"
+            )
+            self._journal("quarantined", job=job.job_id, reason=reason)
+            job.state = JobState.QUARANTINED
+            job.reason = reason
+            self.queue.add(job)
+            if self.recorder.enabled:
+                self.recorder.counter("service.quarantined")
+            if self.events is not None:
+                self.events.emit(
+                    "quarantined",
+                    job.job_id,
+                    fingerprint=job.fingerprint,
+                    queue_depth=self.queue.depth,
+                    reason=reason,
+                )
+            return
+        if job.network is None or job.algorithm is None:
+            reason = "recovered: job payload unrecoverable"
+            self._journal("failed", job=job.job_id, reason=reason)
+            job.state = JobState.FAILED
+            job.reason = reason
+            self.queue.add(job)
+            if self.recorder.enabled:
+                self.recorder.counter("service.jobs_failed")
+            if self.events is not None:
+                self.events.emit(
+                    "failed",
+                    job.job_id,
+                    fingerprint=job.fingerprint,
+                    queue_depth=self.queue.depth,
+                    reason=reason,
+                )
+            return
+        probe = self._probe(job)
+        job.params = measure_params([probe])
+        if entry["state"] == "submitted":
+            # The crash landed before any admission decision: decide
+            # now, through the same journaled path as a live submit.
+            decision = self.policy.check(job.params, self.queue.backlog)
+            self._admit(job, decision)
+            return
+        if entry["state"] == "parked":
+            job.state = JobState.PARKED
+            job.reason = entry.get("reason", "")
+        else:
+            job.state = JobState.QUEUED
+        self.queue.add(job)
+        if self.recorder.enabled:
+            self.recorder.counter("service.recovered")
+        if self.events is not None:
+            self.events.emit(
+                "recovered",
+                job.job_id,
+                fingerprint=job.fingerprint,
+                queue_depth=self.queue.depth,
+                state=entry["state"],
             )
 
     # ------------------------------------------------------------------
@@ -667,6 +1091,14 @@ class SchedulerService:
             if self.events is not None
             else None
         )
+        journal = None
+        if self.journal is not None:
+            journal = {
+                "seq": self.journal.seq,
+                "records": len(self.journal),
+                "pending": len(self.journal.state.pending()),
+                "problems": list(self.journal.problems),
+            }
         return {
             "jobs": self.queue.by_state(),
             "queue_depth": self.queue.depth,
@@ -675,6 +1107,7 @@ class SchedulerService:
             "registry": self.registry.stats(),
             "engine_counters": engines,
             "latency": latency,
+            "journal": journal,
             "events": len(self.events) if self.events is not None else 0,
             "closed": self._closed,
         }
@@ -695,6 +1128,8 @@ class SchedulerService:
         self._closed = True
         if self.events is not None:
             self.events.close()
+        if self.journal is not None:
+            self.journal.close()
         return processed
 
     def _gauge_depth(self) -> None:

@@ -1,0 +1,110 @@
+"""Named crash points: arming, hit targeting, env specs, isolation."""
+
+import pytest
+
+from repro.faults import InjectedCrash, arm, armed, crash_point, disarm
+from repro.faults.crashpoints import (
+    CRASH_POINT_ENV,
+    hit_counts,
+    parse_crash_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    disarm()
+    yield
+    disarm()
+
+
+class TestDisarmed:
+    def test_noop_by_default(self):
+        crash_point("anything.at_all")  # must not raise
+
+    def test_disarmed_counts_nothing(self):
+        crash_point("a")
+        crash_point("a")
+        assert hit_counts() == {}
+
+
+class TestArming:
+    def test_armed_point_raises(self):
+        arm("x.pre")
+        with pytest.raises(InjectedCrash) as exc:
+            crash_point("x.pre")
+        assert exc.value.name == "x.pre"
+        assert exc.value.hit == 1
+
+    def test_other_points_pass(self):
+        arm("x.pre")
+        crash_point("x.post")  # different name: no crash
+
+    def test_hit_targeting(self):
+        arm("x", hit=3)
+        crash_point("x")
+        crash_point("x")
+        with pytest.raises(InjectedCrash) as exc:
+            crash_point("x")
+        assert exc.value.hit == 3
+
+    def test_injected_crash_is_base_exception(self):
+        # `except Exception` recovery paths must not swallow the crash.
+        arm("x")
+        with pytest.raises(BaseException):
+            try:
+                crash_point("x")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("InjectedCrash was caught by `except Exception`")
+
+    def test_custom_action(self):
+        fired = []
+        arm("x", action=lambda name, hit: fired.append((name, hit)))
+        crash_point("x")
+        assert fired == [("x", 1)]
+
+    def test_invalid_hit(self):
+        with pytest.raises(ValueError):
+            arm("x", hit=0)
+
+    def test_armed_context_manager_disarms(self):
+        with armed("x", hit=2):
+            crash_point("x")
+        crash_point("x")  # disarmed again: second hit never fires
+
+
+class TestEnvArming:
+    def test_env_spec_raise_mode(self, monkeypatch):
+        monkeypatch.setenv(CRASH_POINT_ENV, "y.mid")
+        monkeypatch.setenv("REPRO_CRASH_MODE", "raise")
+        crash_point("y.other")
+        with pytest.raises(InjectedCrash):
+            crash_point("y.mid")
+
+    def test_env_hit_spec(self, monkeypatch):
+        monkeypatch.setenv(CRASH_POINT_ENV, "y:2")
+        monkeypatch.setenv("REPRO_CRASH_MODE", "raise")
+        crash_point("y")
+        with pytest.raises(InjectedCrash):
+            crash_point("y")
+
+    def test_in_process_arming_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(CRASH_POINT_ENV, "z")
+        monkeypatch.setenv("REPRO_CRASH_MODE", "raise")
+        arm("other")
+        crash_point("z")  # env ignored while armed in-process
+
+
+class TestParseSpec:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("a.b", ("a.b", 1)),
+            ("a.b:3", ("a.b", 3)),
+            ("a.b:", ("a.b", 1)),
+            ("a.b:junk", ("a.b", 1)),
+            (" a.b :2", ("a.b", 2)),
+            ("a.b:0", ("a.b", 1)),
+        ],
+    )
+    def test_parse(self, spec, expected):
+        assert parse_crash_spec(spec) == expected

@@ -192,3 +192,105 @@ class TestObservabilityCli:
     def test_metrics_subcommand_missing_source(self, tmp_path, capsys):
         code, out = _run(capsys, "metrics", str(tmp_path / "nope.json"))
         assert code == 1 and "no metrics source" in out
+
+
+class TestCrashRecoveryCli:
+    """serve --resume recovers a killed serve from the journal."""
+
+    def _spool(self, capsys, tmp_path, count):
+        _run(
+            capsys,
+            "submit", "--dir", str(tmp_path),
+            "--net", "grid:4x4", "--algo", "bfs:source=0,hops=3",
+            "--count", str(count),
+        )
+
+    def _crash_serve(self, capsys, tmp_path, point, hit=1):
+        """Run serve with a crash point armed in raise mode; swallow it."""
+        import os
+
+        from repro.faults import InjectedCrash, disarm
+        from repro.faults.crashpoints import CRASH_MODE_ENV, CRASH_POINT_ENV
+
+        disarm()  # reset hit counters left by earlier tests
+        os.environ[CRASH_POINT_ENV] = f"{point}:{hit}"
+        os.environ[CRASH_MODE_ENV] = "raise"
+        try:
+            with pytest.raises(InjectedCrash):
+                main(["serve", "--dir", str(tmp_path)])
+        finally:
+            os.environ.pop(CRASH_POINT_ENV, None)
+            os.environ.pop(CRASH_MODE_ENV, None)
+            disarm()
+        capsys.readouterr()
+
+    def test_serve_writes_and_compacts_journal(self, tmp_path, capsys):
+        self._spool(capsys, tmp_path, 2)
+        code, _ = _run(capsys, "serve", "--dir", str(tmp_path))
+        assert code == 0
+        journal = tmp_path / "journal.jsonl"
+        assert journal.exists()
+        # a clean serve ends compacted: one checkpoint record
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 1 and '"checkpoint"' in lines[0]
+
+    def test_serve_refuses_dirty_journal_without_resume(
+        self, tmp_path, capsys
+    ):
+        self._spool(capsys, tmp_path, 3)
+        self._crash_serve(capsys, tmp_path, "complete.pre_journal", hit=2)
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path))
+        assert code == 1
+        assert "--resume" in out and "unfinished" in out
+
+    def test_serve_resume_finishes_the_job(self, tmp_path, capsys):
+        self._spool(capsys, tmp_path, 3)
+        self._crash_serve(capsys, tmp_path, "batch.post_journal", hit=1)
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path), "--resume")
+        assert code == 0
+        assert "recovered" in out
+        code, out = _run(capsys, "status", "--dir", str(tmp_path), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["stats"]["jobs"]["done"] == 3
+        assert all(
+            entry["state"] == "done" for entry in payload["jobs"].values()
+        )
+        # terminal jobs left the spool on resume, same as a clean serve
+        assert list((tmp_path / "spool").glob("*.json")) == []
+
+    def test_resume_after_acknowledged_completion_hits_registry(
+        self, tmp_path, capsys
+    ):
+        self._spool(capsys, tmp_path, 1)
+        # Crash between registry.put and the journal's done record: the
+        # completion was acknowledged, resume must not re-execute it.
+        self._crash_serve(capsys, tmp_path, "complete.pre_journal", hit=1)
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path), "--resume")
+        assert code == 0
+        state = json.loads((tmp_path / "state.json").read_text())
+        entry = state["jobs"]["s0001"]
+        assert entry["state"] == "done"
+        assert entry["from_registry"] is True
+
+    def test_resume_without_pending_work_is_clean(self, tmp_path, capsys):
+        self._spool(capsys, tmp_path, 1)
+        assert _run(capsys, "serve", "--dir", str(tmp_path))[0] == 0
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path), "--resume")
+        assert code == 0 and "nothing to serve" in out
+
+    def test_crashpoints_subcommand_lists_points(self, capsys):
+        from repro.service import CRASH_POINTS
+
+        code, out = _run(capsys, "crashpoints")
+        assert code == 0
+        assert out.split() == list(CRASH_POINTS)
+
+    def test_submit_spool_files_written_atomically(self, tmp_path, capsys):
+        # No temp debris next to the spool records.
+        self._spool(capsys, tmp_path, 3)
+        leftovers = [
+            p for p in (tmp_path / "spool").iterdir()
+            if not p.name.endswith(".json")
+        ]
+        assert leftovers == []

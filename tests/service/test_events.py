@@ -1,5 +1,6 @@
 """Tests for the job-lifecycle event log and derived latency stats."""
 
+import atexit
 import json
 
 import pytest
@@ -86,6 +87,54 @@ class TestEventLog:
     def test_as_dict_omits_empty_fields(self):
         record = JobEvent(kind="submitted", job_id="j0001", ts=1.0).as_dict()
         assert record == {"kind": "submitted", "job_id": "j0001", "ts": 1.0}
+
+
+class TestDurability:
+    def test_fsync_always_lands_every_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, clock=_Clock(), flush_every=100, fsync="always")
+        log.emit("submitted", "j0001")
+        # No close, no flush: the line must already be on disk.
+        assert len(read_events(path)) == 1
+        log.emit("admitted", "j0001")
+        assert len(read_events(path)) == 2
+        log.close()
+
+    def test_fsync_never_skips_periodic_flushes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, clock=_Clock(), flush_every=1, fsync="never")
+        for _ in range(8):
+            log.emit("submitted", "j0001")
+        # flush_every is ignored under "never"; only close flushes.
+        assert len(read_events(path)) < 8 or path.stat().st_size == 0
+        log.close()
+        assert len(read_events(path)) == 8
+
+    def test_fsync_validates(self):
+        with pytest.raises(ValueError):
+            EventLog(fsync="sometimes")
+
+    def test_atexit_hook_registered_and_removed(self, tmp_path):
+        registered = []
+        log = EventLog(tmp_path / "events.jsonl", clock=_Clock())
+        real_register = atexit.register
+        real_unregister = atexit.unregister
+        atexit.register = lambda fn: registered.append(fn) or fn
+        atexit.unregister = lambda fn: registered.remove(fn)
+        try:
+            log.emit("submitted", "j0001")
+            assert registered == [log.close]
+            log.close()
+            assert registered == []
+        finally:
+            atexit.register = real_register
+            atexit.unregister = real_unregister
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl", clock=_Clock())
+        log.emit("submitted", "j0001")
+        log.close()
+        log.close()  # second close (e.g. atexit after shutdown) is a no-op
 
 
 class TestLatencyStats:
