@@ -27,7 +27,25 @@ must be: replay accepts the longest valid prefix and drops everything
 from the first unparsable / CRC-mismatched / out-of-sequence line
 onward. A process killed mid-``write`` therefore loses at most the
 record being appended — which by the write-ahead discipline had not
-been applied yet.
+been applied yet. Opening a journal whose replay reported problems
+*repairs* it before any append: the file is atomically rewritten as
+exactly the valid prefix, so records appended by the resumed process
+land after — never merged into — the torn line, and a second crash
+still replays everything the resume journaled (the at-most-one-record
+loss bound holds per crash, not per journal lifetime).
+
+Trust model
+-----------
+The journal lives beside the spool directory and registry and shares
+their trust boundary: recovery unpickles ``submit`` payloads
+(:func:`decode_job_payload`), so a journal must only ever be replayed
+if it was written by the local service. The CRC framing defends
+against *accidental* damage — torn writes, bit-rot — not tampering; a
+hand-crafted journal line with a valid CRC and a malicious pickle
+payload executes arbitrary code on ``serve --resume``. When jobs must
+round-trip through less-trusted storage, submit them with a ``spec``
+(``{"net": ..., "algo": ...}``): spec payloads are stored and rebuilt
+as plain strings, never pickled.
 
 Durability knobs follow :data:`FSYNC_POLICIES` (shared with
 :class:`~repro.service.events.EventLog`): ``"batch"`` (default) flushes
@@ -131,6 +149,11 @@ def decode_job_payload(
     Returns ``None`` when the payload is absent or unusable (corrupt
     pickle, unknown spec) — the caller decides what a non-rebuildable
     pending job becomes (the service marks it ``failed`` with a reason).
+
+    Pickle payloads are unpickled as-is: only feed this journals the
+    local service wrote (see *Trust model* in the module docstring).
+    Spec payloads are rebuilt through the string parsers and are safe
+    regardless of provenance.
     """
     if not payload:
         return None
@@ -332,7 +355,11 @@ class JobJournal:
         The journal file (created, with parents, on first append). An
         existing file is replayed on construction, seeding
         :attr:`state` and the ``seq`` counter so appends continue the
-        chain across process restarts.
+        chain across process restarts; a file whose replay reported
+        problems is atomically repaired — rewritten as its longest
+        valid prefix — so later appends are never hidden behind torn
+        debris (:attr:`problems` records both the damage and the
+        repair).
     fsync:
         Durability policy per append — see :data:`FSYNC_POLICIES`.
         ``"batch"`` (default) flushes to the OS every append (survives
@@ -370,6 +397,18 @@ class JobJournal:
         for record in records:
             self.state.apply(record)
             self._seq = int(record["seq"])
+        if self.problems:
+            # Repair before the first append. Appending after a torn
+            # tail (which usually lacks its newline) would merge new
+            # records into the debris, and replay — which stops at the
+            # tear — would silently drop everything the resumed
+            # process journals. Rewriting the file as exactly the
+            # valid prefix keeps the loss bound at one record per
+            # crash instead of one crash losing a whole resume.
+            self._rewrite(records)
+            self.problems.append(
+                f"repaired: truncated to {len(records)} valid record(s)"
+            )
 
     # ------------------------------------------------------------------
 
@@ -422,32 +461,37 @@ class JobJournal:
 
     # ------------------------------------------------------------------
 
-    def checkpoint(self) -> None:
-        """Compact the journal to one ``checkpoint`` record, atomically.
+    def _rewrite(self, records: List[Dict[str, Any]]) -> None:
+        """Atomically replace the file with exactly ``records``.
 
-        The replacement file is fully written and fsynced before the
-        ``os.replace``, so a crash at any point leaves either the old
-        journal or the complete compacted one — never a torn mix.
+        Each record is re-framed with its CRC (:func:`_encode` is
+        deterministic, so an unmodified record reproduces its original
+        bytes), the replacement is fully written and fsynced before the
+        ``os.replace``, and a crash at any point leaves either the old
+        file or the complete new one — never a torn mix.
         """
-        record: Dict[str, Any] = {
-            "seq": self._seq + 1,
-            "kind": "checkpoint",
-            "ts": self.clock(),
-            "state": self.state.as_payload(),
-        }
-        payload = _encode(record)
-        line = _encode({**record, "crc": _crc(payload)})
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
         with tmp.open("w") as fh:
-            fh.write(line)
-            fh.write("\n")
+            for record in records:
+                fh.write(_encode({**record, "crc": _crc(_encode(record))}))
+                fh.write("\n")
             fh.flush()
             os.fsync(fh.fileno())
         if self._handle is not None:
             self._handle.close()
             self._handle = None
         os.replace(tmp, self.path)
+
+    def checkpoint(self) -> None:
+        """Compact the journal to one ``checkpoint`` record, atomically."""
+        record: Dict[str, Any] = {
+            "seq": self._seq + 1,
+            "kind": "checkpoint",
+            "ts": self.clock(),
+            "state": self.state.as_payload(),
+        }
+        self._rewrite([record])
         self._seq += 1
         self._since_checkpoint = 0
 

@@ -97,6 +97,7 @@ CRASH_POINTS = (
     "submit.pre_journal",
     "submit.post_journal",
     "admission.post_journal",
+    "release.post_journal",
     "batch.pre_journal",
     "batch.post_journal",
     "complete.pre_registry",
@@ -531,6 +532,11 @@ class SchedulerService:
         """Re-queue every parked job (e.g. after raising the budget)."""
         released = []
         for job in self.queue.parked():
+            # WAL order like every other transition: the record lands
+            # before parked→queued is applied, so a crash here recovers
+            # the job as queued instead of silently re-parking it.
+            self._journal("released", job=job.job_id)
+            crash_point("release.post_journal")
             self.queue.requeue(job)
             released.append(job)
             if self.events is not None:
@@ -868,8 +874,11 @@ class SchedulerService:
         job is marked ``done`` **without re-execution** (exactly-once);
         a job journaled into ``poison_threshold`` or more batch
         attempts is dead-lettered as ``quarantined``; a job whose
-        payload cannot be rebuilt is ``failed`` with a reason; anything
-        else re-enters the queue (or parked set) to be drained again.
+        payload cannot be rebuilt is ``failed`` with a reason; a job
+        last journaled ``submitted`` or ``parked`` goes back through
+        the current admission policy (so a resume with a raised budget
+        frees parked jobs); anything else re-enters the queue to be
+        drained again.
         Each new decision is itself journaled first, so recovering a
         recovered journal reaches the identical state.
         """
@@ -1035,17 +1044,18 @@ class SchedulerService:
             return
         probe = self._probe(job)
         job.params = measure_params([probe])
-        if entry["state"] == "submitted":
-            # The crash landed before any admission decision: decide
-            # now, through the same journaled path as a live submit.
+        if entry["state"] in ("submitted", "parked"):
+            # "submitted": the crash landed before any admission
+            # decision. "parked": the old decision was to wait for a
+            # bigger budget. Either way the *current* policy decides,
+            # through the same journaled path as a live submit — a
+            # restart with a raised budget releases parked jobs instead
+            # of stranding them parked forever (and re-parks them,
+            # journaled again, when the budget still says no).
             decision = self.policy.check(job.params, self.queue.backlog)
             self._admit(job, decision)
             return
-        if entry["state"] == "parked":
-            job.state = JobState.PARKED
-            job.reason = entry.get("reason", "")
-        else:
-            job.state = JobState.QUEUED
+        job.state = JobState.QUEUED
         self.queue.add(job)
         if self.recorder.enabled:
             self.recorder.counter("service.recovered")

@@ -115,6 +115,29 @@ class TestServeAndStatus:
         code, out = _run(capsys, "status", "--dir", str(tmp_path))
         assert "rejected" in out
 
+    def test_parked_job_freed_by_resume_with_bigger_budget(
+        self, tmp_path, capsys
+    ):
+        """A parked job is re-decided by serve --resume, not stranded."""
+        self._spool(capsys, tmp_path, "bfs:source=0,hops=6")
+        code, out = _run(
+            capsys, "serve", "--dir", str(tmp_path), "--budget", "2", "--park"
+        )
+        assert code == 0 and "1 parked" in out
+        # The parked job is pending in the journal: a plain serve
+        # refuses and points at --resume.
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path))
+        assert code == 1 and "--resume" in out
+        # Resuming without the tight budget re-runs admission: the job
+        # is admitted, drained, and leaves the spool like any other.
+        code, out = _run(capsys, "serve", "--dir", str(tmp_path), "--resume")
+        assert code == 0 and "1 done" in out
+        code, out = _run(
+            capsys, "status", "--dir", str(tmp_path), "--job", "s0001"
+        )
+        assert code == 0 and "state: done" in out
+        assert list((tmp_path / "spool").glob("*.json")) == []
+
     def test_serve_empty_spool_is_a_noop(self, tmp_path, capsys):
         code, out = _run(capsys, "serve", "--dir", str(tmp_path))
         assert code == 0 and "nothing to serve" in out

@@ -158,14 +158,44 @@ class TestTornTail:
         raw = path.read_bytes()
         path.write_bytes(raw[:-7])  # tear mid-way through the last line
         journal = JobJournal(path)
-        assert journal.problems
+        assert any("torn" in p for p in journal.problems)
+        assert any("repaired" in p for p in journal.problems)
         before = journal.seq
         journal.append("failed", job="j0002", reason="x")
         journal.close()
+        # Opening repaired the file — the torn debris was truncated
+        # away — so the post-recovery append is durably replayable.
         records, problems = read_journal(path)
-        # The torn line is still in the file but replay stops before it;
-        # a checkpoint (or compaction) clears the debris.
-        assert records[-1]["seq"] == before + 1 or problems
+        assert problems == []
+        assert records[-1]["seq"] == before + 1
+        assert records[-1]["kind"] == "failed"
+
+    def test_double_crash_keeps_records_appended_after_repair(self, tmp_path):
+        """The canonical WAL double-crash: tear, resume, crash again.
+
+        Records journaled by the resumed process must survive a second
+        kill before any checkpoint — without repair-on-open they would
+        sit after the first crash's torn line, invisible to replay.
+        """
+        path = tmp_path / "journal.jsonl"
+        _fill(JobJournal(path)).close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # first kill: torn tail, no newline
+        resumed = JobJournal(path)
+        resumed.append("failed", job="j0002", reason="crash casualty")
+        resumed.append("done", job="j0003", batch="b0001")
+        resumed.close()  # second kill: no checkpoint ever ran
+        reopened = JobJournal(path)
+        assert reopened.problems == []
+        assert reopened.state.jobs["j0002"]["state"] == "failed"
+        assert reopened.state.jobs["j0003"]["state"] == "done"
+        # And the resumed seq chain is unbroken — no reused numbers
+        # hiding behind an invisible suffix.
+        records, problems = read_journal(path)
+        assert problems == []
+        assert [r["seq"] for r in records] == list(
+            range(1, len(records) + 1)
+        )
 
 
 class TestCheckpoint:

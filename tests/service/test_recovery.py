@@ -17,6 +17,7 @@ from repro.faults import InjectedCrash, armed, disarm
 from repro.parallel import SoloRunCache
 from repro.service import (
     CRASH_POINTS,
+    AdmissionPolicy,
     JobJournal,
     JobState,
     RunRegistry,
@@ -199,6 +200,69 @@ class TestRecoverIdempotence:
         before = {job.job_id: job.state for job in service.jobs()}
         service._replay_journal()
         assert {job.job_id: job.state for job in service.jobs()} == before
+
+
+class TestParkedRecovery:
+    """Parked jobs must survive crashes without getting stranded."""
+
+    _PARKING = dict(round_budget=2, park_over_budget=True)
+
+    def _park_one(self, tmp_path, grid):
+        service = SchedulerService(
+            journal=JobJournal(tmp_path / "journal.jsonl"),
+            registry=RunRegistry(tmp_path / "registry"),
+            policy=AdmissionPolicy(**self._PARKING),
+            solo_cache=SoloRunCache(),
+        )
+        job = service.submit(grid, BFS(0, hops=6))
+        assert job.state is JobState.PARKED
+        return service
+
+    def test_release_crash_recovers_jobs_as_queued(self, tmp_path, grid):
+        """A journaled release survives a crash mid-release_parked."""
+        service = self._park_one(tmp_path, grid)
+        with pytest.raises(InjectedCrash):
+            with armed("release.post_journal", hit=1):
+                service.release_parked()
+        # Even recovering under the same parking policy, the durable
+        # released record wins: the job comes back queued, not parked.
+        recovered = SchedulerService.recover(
+            directory=tmp_path,
+            policy=AdmissionPolicy(**self._PARKING),
+            solo_cache=SoloRunCache(),
+        )
+        [job] = recovered.jobs()
+        assert job.state is JobState.QUEUED
+        recovered.drain()
+        assert job.state is JobState.DONE
+        recovered.shutdown(drain=False)
+
+    def test_recover_redecides_parked_against_current_policy(
+        self, tmp_path, grid
+    ):
+        """Parked is not sticky across restarts: the live budget decides."""
+        self._park_one(tmp_path, grid).shutdown(drain=False)
+
+        # Same tight budget: recovery re-parks (journaled again).
+        still = SchedulerService.recover(
+            directory=tmp_path,
+            policy=AdmissionPolicy(**self._PARKING),
+            solo_cache=SoloRunCache(),
+        )
+        [parked] = still.jobs()
+        assert parked.state is JobState.PARKED
+        still.shutdown(drain=False)
+
+        # Raised (here: unlimited) budget: recovery admits and drains —
+        # the pre-fix behaviour left the job parked forever.
+        freed = SchedulerService.recover(
+            directory=tmp_path, solo_cache=SoloRunCache()
+        )
+        [job] = freed.jobs()
+        assert job.state is JobState.QUEUED
+        freed.drain()
+        assert job.state is JobState.DONE
+        freed.shutdown(drain=False)
 
 
 class TestQuarantine:
