@@ -515,6 +515,7 @@ def _serve_cli(args) -> int:
         schedule_seed=args.seed,
         events=EventLog(base / "events.jsonl"),
         journal=journal,
+        transport=args.transport,
     )
     if resuming:
         service = SchedulerService.recover(**kwargs)
@@ -915,6 +916,13 @@ def main(argv=None) -> int:
         )
         parser.add_argument(
             "--seed", type=int, default=1, help="schedule seed (default: 1)"
+        )
+        parser.add_argument(
+            "--transport", default=None,
+            choices=("auto", "reference", "numpy"),
+            help="message-transport backend for every execution "
+            "(default: auto — numpy when available; backends are "
+            "bit-identical, only wall-clock differs)",
         )
         parser.add_argument(
             "--resume", action="store_true",

@@ -32,17 +32,58 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Any, List, Mapping, Optional, Tuple
+from typing import Any, Iterator, List, Mapping, Optional, Tuple, Union
 
 from ..errors import BandwidthViolation
 from .._util import derive_seed
 from .message import check_payload
 from .network import Network
 
-__all__ = ["NodeContext", "NodeProgram", "Algorithm", "ProgramHost", "Send"]
+__all__ = [
+    "Broadcast",
+    "NodeContext",
+    "NodeProgram",
+    "Algorithm",
+    "ProgramHost",
+    "Send",
+]
 
 #: A buffered outgoing message: ``(destination node, payload)``.
 Send = Tuple[int, Any]
+
+
+class Broadcast:
+    """A compacted ``send_all``: one payload to every neighbour.
+
+    Draining a round in which a node only called :meth:`NodeContext.send_all`
+    yields one of these instead of ``len(neighbors)`` tuples. Iterating
+    produces exactly the ``(neighbor, payload)`` pairs the per-neighbour
+    path would have buffered (in neighbour order), so any consumer that
+    loops over a drained outbox sees identical messages; transports that
+    understand broadcasts read :attr:`payload`/:attr:`neighbors` directly
+    and skip the per-message tuple objects entirely.
+    """
+
+    __slots__ = ("payload", "neighbors")
+
+    def __init__(self, payload: Any, neighbors: Tuple[int, ...]):
+        self.payload = payload
+        self.neighbors = neighbors
+
+    def __iter__(self) -> Iterator[Send]:
+        payload = self.payload
+        return iter([(neighbor, payload) for neighbor in self.neighbors])
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Broadcast({self.payload!r} -> {len(self.neighbors)} neighbours)"
+
+
+#: What :meth:`NodeContext._drain` hands to the engine: either the
+#: per-message outbox or a compacted broadcast.
+Outbox = Union[List[Send], Broadcast]
 
 
 class NodeContext:
@@ -63,6 +104,8 @@ class NodeContext:
         "_message_bits",
         "_outbox",
         "_sent_to",
+        "_sent_all",
+        "_broadcast",
     )
 
     def __init__(
@@ -81,6 +124,8 @@ class NodeContext:
         self._message_bits = message_bits
         self._outbox: List[Send] = []
         self._sent_to: set = set()
+        self._sent_all = False
+        self._broadcast: Any = None
 
     def send(self, neighbor: int, payload: Any) -> None:
         """Buffer one message to ``neighbor``, delivered next round.
@@ -89,7 +134,7 @@ class NodeContext:
         neighbour, at most one message per neighbour per round, and the
         payload must fit the per-message bit budget (when one is set).
         """
-        if neighbor in self._sent_to:
+        if self._sent_all or neighbor in self._sent_to:
             raise BandwidthViolation(
                 f"node {self.node} sent twice to {neighbor} in round {self.round}",
                 node=self.node,
@@ -108,13 +153,34 @@ class NodeContext:
         self._outbox.append((neighbor, payload))
 
     def send_all(self, payload: Any) -> None:
-        """Send the same payload to every neighbour."""
-        for neighbor in self.neighbors:
-            self.send(neighbor, payload)
+        """Send the same payload to every neighbour.
 
-    def _drain(self) -> List[Send]:
+        When nothing has been sent yet this round, the CONGEST checks
+        collapse: every destination is a neighbour by construction, no
+        duplicates are possible, and one payload check covers all
+        copies (the ``_sent_all`` flag stands in for the per-neighbour
+        duplicate set). The round then drains as a single
+        :class:`Broadcast` object instead of per-neighbour tuples.
+        Mixed with prior individual sends, the checked per-neighbour
+        path runs instead (duplicate detection).
+        """
+        if self._sent_to or self._sent_all:
+            for neighbor in self.neighbors:
+                self.send(neighbor, payload)
+            return
+        if self._message_bits is not None:
+            check_payload(payload, self._message_bits)
+        self._sent_all = True
+        self._broadcast = payload
+
+    def _drain(self) -> Outbox:
+        if self._sent_all:
+            self._sent_all = False
+            payload, self._broadcast = self._broadcast, None
+            return Broadcast(payload, self.neighbors)
         out, self._outbox = self._outbox, []
-        self._sent_to.clear()
+        if self._sent_to:
+            self._sent_to.clear()
         return out
 
 
@@ -214,7 +280,7 @@ class ProgramHost:
         """The canonical per-(algorithm, node) seed derivation."""
         return derive_seed(master_seed, "node-program", algorithm_id, node)
 
-    def start(self) -> List[Send]:
+    def start(self) -> Outbox:
         """Run ``on_start``; return sends to be delivered in round 1."""
         if self._started:
             raise RuntimeError("ProgramHost.start called twice")
@@ -224,7 +290,7 @@ class ProgramHost:
             self.program.on_start(self.ctx)
         return self.ctx._drain()
 
-    def step(self, algo_round: int, inbox: Mapping[int, Any]) -> List[Send]:
+    def step(self, algo_round: int, inbox: Mapping[int, Any]) -> Outbox:
         """Run one algorithm-round; return sends for the following round.
 
         ``algo_round`` is the algorithm-local round number (1-based) whose
@@ -232,11 +298,13 @@ class ProgramHost:
         """
         if not self._started:
             raise RuntimeError("ProgramHost.step before start")
-        if self.program.halted:
+        program = self.program
+        if program._halted:
             return []
-        self.ctx.round = algo_round
-        self.program.on_round(self.ctx, inbox)
-        return self.ctx._drain()
+        ctx = self.ctx
+        ctx.round = algo_round
+        program.on_round(ctx, inbox)
+        return ctx._drain()
 
     @property
     def halted(self) -> bool:

@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional
 from ..errors import SimulationLimitExceeded
 from ..faults import NULL_INJECTOR, FaultInjector
 from ..telemetry import NULL_RECORDER, Recorder
-from .message import default_message_bits, payload_bits
+from .message import default_message_bits
 from .network import Network
 from .pattern import CommunicationPattern
 from .program import Algorithm, ProgramHost
@@ -113,6 +113,12 @@ class Simulator:
         :data:`~repro.faults.NULL_INJECTOR`, under which the execution is
         bit-identical to an injector-free build. A seeded injector may
         drop, duplicate or delay messages and crash-stop nodes.
+    transport:
+        Message-transport backend (see
+        :mod:`repro.core.transport`): ``None``/``"auto"`` selects the
+        numpy struct-of-arrays backend when numpy is importable and the
+        object-per-message reference otherwise; results are bit-identical
+        either way.
     """
 
     def __init__(
@@ -121,13 +127,19 @@ class Simulator:
         message_bits: Optional[int] = -1,
         recorder: Recorder = NULL_RECORDER,
         injector: FaultInjector = NULL_INJECTOR,
+        transport: Any = None,
     ):
+        # Imported lazily: repro.core (the schedulers) imports this
+        # module at package-init time, so a top-level import would cycle.
+        from ..core.transport import resolve_transport
+
         self.network = network
         if message_bits == -1:
             message_bits = default_message_bits(network.num_nodes)
         self.message_bits = message_bits
         self.recorder = recorder
         self.injector = injector
+        self.transport = resolve_transport(transport)
         if recorder.enabled:
             # Surface the network's BFS cache behaviour (net.bfs_*
             # counters) in this run's trace; purely observational.
@@ -186,50 +198,30 @@ class Simulator:
             for node in network.nodes
         ]
 
-        trace = ExecutionTrace()
-        max_bits = 0
         injector = self.injector
         faults = injector.enabled
-
-        # Sends buffered for the upcoming round: receiver -> {sender: payload}.
-        pending: Dict[int, Dict[int, Any]] = {}
-        # Fault-delayed deliveries: round -> receiver -> {sender: payload}.
-        delayed: Dict[int, Dict[int, Dict[int, Any]]] = {}
-
-        def enqueue(sender: int, sends: List, round_index: int) -> None:
-            # ``round_index`` is the round the messages traverse edges in.
-            nonlocal max_bits
-            for receiver, payload in sends:
-                if faults:
-                    offsets = injector.deliveries(
-                        round_index, sender, receiver, stream=algorithm_id
-                    )
-                    # The send occupies the edge (and the trace) even when
-                    # the message is subsequently lost or delayed.
-                    trace.record(round_index, sender, receiver)
-                    for offset in offsets:
-                        if offset == 0:
-                            pending.setdefault(receiver, {})[sender] = payload
-                        else:
-                            delayed.setdefault(
-                                round_index + offset, {}
-                            ).setdefault(receiver, {})[sender] = payload
-                else:
-                    pending.setdefault(receiver, {})[sender] = payload
-                    trace.record(round_index, sender, receiver)
-                bits = payload_bits(payload)
-                if bits > max_bits:
-                    max_bits = bits
+        # All message buffering, fault routing, trace recording and
+        # payload-size accounting live in the transport channel; this
+        # loop keeps only the scheduling decisions (who steps when, and
+        # when the run is complete).
+        channel = self.transport.solo_channel(injector, algorithm_id)
+        push = channel.push
 
         for host in hosts:
-            enqueue(host.node, host.start(), 1)
+            push(host.node, host.start(), 1)
 
         # Active set: the hosts that may still step. Halted hosts leave
         # the set permanently (halting is monotone), so each round costs
         # O(live) instead of O(n) — most algorithms halt the bulk of the
         # network long before the last node finishes. Order is preserved
-        # (ascending node id), keeping traces bit-identical.
-        live: List[ProgramHost] = [host for host in hosts if not host.halted]
+        # (ascending node id), keeping traces bit-identical. Entries are
+        # (node, bound step, program) so the per-round loop reads the
+        # halt flag and steps without re-resolving attributes.
+        live = [
+            (host.node, host.step, host.program)
+            for host in hosts
+            if not host.program._halted
+        ]
 
         round_index = 0
         completion_round = 0
@@ -239,7 +231,8 @@ class Simulator:
             if not live or (
                 faults
                 and all(
-                    injector.crashed(host.node, round_index + 1) for host in live
+                    injector.crashed(node, round_index + 1)
+                    for node, _step, _program in live
                 )
             ):
                 # Don't declare completion while fault-delayed deliveries
@@ -249,18 +242,19 @@ class Simulator:
                 # and is discarded like any late delivery — but accounted,
                 # not dropped mid-flight).
                 completion_round = round_index
-                if delayed:
-                    completion_round = max(round_index, max(delayed))
+                if channel.has_delayed():
+                    completion_round = max(
+                        round_index, channel.delayed_horizon()
+                    )
                     if faults and recorder.enabled:
                         recorder.counter(
                             "sim.late_deliveries",
-                            sum(len(box) for by_recv in delayed.values()
-                                for box in by_recv.values()),
+                            channel.delayed_message_count(),
                         )
                         recorder.counter(
                             "sim.skipped_rounds", completion_round - round_index
                         )
-                    delayed.clear()
+                    channel.clear_delayed()
                 break
             round_index += 1
             if round_index > max_rounds:
@@ -281,31 +275,31 @@ class Simulator:
                     round=max_rounds,
                     algorithm=algorithm.name,
                 )
-            deliveries, pending = pending, {}
-            if faults and delayed:
-                # Late duplicates lose to any fresher same-sender message.
-                for receiver, stale in delayed.pop(round_index, {}).items():
-                    box = deliveries.setdefault(receiver, {})
-                    for sender, payload in stale.items():
-                        box.setdefault(sender, payload)
-            still_live: List[ProgramHost] = []
-            for host in live:
-                if faults and injector.crashed(host.node, round_index):
+            deliveries = channel.deliver(round_index)
+            inbox_of = deliveries.get
+            next_round = round_index + 1
+            still_live = []
+            append = still_live.append
+            for entry in live:
+                node, step, program = entry
+                if faults and injector.crashed(node, round_index):
                     # Crashed but not halted: stays tracked (the
                     # completion check above consults the injector).
-                    still_live.append(host)
+                    append(entry)
                     continue
-                inbox = deliveries.get(host.node, {})
-                enqueue(host.node, host.step(round_index, inbox), round_index + 1)
-                if not host.halted:
-                    still_live.append(host)
+                inbox = inbox_of(node)
+                push(node, step(round_index, inbox if inbox is not None else {}), next_round)
+                if not program._halted:
+                    append(entry)
             live = still_live
             if recorder.enabled:
                 recorder.sample(
-                    "sim.round_messages", trace.num_messages - previous_messages
+                    "sim.round_messages",
+                    channel.message_count - previous_messages,
                 )
-                previous_messages = trace.num_messages
+                previous_messages = channel.message_count
 
+        trace = channel.finalize()
         if recorder.enabled:
             recorder.counter("sim.runs")
             recorder.counter("sim.rounds", completion_round)
@@ -317,7 +311,7 @@ class Simulator:
             rounds=trace.last_round,
             completion_round=completion_round,
             trace=trace,
-            max_message_bits=max_bits,
+            max_message_bits=channel.max_bits,
             truncated=truncated,
         )
 
@@ -332,6 +326,7 @@ def solo_run(
     recorder: Recorder = NULL_RECORDER,
     injector: FaultInjector = NULL_INJECTOR,
     on_limit: str = "raise",
+    transport: Any = None,
 ) -> SoloRun:
     """Convenience wrapper: ``Simulator(network).run(algorithm, ...)``.
 
@@ -340,7 +335,11 @@ def solo_run(
     behaviourally identical to building the :class:`Simulator` yourself.
     """
     sim = Simulator(
-        network, message_bits=message_bits, recorder=recorder, injector=injector
+        network,
+        message_bits=message_bits,
+        recorder=recorder,
+        injector=injector,
+        transport=transport,
     )
     return sim.run(
         algorithm,

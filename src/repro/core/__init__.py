@@ -39,6 +39,12 @@ from .random_delay import RandomDelayScheduler
 from .round_robin import RoundRobinScheduler
 from .sequential import SequentialScheduler
 from .sparse_phase import SparsePhaseScheduler
+from .transport import (
+    REFERENCE_TRANSPORT,
+    Transport,
+    available_transports,
+    resolve_transport,
+)
 from .workload import OutputMap, Workload
 
 __all__ = [
@@ -60,11 +66,15 @@ __all__ = [
     "RoundRobinScheduler",
     "ScheduleArtifact",
     "ScheduleFailure",
+    "REFERENCE_TRANSPORT",
     "ScheduleResult",
     "Scheduler",
     "SequentialScheduler",
     "SparsePhaseScheduler",
+    "Transport",
     "Workload",
+    "available_transports",
+    "resolve_transport",
     "capture_delay_schedule",
     "evaluate_delay_schedule",
     "exact_makespan",

@@ -53,6 +53,7 @@ from ..congest.program import ProgramHost
 from ..errors import CoverageError, ReproError, SimulationLimitExceeded
 from ..faults import NULL_INJECTOR, FaultInjector
 from ..telemetry import NULL_RECORDER, Recorder
+from .transport import resolve_transport
 from .workload import OutputMap, Workload
 
 __all__ = ["ClusterExecution", "run_cluster_copies", "select_output_layers"]
@@ -160,6 +161,7 @@ def run_cluster_copies(
     recorder: Recorder = NULL_RECORDER,
     injector: FaultInjector = NULL_INJECTOR,
     on_limit: str = "raise",
+    transport: Any = None,
 ) -> ClusterExecution:
     """Execute every (layer, cluster, algorithm) copy under big-round delays.
 
@@ -179,7 +181,11 @@ def run_cluster_copies(
     still observe genuinely different inboxes (a delayed message reaches
     late copies only), the copy-consistency check downgrades from a hard
     error to first-payload-wins while faults are enabled. ``on_limit``
-    as in :func:`~repro.core.phase_engine.run_delayed_phases`.
+    and ``transport`` as in
+    :func:`~repro.core.phase_engine.run_delayed_phases` (the transport
+    carries only the per-big-round load accounting here — the shared
+    pool and dedup registry *are* scheduling decisions and stay in the
+    engine).
     """
     network = workload.network
     if on_limit not in ("raise", "truncate"):
@@ -257,8 +263,9 @@ def run_cluster_copies(
     # Dedup registry: (aid, round, sender, receiver) -> payload.
     sent: Dict[Tuple[int, int, int, int], Any] = {}
 
-    load_histogram: Counter = Counter()
-    max_load = 0
+    # Per-big-round directed-edge load accounting lives in the
+    # transport channel; pool/dedup/truncation stay engine-side.
+    channel = resolve_transport(transport).cluster_load_channel()
     messages_sent = 0
     messages_deduplicated = 0
     messages_truncated = 0
@@ -266,7 +273,6 @@ def run_cluster_copies(
 
     h_prime_of = [layer.h_prime for layer in clustering.layers]
     center_of = [layer.center for layer in clustering.layers]
-    carried: Counter = Counter()
     active: List[_Copy] = []
 
     big_round = -1
@@ -275,7 +281,7 @@ def run_cluster_copies(
     truncated = False
     while remaining > 0:
         big_round += 1
-        if not active and not carried and big_round not in starts:
+        if not active and channel.next_round_empty() and big_round not in starts:
             # Silent big-round: no copy is running, nothing is traversing,
             # and no copy starts now — fast-forward to the next start
             # (one exists: remaining > 0 with no active copy means some
@@ -311,7 +317,7 @@ def run_cluster_copies(
                 f"cluster engine exceeded {max_big_rounds} big-rounds",
                 round=max_big_rounds,
             )
-        loads, carried = carried, Counter()
+        channel.begin_round()
 
         # Messages that finished traversing (plus any whose fault delay
         # expires now) become visible this big-round.
@@ -327,7 +333,6 @@ def run_cluster_copies(
             sender: int,
             sends: List[Tuple[int, Any]],
             msg_round: int,
-            loads_out: Counter,
             deposit_now: bool,
         ) -> None:
             """Apply truncation gates + dedup; deposit into the pool."""
@@ -380,14 +385,16 @@ def run_cluster_copies(
                             deferred.setdefault(visible_at + offset, []).append(
                                 (aid, msg_round, sender, receiver, payload)
                             )
-                loads_out[(sender, receiver)] += 1
+                # ``deposit_now`` emissions traverse this big-round;
+                # step emissions traverse the next one.
+                channel.count(sender, receiver, deposit_now)
                 messages_sent += 1
 
         # Copies starting now emit their round-1 messages (traversing this
         # big-round).
         for copy in starts.get(big_round, ()):
             for host in copy.hosts:
-                transmit(copy, host.node, host.start(), 1, loads, True)
+                transmit(copy, host.node, host.start(), 1, True)
             copy.live = [
                 (host, limit)
                 for host, limit in zip(copy.hosts, copy.limits)
@@ -417,7 +424,7 @@ def run_cluster_copies(
                     continue
                 inbox = inbox_pool.get((aid, host.node), {}).get(algo_round, {})
                 sends = host.step(algo_round, inbox)
-                transmit(copy, host.node, sends, algo_round + 1, carried, False)
+                transmit(copy, host.node, sends, algo_round + 1, False)
                 if not host.halted and algo_round < limit:
                     live_pairs.append((host, limit))
                     any_alive = True
@@ -429,23 +436,18 @@ def run_cluster_copies(
                 remaining -= 1
         active = still_active
 
-        if loads:
+        round_messages, round_top = channel.end_round()
+        if round_messages:
             last_active = big_round
-            top = max(loads.values())
-            max_load = max(max_load, top)
-            load_histogram.update(loads.values())
         if recorder.enabled:
             recorder.sample("cluster.active_copies", len(active))
-            recorder.sample("cluster.round_messages", sum(loads.values()))
-            recorder.sample(
-                "cluster.max_edge_load", max(loads.values()) if loads else 0
-            )
-    if carried:
-        # Final emissions that never traversed (all receivers done) still
-        # occupied their big-round.
+            recorder.sample("cluster.round_messages", round_messages)
+            recorder.sample("cluster.max_edge_load", round_top)
+    # Final emissions that never traversed (all receivers done) still
+    # occupied their big-round.
+    leftover_messages, _ = channel.drain_next()
+    if leftover_messages:
         last_active = big_round + 1
-        max_load = max(max_load, max(carried.values()))
-        load_histogram.update(carried.values())
 
     if recorder.enabled:
         recorder.counter("cluster.big_rounds", last_active + 1)
@@ -455,7 +457,7 @@ def run_cluster_copies(
         recorder.counter("cluster.messages_deduplicated", messages_deduplicated)
         recorder.counter("cluster.messages_truncated", messages_truncated)
         recorder.counter("cluster.copies", len(copies))
-        recorder.observe("cluster.max_load", max_load)
+        recorder.observe("cluster.max_load", channel.max_load)
 
     # Collect outputs from the chosen layers.
     outputs: OutputMap = {}
@@ -475,8 +477,8 @@ def run_cluster_copies(
     return ClusterExecution(
         outputs=outputs,
         num_big_rounds=last_active + 1,
-        max_big_round_load=max_load,
-        load_histogram=load_histogram,
+        max_big_round_load=channel.max_load,
+        load_histogram=channel.histogram(),
         messages_sent=messages_sent,
         messages_deduplicated=messages_deduplicated,
         messages_truncated=messages_truncated,

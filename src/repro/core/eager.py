@@ -20,13 +20,13 @@ concurrency corrupts outputs, motivating the delay/cluster machinery.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Deque, Dict, List, Tuple
+from typing import Dict, List
 
 from ..congest.program import ProgramHost
 
 from ..metrics.schedule import ScheduleReport
 from .base import ScheduleResult, Scheduler
+from .transport import resolve_transport
 from .workload import OutputMap, Workload
 
 __all__ = ["EagerScheduler"]
@@ -68,24 +68,16 @@ class EagerScheduler(Scheduler):
                 for node in network.nodes
             ]
 
-        # One FIFO per directed edge, shared across algorithms: entries
-        # are (aid, sender, receiver, payload).
-        queues: Dict[Tuple[int, int], Deque] = {}
-        in_flight = 0
+        # The per-directed-edge FIFO queues live in the transport channel
+        # (kept object-per-message in every backend: the inbox build
+        # order here is output-visible — see the channel docstring).
+        channel = resolve_transport(self.transport).eager_channel()
         overwrites = 0
         delivered_late = 0
 
-        def enqueue(aid: int, sender: int, sends: List[Tuple[int, Any]]) -> None:
-            nonlocal in_flight
-            for receiver, payload in sends:
-                queues.setdefault((sender, receiver), deque()).append(
-                    (aid, sender, receiver, payload)
-                )
-                in_flight += 1
-
         for aid in workload.aids:
             for host in hosts[aid]:
-                enqueue(aid, host.node, host.start())
+                channel.push(aid, host.node, host.start())
 
         physical_round = 0
         last_message_round = 0
@@ -93,24 +85,19 @@ class EagerScheduler(Scheduler):
             all_halted = all(
                 host.halted for group in hosts.values() for host in group
             )
-            if all_halted or (in_flight == 0 and physical_round > params.dilation):
+            if all_halted or (
+                channel.in_flight == 0 and physical_round > params.dilation
+            ):
                 break
             physical_round += 1
             if physical_round > cap:
                 break  # cut off: a deadlocked/queued-up execution
 
             # Transmit one message per directed edge.
-            inboxes: Dict[Tuple[int, int], Dict[int, Any]] = {}
-            for edge, queue in queues.items():
-                if not queue:
-                    continue
-                aid, sender, receiver, payload = queue.popleft()
-                in_flight -= 1
+            inboxes, new_overwrites, delivered = channel.transmit()
+            overwrites += new_overwrites
+            if delivered:
                 last_message_round = physical_round
-                box = inboxes.setdefault((aid, receiver), {})
-                if sender in box:
-                    overwrites += 1
-                box[sender] = payload
 
             # Every algorithm advances one round, ready or not.
             for aid in workload.aids:
@@ -119,7 +106,7 @@ class EagerScheduler(Scheduler):
                         continue
                     inbox = inboxes.pop((aid, host.node), {})
                     try:
-                        enqueue(
+                        channel.push(
                             aid, host.node, host.step(physical_round, inbox)
                         )
                     except Exception:
@@ -140,7 +127,7 @@ class EagerScheduler(Scheduler):
             params=params,
             length_rounds=max(last_message_round, physical_round),
             notes={
-                "in_flight_at_cutoff": in_flight,
+                "in_flight_at_cutoff": channel.in_flight,
                 "inbox_overwrites": overwrites,
                 "late_or_dropped": delivered_late,
                 "cap": cap,

@@ -24,12 +24,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..congest.program import ProgramHost
 from ..errors import SimulationLimitExceeded
 from ..faults import NULL_INJECTOR, FaultInjector
 from ..telemetry import NULL_RECORDER, Recorder
+from .transport import resolve_transport
 from .workload import OutputMap, Workload
 
 __all__ = ["PhaseExecution", "run_delayed_phases"]
@@ -67,6 +68,7 @@ def run_delayed_phases(
     injector: FaultInjector = NULL_INJECTOR,
     on_limit: str = "raise",
     fast_forward: bool = True,
+    transport: Any = None,
 ) -> PhaseExecution:
     """Execute all algorithms with per-algorithm phase delays.
 
@@ -105,6 +107,10 @@ def run_delayed_phases(
         phase-by-phase walk, which also restores the per-silent-phase
         zero telemetry samples. Skipped phases are reported in the
         ``phase.skipped_phases`` counter.
+    transport:
+        Message-transport backend (see :mod:`repro.core.transport`);
+        ``None``/``"auto"`` picks numpy when importable. Outputs, load
+        profiles and telemetry are bit-identical across backends.
     """
     network = workload.network
     k = workload.num_algorithms
@@ -129,23 +135,18 @@ def run_delayed_phases(
     # node id — is preserved). Crashed hosts stay: the crash check is
     # per-phase against the injector.
     live_hosts: List[List[ProgramHost]] = [[] for _ in range(k)]
-    # Inboxes waiting to be processed: pending[aid][node] = {sender: payload}.
-    pending: List[Dict[int, Dict[int, Any]]] = [dict() for _ in range(k)]
-    # Fault-delayed deliveries: delayed[aid][phase][node] = {sender: payload}.
-    delayed: List[Dict[int, Dict[int, Dict[int, Any]]]] = [dict() for _ in range(k)]
+    # All message buffering, fault routing and load accounting live in
+    # the transport channel; the loop below keeps only the scheduling
+    # decisions (who starts when, who steps, when the run is complete).
+    channel = resolve_transport(transport).phase_channel(
+        k, injector, collect_histogram
+    )
 
-    load_histogram: Counter = Counter()
-    max_phase_load = 0
-    messages = 0
     last_active_phase = -1
 
     start_at: Dict[int, List[int]] = {}
     for aid, delay in enumerate(delays):
         start_at.setdefault(delay, []).append(aid)
-
-    # Loads of messages traversing during the *next* phase (emitted while
-    # processing the current one).
-    carried_loads: Counter = Counter()
 
     # Active set: started-but-not-done algorithms, ascending aid (the
     # processing order of the naive full scan). Each phase costs
@@ -161,7 +162,7 @@ def run_delayed_phases(
         if (
             fast_forward
             and not active_aids
-            and not carried_loads
+            and channel.next_phase_empty()
             and phase not in start_at
         ):
             # Silent phase: nothing running, nothing in flight, nothing
@@ -187,36 +188,10 @@ def run_delayed_phases(
                 round=max_phases,
             )
 
-        # Messages traversing during this phase: last phase's step sends...
-        phase_loads, carried_loads = carried_loads, Counter()
-
-        def ship(
-            aid: int,
-            sender: int,
-            sends: List[Tuple[int, Any]],
-            loads: Counter,
-            traverse: int,
-        ) -> None:
-            # ``traverse`` is the phase the messages cross edges in; a
-            # dropped or delayed message still occupies the edge there.
-            nonlocal messages
-            box = pending[aid]
-            for receiver, payload in sends:
-                if faults:
-                    offsets = injector.deliveries(
-                        traverse + 1, sender, receiver, stream=aid
-                    )
-                    for offset in offsets:
-                        if offset == 0:
-                            box.setdefault(receiver, {})[sender] = payload
-                        else:
-                            delayed[aid].setdefault(
-                                traverse + offset, {}
-                            ).setdefault(receiver, {})[sender] = payload
-                else:
-                    box.setdefault(receiver, {})[sender] = payload
-                loads[(sender, receiver)] += 1
-                messages += 1
+        # Messages traversing during this phase: last phase's step sends
+        # (the channel rolls its load window accordingly) ...
+        channel.begin_phase()
+        push = channel.push
 
         # ... plus round-1 sends of algorithms starting this phase, which
         # traverse during this phase and are delivered at its end.
@@ -237,7 +212,7 @@ def run_delayed_phases(
                     for node in network.nodes
                 ]
                 for host in hosts[aid]:
-                    ship(aid, host.node, host.start(), phase_loads, phase)
+                    push(aid, host.node, host.start(), phase, True)
                 live_hosts[aid] = [h for h in hosts[aid] if not h.halted]
             active_aids.extend(starting)
             active_aids.sort()
@@ -245,59 +220,48 @@ def run_delayed_phases(
         # Every running algorithm processes the inbox of its current round
         # (delivered during this phase) and emits next round's messages,
         # which traverse during the next phase.
+        next_phase = phase + 1
         still_active: List[int] = []
         for aid in active_aids:
             algo_round = phase - delays[aid] + 1
-            deliveries, pending[aid] = pending[aid], {}
-            if faults and delayed[aid]:
-                # Late duplicates lose to any fresher same-sender message.
-                for receiver, stale in delayed[aid].pop(phase, {}).items():
-                    box = deliveries.setdefault(receiver, {})
-                    for sender, payload in stale.items():
-                        box.setdefault(sender, payload)
+            deliveries = channel.deliver(aid, phase)
             alive_hosts: List[ProgramHost] = []
             all_halted = True
             for host in live_hosts[aid]:
-                if faults and injector.crashed(host.node, phase + 1):
+                if faults and injector.crashed(host.node, next_phase):
                     # Crash-stop counts as terminated for scheduling (the
                     # host stays tracked; the check is per-phase).
                     alive_hosts.append(host)
                     continue
                 inbox = deliveries.get(host.node, {})
-                ship(
-                    aid, host.node, host.step(algo_round, inbox), carried_loads,
-                    phase + 1,
+                push(
+                    aid, host.node, host.step(algo_round, inbox), next_phase,
+                    False,
                 )
                 if not host.halted:
                     alive_hosts.append(host)
                     all_halted = False
             live_hosts[aid] = alive_hosts
-            if all_halted and not pending[aid] and not delayed[aid]:
+            if all_halted and channel.idle(aid):
                 remaining -= 1
             else:
                 still_active.append(aid)
         active_aids = still_active
 
-        if phase_loads:
+        phase_messages, phase_top = channel.end_phase()
+        if phase_messages:
             last_active_phase = phase
-            top = max(phase_loads.values())
-            max_phase_load = max(max_phase_load, top)
-            if collect_histogram:
-                load_histogram.update(phase_loads.values())
         if recorder.enabled:
-            recorder.sample("phase.messages", sum(phase_loads.values()))
+            recorder.sample("phase.messages", phase_messages)
             recorder.sample("phase.active_algorithms", len(active_aids))
-            recorder.sample(
-                "phase.max_edge_load",
-                max(phase_loads.values()) if phase_loads else 0,
-            )
+            recorder.sample("phase.max_edge_load", phase_top)
 
     if recorder.enabled:
         recorder.counter("phase.phases", last_active_phase + 1)
-        recorder.counter("phase.messages", messages)
+        recorder.counter("phase.messages", channel.messages)
         if skipped_phases:
             recorder.counter("phase.skipped_phases", skipped_phases)
-        recorder.observe("phase.max_load", max_phase_load)
+        recorder.observe("phase.max_load", channel.max_load)
 
     outputs: OutputMap = {}
     for aid in range(k):
@@ -315,8 +279,8 @@ def run_delayed_phases(
     return PhaseExecution(
         outputs=outputs,
         num_phases=last_active_phase + 1,
-        max_phase_load=max_phase_load,
-        load_histogram=load_histogram,
-        messages=messages,
+        max_phase_load=channel.max_load,
+        load_histogram=channel.histogram(),
+        messages=channel.messages,
         truncated=truncated,
     )

@@ -30,6 +30,7 @@ class SequentialScheduler(Scheduler):
                 message_bits=workload.message_bits,
                 recorder=self.recorder,
                 injector=self.injector,
+                transport=self.transport,
             )
             runs = [
                 sim.run(

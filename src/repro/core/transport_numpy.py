@@ -1,0 +1,662 @@
+"""Struct-of-arrays message transport backed by numpy.
+
+The reference transport (:mod:`repro.core.transport`) pays three Python
+dict/object operations *per message*: the trace's incremental indices,
+the pending-inbox ``setdefault``, and the per-payload bit accounting.
+Profiling the solo engine shows ``ExecutionTrace.record`` alone is half
+the per-message cost.  This backend replaces all three with columnar
+buffers:
+
+* sends are buffered per round as ``(sender, outbox)`` pairs — one
+  append per *push*, not per message — and a
+  :class:`~repro.congest.program.Broadcast` outbox (a ``send_all``)
+  stays one object end to end: one ``payload_bits`` call, one
+  ``(sender, degree)`` run, no per-neighbour tuples;
+* the trace is an :class:`ArrayTrace` storing each round
+  **run-length-encoded**: a list of ``(sender, count)`` runs plus one
+  receiver column, adopted **zero-copy** from the channel at delivery
+  time (a full flood round is ``n`` runs and one column, not ``2·|E|``
+  event tuples). Load/congestion indices (``directed_loads``,
+  ``edge_round_counts``, ``max_edge_rounds``, …) are built lazily with
+  vectorised ``numpy`` kernels (``np.repeat`` expansion, packed
+  ``sender << 32 | receiver`` int64 keys, ``np.unique`` folds) on the
+  first query instead of per-message dict updates;
+* per-phase / per-big-round edge loads are packed int64 key columns,
+  folded with one ``np.unique`` per phase instead of one Counter
+  update per message.
+
+Bit-identity
+------------
+Every observable — outputs, trace events and queries, load histograms,
+``max_message_bits``, telemetry counters — is identical to the reference
+backend; ``tests/core/test_transport_identity.py`` pins this.  Two
+consequences shape the implementation:
+
+* **Inbox order is preserved.**  Programs may iterate their inbox, so
+  delivery rebuilds each ``{sender: payload}`` dict in exact push order
+  (same insertion order, same overwrite semantics as the reference
+  ``setdefault`` path).
+* **Faulted channels fall back to the reference implementation.**  The
+  fault injector decides each message's fate with an independent seeded
+  hash per ``(round, edge, stream)``; those per-message decisions cannot
+  be batched without re-deriving them message-by-message anyway, so
+  fault-injected runs (a tiny fraction of real workloads) simply use the
+  golden code path — identical by construction.
+* **The eager channel stays object-per-message** in every backend: its
+  FIFO drain order is output-visible (see the reference docstring).
+
+Node ids are assumed to fit in 31 bits (they are dense ``0 .. n-1``
+indices everywhere in this codebase), which lets a directed edge pack
+into one non-negative int64 key.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import chain, repeat
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..congest.message import payload_bits
+from ..congest.program import Broadcast
+from ..congest.trace import ExecutionTrace
+from ..faults import FaultInjector
+from .transport import (
+    Inboxes,
+    ReferenceEagerChannel,
+    ReferencePhaseChannel,
+    ReferenceSoloChannel,
+    Send,
+    Transport,
+)
+
+__all__ = ["ArrayTrace", "NumpyTransport"]
+
+_KEY_BITS = 32
+_KEY_MASK = (1 << _KEY_BITS) - 1
+
+
+def _pack_counter(keys: np.ndarray, counts: np.ndarray) -> Counter:
+    """Unpack ``sender << 32 | receiver`` keys into an edge Counter."""
+    result: Counter = Counter()
+    for key, count in zip(keys.tolist(), counts.tolist()):
+        result[(key >> _KEY_BITS, key & _KEY_MASK)] = count
+    return result
+
+
+class ArrayTrace(ExecutionTrace):
+    """An :class:`~repro.congest.trace.ExecutionTrace` stored columnar.
+
+    Each round is a receiver column plus run-length-encoded senders
+    (``(sender, count)`` per push — engines push one sender's whole
+    outbox at a time), all plain Python ints: pickle-safe, and adopted
+    zero-copy from the numpy solo channel's delivery buffers. The
+    derived indices — directed loads, per-edge round sets/counts — are
+    built lazily on first query with vectorised numpy kernels and
+    invalidated by further recording; every query returns exactly what
+    the incremental reference implementation returns.
+    """
+
+    def __init__(self) -> None:
+        # Deliberately *not* calling super().__init__: the base class
+        # allocates the per-message incremental indices this subclass
+        # exists to avoid. _num_messages/_last_round keep their base
+        # meaning so inherited __repr__/__len__ keep working.
+        self._round_sender_runs: List[List[Tuple[int, int]]] = []
+        self._round_receivers: List[List[int]] = []
+        self._num_messages = 0
+        self._last_round = 0
+        # Lazy caches (None until the first query after a mutation).
+        self._loads_cache: Optional[Counter] = None
+        self._edge_pairs_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._edge_round_counts_cache: Optional[Counter] = None
+        self._edge_rounds_cache: Optional[Dict[Tuple[int, int], Set[int]]] = None
+        self._max_edge_rounds_cache: Optional[int] = None
+
+    # -- recording -----------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._loads_cache = None
+        self._edge_pairs_cache = None
+        self._edge_round_counts_cache = None
+        self._edge_rounds_cache = None
+        self._max_edge_rounds_cache = None
+
+    def _reserve(self, round_index: int) -> None:
+        if round_index < 1:
+            raise ValueError("round indices are 1-based")
+        while len(self._round_sender_runs) < round_index:
+            self._round_sender_runs.append([])
+            self._round_receivers.append([])
+
+    def record(self, round_index: int, sender: int, receiver: int) -> None:
+        """Record a message traversing ``sender -> receiver`` in a round."""
+        self._reserve(round_index)
+        slot = round_index - 1
+        runs = self._round_sender_runs[slot]
+        if runs and runs[-1][0] == sender:
+            runs[-1] = (sender, runs[-1][1] + 1)
+        else:
+            runs.append((sender, 1))
+        self._round_receivers[slot].append(receiver)
+        self._num_messages += 1
+        if round_index > self._last_round:
+            self._last_round = round_index
+        self._invalidate()
+
+    def record_round(
+        self, round_index: int, sends: List[Tuple[int, int]]
+    ) -> None:
+        """Record a whole round (reserving the slot even when silent)."""
+        self._reserve(round_index)
+        for sender, receiver in sends:
+            self.record(round_index, sender, receiver)
+
+    def adopt_round(
+        self,
+        round_index: int,
+        sender_runs: List[Tuple[int, int]],
+        receivers: List[int],
+    ) -> None:
+        """Adopt a whole round's columns (zero-copy; channel internal).
+
+        The caller hands ownership of the lists; the round slot must not
+        already contain messages. Empty columns are not recorded (the
+        reference ``record``-only path never materialises silent rounds).
+        """
+        if not receivers:
+            return
+        self._reserve(round_index)
+        slot = round_index - 1
+        if self._round_receivers[slot]:  # pragma: no cover - channel misuse
+            raise ValueError(f"round {round_index} already has messages")
+        self._round_sender_runs[slot] = sender_runs
+        self._round_receivers[slot] = receivers
+        self._num_messages += len(receivers)
+        if round_index > self._last_round:
+            self._last_round = round_index
+        self._invalidate()
+
+    # -- queries -------------------------------------------------------
+
+    @staticmethod
+    def _expand(runs: List[Tuple[int, int]]) -> Iterator[int]:
+        """Iterate a run-length sender column message by message."""
+        return chain.from_iterable(
+            repeat(sender, count) for sender, count in runs
+        )
+
+    def events_at(self, round_index: int) -> List[Tuple[int, int]]:
+        """The directed sends of one round."""
+        if not 1 <= round_index <= len(self._round_receivers):
+            return []
+        slot = round_index - 1
+        return list(
+            zip(
+                self._expand(self._round_sender_runs[slot]),
+                self._round_receivers[slot],
+            )
+        )
+
+    def events(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate all events as ``(round, sender, receiver)``."""
+        for i, (runs, receivers) in enumerate(
+            zip(self._round_sender_runs, self._round_receivers)
+        ):
+            for sender, receiver in zip(self._expand(runs), receivers):
+                yield (i + 1, sender, receiver)
+
+    def _columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All messages as (senders, receivers, rounds) int64 arrays."""
+        s_parts: List[np.ndarray] = []
+        r_parts: List[np.ndarray] = []
+        t_parts: List[np.ndarray] = []
+        for i, (runs, receivers) in enumerate(
+            zip(self._round_sender_runs, self._round_receivers)
+        ):
+            if not receivers:
+                continue
+            run_values = np.fromiter(
+                (sender for sender, _ in runs), dtype=np.int64, count=len(runs)
+            )
+            run_counts = np.fromiter(
+                (count for _, count in runs), dtype=np.int64, count=len(runs)
+            )
+            s_parts.append(np.repeat(run_values, run_counts))
+            r_parts.append(np.asarray(receivers, dtype=np.int64))
+            t_parts.append(np.full(len(receivers), i + 1, dtype=np.int64))
+        if not s_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        return (
+            np.concatenate(s_parts),
+            np.concatenate(r_parts),
+            np.concatenate(t_parts),
+        )
+
+    def directed_loads(self) -> Counter:
+        """Message count per directed edge."""
+        if self._loads_cache is None:
+            senders, receivers, _ = self._columns()
+            keys = (senders << _KEY_BITS) | receivers
+            unique, counts = np.unique(keys, return_counts=True)
+            self._loads_cache = _pack_counter(unique, counts)
+        return Counter(self._loads_cache)
+
+    def _edge_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Distinct ``(undirected edge key, round)`` pairs, edge-sorted."""
+        if self._edge_pairs_cache is None:
+            senders, receivers, rounds = self._columns()
+            lo = np.minimum(senders, receivers)
+            hi = np.maximum(senders, receivers)
+            keys = (lo << _KEY_BITS) | hi
+            order = np.lexsort((rounds, keys))
+            keys = keys[order]
+            rounds = rounds[order]
+            if len(keys):
+                fresh = np.empty(len(keys), dtype=bool)
+                fresh[0] = True
+                np.logical_or(
+                    keys[1:] != keys[:-1],
+                    rounds[1:] != rounds[:-1],
+                    out=fresh[1:],
+                )
+                keys = keys[fresh]
+                rounds = rounds[fresh]
+            self._edge_pairs_cache = (keys, rounds)
+        return self._edge_pairs_cache
+
+    def edge_rounds(self) -> Dict[Tuple[int, int], Set[int]]:
+        """For each undirected edge, the set of rounds with any traffic."""
+        if self._edge_rounds_cache is None:
+            keys, rounds = self._edge_pairs()
+            result: Dict[Tuple[int, int], Set[int]] = {}
+            if len(keys):
+                boundaries = np.flatnonzero(keys[1:] != keys[:-1]) + 1
+                starts = [0, *boundaries.tolist(), len(keys)]
+                key_list = keys.tolist()
+                round_list = rounds.tolist()
+                for i in range(len(starts) - 1):
+                    begin, end = starts[i], starts[i + 1]
+                    key = key_list[begin]
+                    result[(key >> _KEY_BITS, key & _KEY_MASK)] = set(
+                        round_list[begin:end]
+                    )
+            self._edge_rounds_cache = result
+        return {
+            edge: set(rounds) for edge, rounds in self._edge_rounds_cache.items()
+        }
+
+    def edge_round_counts(self) -> Counter:
+        """``c_i(e)`` for each undirected edge, as a Counter."""
+        if self._edge_round_counts_cache is None:
+            keys, _ = self._edge_pairs()
+            unique, counts = np.unique(keys, return_counts=True)
+            self._edge_round_counts_cache = _pack_counter(unique, counts)
+            self._max_edge_rounds_cache = (
+                int(counts.max()) if len(counts) else 0
+            )
+        return Counter(self._edge_round_counts_cache)
+
+    def max_edge_rounds(self) -> int:
+        """``max_e c_i(e)`` — this algorithm's own worst edge usage."""
+        if self._max_edge_rounds_cache is None:
+            self.edge_round_counts()
+        return self._max_edge_rounds_cache
+
+    # -- pickling ------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Ship only the columns; caches rebuild on demand."""
+        return {
+            "_round_sender_runs": self._round_sender_runs,
+            "_round_receivers": self._round_receivers,
+            "_num_messages": self._num_messages,
+            "_last_round": self._last_round,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._loads_cache = None
+        self._edge_pairs_cache = None
+        self._edge_round_counts_cache = None
+        self._edge_rounds_cache = None
+        self._max_edge_rounds_cache = None
+
+
+_NO_PAYLOAD = object()
+
+
+class NumpySoloChannel:
+    """Columnar solo-simulator channel (fault-free runs only).
+
+    :meth:`push` is O(1) per call plus the payload-size scan: it adopts
+    the engine's drained outbox list *by reference* as one
+    ``(sender, sends)`` run. Delivery expands the runs in a single pass,
+    building inboxes in push order (preserving the reference backend's
+    dict insertion/overwrite semantics exactly) while emitting the
+    receiver column and run-length sender column the
+    :class:`ArrayTrace` stores zero-copy.
+    """
+
+    __slots__ = ("trace", "max_bits", "_buffers", "_pushed")
+
+    def __init__(self) -> None:
+        self.trace = ArrayTrace()
+        self.max_bits = 0
+        # round -> list of (sender, drained outbox) runs, push order.
+        self._buffers: Dict[int, List[Tuple[int, List[Send]]]] = {}
+        self._pushed = 0
+
+    def push(self, sender: int, sends: List[Send], round_index: int) -> None:
+        """Buffer ``sends`` traversing edges during ``round_index``.
+
+        Takes ownership of ``sends`` (engines hand over the freshly
+        drained outbox and never mutate it afterwards).
+        """
+        if not sends:
+            return
+        buf = self._buffers.get(round_index)
+        if buf is None:
+            buf = self._buffers[round_index] = []
+        buf.append((sender, sends))
+        if type(sends) is Broadcast:
+            # One payload object to every neighbour: account its size
+            # once, count its copies without expanding them.
+            self._pushed += len(sends.neighbors)
+            bits = payload_bits(sends.payload)
+            if bits > self.max_bits:
+                self.max_bits = bits
+            return
+        self._pushed += len(sends)
+        # Payload-size accounting, deduped by object identity (mixed
+        # send/send_all rounds may still repeat one payload object).
+        max_bits = self.max_bits
+        last = _NO_PAYLOAD
+        for send in sends:
+            payload = send[1]
+            if payload is last:
+                continue
+            last = payload
+            bits = payload_bits(payload)
+            if bits > max_bits:
+                max_bits = bits
+        self.max_bits = max_bits
+
+    def deliver(self, round_index: int) -> Inboxes:
+        """Pop the inboxes delivered during ``round_index``."""
+        buf = self._buffers.pop(round_index, None)
+        deliveries: Inboxes = {}
+        if buf is None:
+            return deliveries
+        sender_runs: List[Tuple[int, int]] = []
+        receivers_col: List[int] = []
+        runs_append = sender_runs.append
+        col_append = receivers_col.append
+        col_extend = receivers_col.extend
+        get = deliveries.get
+        for sender, sends in buf:
+            if type(sends) is Broadcast:
+                payload = sends.payload
+                neighbors = sends.neighbors
+                runs_append((sender, len(neighbors)))
+                col_extend(neighbors)
+                for receiver in neighbors:
+                    box = get(receiver)
+                    if box is None:
+                        deliveries[receiver] = {sender: payload}
+                    else:
+                        box[sender] = payload
+                continue
+            runs_append((sender, len(sends)))
+            for receiver, payload in sends:
+                col_append(receiver)
+                box = get(receiver)
+                if box is None:
+                    deliveries[receiver] = {sender: payload}
+                else:
+                    box[sender] = payload
+        # The buffers' job as delivery queues is done; the trace adopts
+        # the run-length sender and receiver columns without copying.
+        self.trace.adopt_round(round_index, sender_runs, receivers_col)
+        return deliveries
+
+    @property
+    def message_count(self) -> int:
+        """Messages recorded so far (mid-run telemetry sampling).
+
+        Counts at *push* time, like the reference channel's
+        ``trace.record``-at-push — in-flight sends are already counted.
+        """
+        return self._pushed
+
+    # Fault-delayed bookkeeping: this channel never handles faults (the
+    # transport builds a reference channel when the injector is live).
+
+    def has_delayed(self) -> bool:
+        return False
+
+    def delayed_horizon(self) -> int:  # pragma: no cover - never delayed
+        return 0
+
+    def delayed_message_count(self) -> int:  # pragma: no cover
+        return 0
+
+    def clear_delayed(self) -> None:  # pragma: no cover - never delayed
+        pass
+
+    def finalize(self) -> ArrayTrace:
+        """Seal the channel: flush undelivered sends into the trace."""
+        for round_index in sorted(self._buffers):
+            buf = self._buffers.pop(round_index)
+            sender_runs: List[Tuple[int, int]] = []
+            receivers_col: List[int] = []
+            for sender, sends in buf:
+                if type(sends) is Broadcast:
+                    sender_runs.append((sender, len(sends.neighbors)))
+                    receivers_col.extend(sends.neighbors)
+                else:
+                    sender_runs.append((sender, len(sends)))
+                    for send in sends:
+                        receivers_col.append(send[0])
+            self.trace.adopt_round(round_index, sender_runs, receivers_col)
+        return self.trace
+
+
+class NumpyPhaseChannel:
+    """Columnar phase-engine channel (fault-free runs only).
+
+    Pending inboxes are per-algorithm columns; per-phase directed-edge
+    loads are packed int64 key columns folded with one ``np.unique`` at
+    :meth:`end_phase` instead of a Counter update per message.
+    """
+
+    __slots__ = ("messages", "max_load", "_collect_histogram", "_histogram",
+                 "_pending", "_current_keys", "_next_keys", "_key_cache")
+
+    def __init__(self, k: int, collect_histogram: bool) -> None:
+        self.messages = 0
+        self.max_load = 0
+        self._collect_histogram = collect_histogram
+        self._histogram: Counter = Counter()
+        # _pending[aid] = list of (sender, outbox) runs, push order.
+        self._pending: List[List[Tuple[int, Any]]] = [[] for _ in range(k)]
+        # Packed (sender << 32 | receiver) keys, one entry per message
+        # traversing during the current / next phase.
+        self._current_keys: List[int] = []
+        self._next_keys: List[int] = []
+        # sender -> packed keys of its full neighbour set (broadcasts
+        # always cover exactly the neighbours, so this is stable).
+        self._key_cache: Dict[int, List[int]] = {}
+
+    def begin_phase(self) -> None:
+        """Roll the load window: next phase's traffic becomes current."""
+        self._current_keys, self._next_keys = self._next_keys, []
+
+    def push(
+        self,
+        aid: int,
+        sender: int,
+        sends: Any,
+        traverse: int,
+        into_current: bool,
+    ) -> None:
+        """Buffer ``sends`` of algorithm ``aid`` traversing ``traverse``."""
+        if not sends:
+            return
+        self._pending[aid].append((sender, sends))
+        keys = self._current_keys if into_current else self._next_keys
+        if type(sends) is Broadcast:
+            cached = self._key_cache.get(sender)
+            if cached is None:
+                base = sender << _KEY_BITS
+                cached = self._key_cache[sender] = [
+                    base | receiver for receiver in sends.neighbors
+                ]
+            keys.extend(cached)
+            self.messages += len(sends.neighbors)
+            return
+        base = sender << _KEY_BITS
+        keys.extend([base | receiver for receiver, _payload in sends])
+        self.messages += len(sends)
+
+    def deliver(self, aid: int, phase: int) -> Inboxes:
+        """Pop algorithm ``aid``'s inboxes delivered during ``phase``."""
+        pending = self._pending[aid]
+        deliveries: Inboxes = {}
+        if not pending:
+            return deliveries
+        self._pending[aid] = []
+        get = deliveries.get
+        for sender, sends in pending:
+            if type(sends) is Broadcast:
+                payload = sends.payload
+                for receiver in sends.neighbors:
+                    box = get(receiver)
+                    if box is None:
+                        deliveries[receiver] = {sender: payload}
+                    else:
+                        box[sender] = payload
+                continue
+            for receiver, payload in sends:
+                box = get(receiver)
+                if box is None:
+                    deliveries[receiver] = {sender: payload}
+                else:
+                    box[sender] = payload
+        return deliveries
+
+    def idle(self, aid: int) -> bool:
+        """True when algorithm ``aid`` has nothing buffered or in flight."""
+        return not self._pending[aid]
+
+    def next_phase_empty(self) -> bool:
+        """True when nothing traverses during the next phase."""
+        return not self._next_keys
+
+    def end_phase(self) -> Tuple[int, int]:
+        """Close the current phase; returns ``(messages, top load)``."""
+        keys = self._current_keys
+        if not keys:
+            return 0, 0
+        _, counts = np.unique(
+            np.asarray(keys, dtype=np.int64), return_counts=True
+        )
+        top = int(counts.max())
+        if top > self.max_load:
+            self.max_load = top
+        if self._collect_histogram:
+            values, multiplicity = np.unique(counts, return_counts=True)
+            histogram = self._histogram
+            for value, count in zip(values.tolist(), multiplicity.tolist()):
+                histogram[value] += count
+        return len(keys), top
+
+    def histogram(self) -> Counter:
+        """Load value -> number of (directed edge, phase) pairs."""
+        return self._histogram
+
+
+class NumpyClusterLoadChannel:
+    """Columnar big-round load accounting for the cluster-copies engine."""
+
+    __slots__ = ("max_load", "_histogram", "_current", "_next")
+
+    def __init__(self) -> None:
+        self.max_load = 0
+        self._histogram: Counter = Counter()
+        # Packed (sender << 32 | receiver) keys, one per message.
+        self._current: List[int] = []
+        self._next: List[int] = []
+
+    def begin_round(self) -> None:
+        """Roll the load window: next big-round's traffic becomes current."""
+        self._current, self._next = self._next, []
+
+    def count(self, sender: int, receiver: int, into_current: bool) -> None:
+        """Account one transmitted message on ``sender -> receiver``."""
+        key = (sender << _KEY_BITS) | receiver
+        if into_current:
+            self._current.append(key)
+        else:
+            self._next.append(key)
+
+    def next_round_empty(self) -> bool:
+        """True when nothing traverses the next big-round."""
+        return not self._next
+
+    def _fold(self, keys: List[int]) -> Tuple[int, int]:
+        if not keys:
+            return 0, 0
+        _, counts = np.unique(
+            np.asarray(keys, dtype=np.int64), return_counts=True
+        )
+        top = int(counts.max())
+        if top > self.max_load:
+            self.max_load = top
+        values, multiplicity = np.unique(counts, return_counts=True)
+        histogram = self._histogram
+        for value, count in zip(values.tolist(), multiplicity.tolist()):
+            histogram[value] += count
+        return len(keys), top
+
+    def end_round(self) -> Tuple[int, int]:
+        """Close the current big-round; returns ``(messages, top load)``."""
+        return self._fold(self._current)
+
+    def drain_next(self) -> Tuple[int, int]:
+        """Account final emissions that never traversed; ``(messages, top)``."""
+        return self._fold(self._next)
+
+    def histogram(self) -> Counter:
+        """Load value -> number of (directed edge, big-round) pairs."""
+        return self._histogram
+
+
+class NumpyTransport(Transport):
+    """Struct-of-arrays transport; bit-identical to the reference.
+
+    Fault-injected channels and the eager channel delegate to the
+    reference implementations (see the module docstring for why).
+    """
+
+    name = "numpy"
+
+    def solo_channel(self, injector: FaultInjector, stream: Any):
+        if injector.enabled:
+            return ReferenceSoloChannel(injector, stream)
+        return NumpySoloChannel()
+
+    def phase_channel(
+        self, k: int, injector: FaultInjector, collect_histogram: bool
+    ):
+        if injector.enabled:
+            return ReferencePhaseChannel(k, injector, collect_histogram)
+        return NumpyPhaseChannel(k, collect_histogram)
+
+    def cluster_load_channel(self) -> NumpyClusterLoadChannel:
+        return NumpyClusterLoadChannel()
+
+    def eager_channel(self) -> ReferenceEagerChannel:
+        return ReferenceEagerChannel()

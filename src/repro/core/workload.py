@@ -47,6 +47,12 @@ class Workload:
     to always simulate fresh. Caching never changes results — the cache
     key pins every input of the deterministic simulator.
 
+    ``transport`` selects the message-transport backend used for the
+    solo reference runs (see :mod:`repro.core.transport`); engines that
+    execute the workload take their own ``transport=``. Because every
+    backend is bit-identical, the transport is *not* part of the solo
+    cache key and never changes outputs or tape identities.
+
     ``algorithm_ids`` optionally fixes each algorithm's *tape identity*:
     the value salted (together with the master seed and the node id)
     into every node's private random tape. By default the identity is
@@ -67,6 +73,7 @@ class Workload:
         message_bits: Optional[int] = -1,
         solo_cache: Union[SoloRunCache, str, None] = "default",
         algorithm_ids: Optional[Sequence[Any]] = None,
+        transport: Any = None,
     ):
         if not algorithms:
             raise ValueError("a workload needs at least one algorithm")
@@ -77,6 +84,7 @@ class Workload:
             message_bits = default_message_bits(network.num_nodes)
         self.message_bits = message_bits
         self.solo_cache = solo_cache
+        self.transport = transport
         if algorithm_ids is not None and len(algorithm_ids) != len(self.algorithms):
             raise ValueError(
                 f"algorithm_ids must match the number of algorithms "
@@ -122,7 +130,11 @@ class Workload:
         if self._solo_runs is None:
             cache = self._resolve_cache()
             if cache is None:
-                sim = Simulator(self.network, message_bits=self.message_bits)
+                sim = Simulator(
+                    self.network,
+                    message_bits=self.message_bits,
+                    transport=self.transport,
+                )
                 self._solo_runs = [
                     sim.run(
                         algorithm,
@@ -139,6 +151,7 @@ class Workload:
                         algorithm_id=self.tape_id(aid),
                         seed=self.master_seed,
                         message_bits=self.message_bits,
+                        transport=self.transport,
                     )
                     for aid, algorithm in enumerate(self.algorithms)
                 ]
@@ -156,6 +169,17 @@ class Workload:
         state = dict(self.__dict__)
         if isinstance(state.get("solo_cache"), SoloRunCache):
             state["solo_cache"] = "default"
+        # Ship transport *specs*, not instances: the receiving process
+        # re-resolves (it may lack numpy even if we have it — results
+        # are bit-identical either way).
+        from .transport import Transport
+
+        transport = state.get("transport")
+        if isinstance(transport, Transport) and transport.name in (
+            "reference",
+            "numpy",
+        ):
+            state["transport"] = transport.name
         return state
 
     def params(self) -> WorkloadParams:
@@ -203,6 +227,7 @@ class Workload:
             message_bits=self.message_bits,
             solo_cache=self.solo_cache,
             algorithm_ids=merged_ids,
+            transport=self.transport,
         )
 
     def subset(self, aids) -> "Workload":
@@ -227,6 +252,7 @@ class Workload:
             message_bits=self.message_bits,
             solo_cache=self.solo_cache,
             algorithm_ids=chosen_ids,
+            transport=self.transport,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

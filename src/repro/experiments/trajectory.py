@@ -41,32 +41,49 @@ __all__ = [
 #: Leading signed decimal number, as found in cells like ``"8.00x (...)"``.
 _NUMBER = re.compile(r"^\s*([+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)")
 
-#: Substrings marking a metric where **bigger is better** (a drop beyond
-#: the threshold is a regression).
+#: Anything that is not a token character splits a metric name into
+#: tokens: ``"hit_ratio"`` → ``hit``, ``ratio``; ``"run ms"`` → ``run``,
+#: ``ms``; ``"pre/(Dlog²N)"`` → ``pre``, ``dlog``, ``n``.
+_TOKEN_SEP = re.compile(r"[^a-z0-9]+")
+
+#: Token sequences marking a metric where **bigger is better** (a drop
+#: beyond the threshold is a regression).
 _HIGHER_BETTER = (
-    "speedup", "throughput", "jobs_per", "per_round", "hits", "ok",
-    "survived", "verified", "coverage",
+    "speedup", "throughput", "jobs_per", "per_round", "hit", "hits",
+    "ok", "survived", "verified", "coverage", "precision", "recall",
+    "accuracy",
 )
 
-#: Substrings marking a metric where **smaller is better** (a rise
+#: Token sequences marking a metric where **smaller is better** (a rise
 #: beyond the threshold is a regression).
 _LOWER_BETTER = (
-    "ms", "time", "seconds", "rounds", "overhead", "misses", "failed",
-    "latency", "pre", "ratio", "messages", "retries",
+    "ms", "msgs", "time", "seconds", "rounds", "overhead", "misses",
+    "failed", "latency", "pre", "ratio", "messages", "retries",
 )
 
 
 def metric_direction(name: str) -> str:
     """``"higher"`` / ``"lower"`` is better, or ``"unknown"``.
 
-    Matched on substrings of the lower-cased metric name; higher-better
-    markers win ties (``"round_speedup"`` contains both ``rounds`` and
-    ``speedup`` and is a speedup).
+    Markers match on **whole tokens** of the lower-cased metric name
+    (runs of ``[a-z0-9]`` split by anything else), never inside words:
+    ``"precision"`` does not contain the lower-better token ``pre``,
+    ``"hit_ratio"`` matches ``hit`` rather than the ``ratio`` inside it,
+    and ``"algorithms"`` does not contain ``ms``. Multi-token markers
+    (``jobs_per``) match a run of adjacent tokens.
+
+    Tie-breaking: the higher-better list is checked first and wins when
+    a name carries markers of both polarities — composite names almost
+    always put the normalizer last and the quantity first
+    (``round_speedup`` is a speedup measured in rounds, ``hit_ratio``
+    is a hit rate expressed as a ratio), so the rate/score marker, not
+    the unit, decides. Names with no marker are ``"unknown"``: they are
+    reported as changes but never counted as regressions.
     """
-    lowered = name.lower()
-    if any(marker in lowered for marker in _HIGHER_BETTER):
+    tokens = f"_{_TOKEN_SEP.sub('_', name.lower())}_"
+    if any(f"_{marker}_" in tokens for marker in _HIGHER_BETTER):
         return "higher"
-    if any(marker in lowered for marker in _LOWER_BETTER):
+    if any(f"_{marker}_" in tokens for marker in _LOWER_BETTER):
         return "lower"
     return "unknown"
 

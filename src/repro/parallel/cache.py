@@ -236,7 +236,9 @@ class SoloRunCache:
         try:
             with path.open("rb") as fh:
                 run = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            # ImportError: an entry pickled with an optional dependency
+            # (e.g. numpy array traces) read by a process without it.
             return None
         if not isinstance(run, SoloRun):
             return None
@@ -279,12 +281,15 @@ class SoloRunCache:
         algorithm_id: Any = None,
         seed: int = 0,
         message_bits: Optional[int] = -1,
+        transport: Any = None,
     ) -> SoloRun:
         """Return the cached solo run, simulating (and storing) on a miss.
 
         Mirrors :meth:`~repro.congest.simulator.Simulator.run` semantics
         exactly — a hit is bit-identical to a fresh simulation because
         the key pins every input of the deterministic simulator.
+        ``transport`` selects the backend used on a miss; it is *not*
+        part of the key because every backend is bit-identical.
         """
         if message_bits == -1:
             from ..congest.message import default_message_bits
@@ -307,7 +312,7 @@ class SoloRunCache:
         self.misses += 1
         if self.recorder.enabled:
             self.recorder.counter("cache.miss")
-        sim = Simulator(network, message_bits=message_bits)
+        sim = Simulator(network, message_bits=message_bits, transport=transport)
         run = sim.run(algorithm, seed=seed, algorithm_id=algorithm_id)
         if key is not None:
             self.put(key, run)

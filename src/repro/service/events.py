@@ -42,6 +42,7 @@ __all__ = [
     "check_fsync",
     "latency_stats",
     "read_events",
+    "TERMINAL_KINDS",
 ]
 
 #: Every event kind the service emits, in rough lifecycle order.
@@ -289,20 +290,27 @@ def latency_stats(events: Iterable[JobEvent]) -> Dict[str, Any]:
           "jobs_per_sec":     <completed jobs / observed window>,
           "completed":        <jobs that reached done>,
           "failed":           <jobs that reached failed>,
+          "quarantined":      <jobs that reached quarantined>,
+          "rejected":         <jobs that reached rejected>,
           "window_s":         <first submit .. last terminal event>,
           "events":           <events replayed>,
         }
 
     Queue latency is ``submitted → first batched`` (time spent waiting
-    in the queue); end-to-end latency is ``submitted → done/failed``.
-    Jobs served straight from the registry (no ``batched`` event) count
-    toward e2e latency and throughput but not queue latency.
+    in the queue); end-to-end latency is ``submitted → <terminal>``,
+    where terminal is any of :data:`TERMINAL_KINDS` — a job that ends
+    ``quarantined`` (poison batch) or ``rejected`` (admission control)
+    left the system just as surely as one that ended ``done``, so it
+    closes its latency and extends the observed window. Only ``done``
+    jobs count toward ``jobs_per_sec``. Jobs served straight from the
+    registry (no ``batched`` event) count toward e2e latency and
+    throughput but not queue latency.
     """
     submitted: Dict[str, float] = {}
     first_batched: Dict[str, float] = {}
     queue_hist = HistogramStats()
     e2e_hist = HistogramStats()
-    completed = failed = 0
+    terminals = {kind: 0 for kind in ("done", "failed", "quarantined", "rejected")}
     count = 0
     first_ts: Optional[float] = None
     last_terminal_ts: Optional[float] = None
@@ -319,16 +327,14 @@ def latency_stats(events: Iterable[JobEvent]) -> Dict[str, Any]:
                 start = submitted.get(event.job_id)
                 if start is not None:
                     queue_hist.observe(max(event.ts - start, 0.0))
-        elif event.kind in ("done", "failed"):
-            if event.kind == "done":
-                completed += 1
-            else:
-                failed += 1
+        elif event.kind in TERMINAL_KINDS:
+            terminals[event.kind] += 1
             start = submitted.get(event.job_id)
             if start is not None:
                 e2e_hist.observe(max(event.ts - start, 0.0))
             if last_terminal_ts is None or event.ts > last_terminal_ts:
                 last_terminal_ts = event.ts
+    completed = terminals["done"]
 
     window = 0.0
     if first_ts is not None and last_terminal_ts is not None:
@@ -339,7 +345,9 @@ def latency_stats(events: Iterable[JobEvent]) -> Dict[str, Any]:
         "e2e_latency_s": e2e_hist.as_dict(),
         "jobs_per_sec": jobs_per_sec,
         "completed": completed,
-        "failed": failed,
+        "failed": terminals["failed"],
+        "quarantined": terminals["quarantined"],
+        "rejected": terminals["rejected"],
         "window_s": window,
         "events": count,
     }

@@ -230,6 +230,12 @@ class SchedulerService:
         Passed through to every workload built by the service (default:
         the process-wide solo-run cache, which also makes admission
         probes free once the reference exists).
+    transport:
+        Message-transport backend (see :mod:`repro.core.transport`)
+        threaded into admission probes, batch workloads, and the
+        scheduler. ``None`` defers to the scheduler's own setting and
+        the ``REPRO_TRANSPORT`` environment default. Backends are
+        bit-identical, so this only affects wall-clock time.
     events:
         Job-lifecycle event log (see :mod:`repro.service.events`). The
         default ``"memory"`` keeps an in-memory log so :meth:`stats`
@@ -277,6 +283,7 @@ class SchedulerService:
         retry_backoff: float = 0.0,
         retry_backoff_max: float = 0.5,
         poison_threshold: int = 3,
+        transport: Any = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -299,6 +306,7 @@ class SchedulerService:
         self.max_retries = max_retries
         self.schedule_seed = schedule_seed
         self.solo_cache = solo_cache
+        self.transport = transport
         if events == "memory":
             events = EventLog()
         elif isinstance(events, str):
@@ -511,8 +519,11 @@ class SchedulerService:
                 algorithm_id=job.tape_id,
                 seed=job.master_seed,
                 message_bits=job.message_bits,
+                transport=self.transport,
             )
-        sim = Simulator(job.network, message_bits=job.message_bits)
+        sim = Simulator(
+            job.network, message_bits=job.message_bits, transport=self.transport
+        )
         return sim.run(
             job.algorithm, seed=job.master_seed, algorithm_id=job.tape_id
         )
@@ -578,6 +589,7 @@ class SchedulerService:
             message_bits=batch[0].message_bits,
             solo_cache=self.solo_cache,
             algorithm_ids=[job.tape_id for job in batch],
+            transport=self.transport,
         )
         for job in batch:
             job.transition(JobState.BATCHED)
@@ -600,6 +612,8 @@ class SchedulerService:
     def _batch_scheduler(self, for_pickle: bool = False) -> Scheduler:
         scheduler = copy.copy(self.scheduler)
         scheduler.recorder = NULL_RECORDER if for_pickle else self.recorder
+        if self.transport is not None:
+            scheduler.transport = self.transport
         return scheduler
 
     def run_once(self) -> List[Job]:
@@ -744,6 +758,7 @@ class SchedulerService:
                 message_bits=job.message_bits,
                 solo_cache=self.solo_cache,
                 algorithm_ids=[job.tape_id],
+                transport=self.transport,
             )
             result = self._batch_scheduler().run_resilient(
                 workload, seed=self.schedule_seed

@@ -44,6 +44,15 @@ def _sanitize(name: str, prefix: str) -> str:
 
 def _format_value(value: Any) -> str:
     number = float(value)
+    # The exposition format spells non-finite values NaN / +Inf / -Inf;
+    # Python's repr ("nan", "inf") is rejected by Prometheus parsers.
+    # Checked first: int(nan) raises and int(inf) overflows.
+    if number != number:
+        return "NaN"
+    if number == float("inf"):
+        return "+Inf"
+    if number == float("-inf"):
+        return "-Inf"
     if number == int(number) and abs(number) < 1e15:
         return str(int(number))
     return repr(number)

@@ -1,0 +1,190 @@
+"""The transport contract: every backend is bit-identical to the reference.
+
+The :class:`~repro.core.transport.Transport` seam splits message
+movement from scheduling decisions; the object-per-message
+``ReferenceTransport`` is the golden semantics and the numpy
+struct-of-arrays backend must reproduce it exactly — outputs, trace
+events and every derived index, load histograms, fault fates and
+``max_message_bits``. These tests pin that contract deterministically
+(the hypothesis sweep lives in ``test_transport_properties.py``) and
+cover backend resolution, including the no-numpy degradation path.
+"""
+
+import pickle
+
+import pytest
+
+from repro.algorithms import BFS, Flooding, HopBroadcast, LubyMIS, PushGossip
+from repro.congest import topology
+from repro.congest.simulator import Simulator
+from repro.core import (
+    EagerScheduler,
+    PrivateScheduler,
+    RandomDelayScheduler,
+    RoundRobinScheduler,
+    Workload,
+)
+from repro.core import transport as transport_module
+from repro.core.transport import (
+    REFERENCE_TRANSPORT,
+    Transport,
+    available_transports,
+    resolve_transport,
+)
+from repro.faults import FaultPlan
+
+numpy = pytest.importorskip("numpy")
+
+BACKENDS = ("reference", "numpy")
+
+
+def _networks():
+    return [
+        topology.grid_graph(5, 6),
+        topology.torus_graph(4, 4),
+        topology.random_regular(18, 4, seed=3),
+    ]
+
+
+def _algorithms(network):
+    nodes = list(network.nodes)
+    return [
+        BFS(nodes[0], hops=4),
+        HopBroadcast(nodes[-1], 901, 3),
+        Flooding(nodes[len(nodes) // 2], "tok"),
+        LubyMIS(network.num_nodes),
+        PushGossip(nodes[1], rounds=6),
+    ]
+
+
+def _solo(network, algorithm, transport, **kwargs):
+    sim = Simulator(network, transport=transport, **kwargs)
+    return sim.run(algorithm, seed=11)
+
+
+def _assert_runs_identical(ref, vec):
+    assert vec.outputs == ref.outputs
+    assert vec.rounds == ref.rounds
+    assert vec.completion_round == ref.completion_round
+    assert vec.max_message_bits == ref.max_message_bits
+    assert vec.truncated == ref.truncated
+    ref_trace, vec_trace = ref.trace, vec.trace
+    assert vec_trace.num_messages == ref_trace.num_messages
+    assert vec_trace.last_round == ref_trace.last_round
+    assert list(vec_trace.events()) == list(ref_trace.events())
+    assert vec_trace.directed_loads() == ref_trace.directed_loads()
+    assert vec_trace.edge_rounds() == ref_trace.edge_rounds()
+    assert vec_trace.edge_round_counts() == ref_trace.edge_round_counts()
+    assert vec_trace.max_edge_rounds() == ref_trace.max_edge_rounds()
+    for round_index in range(ref_trace.last_round + 2):
+        assert vec_trace.events_at(round_index) == ref_trace.events_at(
+            round_index
+        )
+
+
+class TestSoloIdentity:
+    @pytest.mark.parametrize("net_index", range(3))
+    def test_every_algorithm_every_topology(self, net_index):
+        network = _networks()[net_index]
+        for algorithm in _algorithms(network):
+            ref = _solo(network, algorithm, "reference")
+            vec = _solo(network, algorithm, "numpy")
+            _assert_runs_identical(ref, vec)
+
+    def test_unlimited_message_bits(self):
+        network = topology.grid_graph(4, 5)
+        algorithm = HopBroadcast(0, 42, 4)
+        ref = _solo(network, algorithm, "reference", message_bits=None)
+        vec = _solo(network, algorithm, "numpy", message_bits=None)
+        _assert_runs_identical(ref, vec)
+
+    def test_pickle_round_trip_preserves_identity(self):
+        """The vectorized trace serializes to the same queryable state
+        (the solo cache and the service registry pickle SoloRuns)."""
+        network = topology.torus_graph(4, 5)
+        ref = _solo(network, BFS(0, hops=5), "reference")
+        vec = pickle.loads(
+            pickle.dumps(_solo(network, BFS(0, hops=5), "numpy"))
+        )
+        _assert_runs_identical(ref, vec)
+
+    def test_faulted_runs_identical(self):
+        """With an active injector the numpy backend delegates to the
+        reference channel; fault fates must not depend on the backend."""
+        network = topology.grid_graph(5, 5)
+        plan = FaultPlan.message_drop(0.15, seed=4)
+        runs = {}
+        for name in BACKENDS:
+            sim = Simulator(
+                network, transport=name, injector=plan.injector()
+            )
+            runs[name] = sim.run(
+                PushGossip(0, rounds=8), seed=3, on_limit="truncate"
+            )
+        _assert_runs_identical(runs["reference"], runs["numpy"])
+
+
+class TestSchedulerIdentity:
+    @pytest.mark.parametrize(
+        "scheduler_cls",
+        [RandomDelayScheduler, RoundRobinScheduler, PrivateScheduler,
+         EagerScheduler],
+    )
+    def test_report_identical_across_backends(self, scheduler_cls):
+        network = topology.grid_graph(5, 5)
+        results = {}
+        for name in BACKENDS:
+            workload = Workload(
+                network, _algorithms(network)[:3], transport=name
+            )
+            scheduler = scheduler_cls().with_transport(name)
+            results[name] = scheduler.run(workload, seed=7)
+        ref, vec = results["reference"], results["numpy"]
+        assert not ref.mismatches and not vec.mismatches
+        assert vec.outputs == ref.outputs
+        assert vec.report.length_rounds == ref.report.length_rounds
+        assert vec.report.messages_sent == ref.report.messages_sent
+        assert vec.report.load_histogram == ref.report.load_histogram
+        assert vec.report.max_phase_load == ref.report.max_phase_load
+
+
+class TestResolution:
+    def test_available_includes_both(self):
+        assert available_transports() == ("reference", "numpy")
+
+    def test_names(self):
+        assert resolve_transport("reference") is REFERENCE_TRANSPORT
+        assert resolve_transport("numpy").name == "numpy"
+        assert resolve_transport("auto").name == "numpy"
+
+    def test_instance_passthrough(self):
+        instance = resolve_transport("numpy")
+        assert resolve_transport(instance) is instance
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(transport_module.TRANSPORT_ENV, "reference")
+        assert resolve_transport(None) is REFERENCE_TRANSPORT
+        monkeypatch.setenv(transport_module.TRANSPORT_ENV, "numpy")
+        assert resolve_transport(None).name == "numpy"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("cuda")
+        with pytest.raises(ValueError, match="transport must be"):
+            resolve_transport(42)
+
+    def test_auto_degrades_without_numpy(self, monkeypatch):
+        """No numpy: 'auto' silently falls back, 'numpy' raises."""
+        monkeypatch.setattr(transport_module, "_NUMPY_TRANSPORT", None)
+        monkeypatch.setattr(
+            transport_module, "_NUMPY_ERROR", "No module named 'numpy'"
+        )
+        assert resolve_transport("auto") is REFERENCE_TRANSPORT
+        assert available_transports() == ("reference",)
+        with pytest.raises(ValueError, match="unavailable"):
+            resolve_transport("numpy")
+
+    def test_transport_base_is_abstract(self):
+        base = Transport()
+        with pytest.raises(NotImplementedError):
+            base.solo_channel(None, "a0")

@@ -33,9 +33,113 @@ class TestMetricDirection:
     def test_higher_wins_ties(self):
         # contains both "rounds" (lower) and "speedup" (higher)
         assert metric_direction("round_speedup") == "higher"
+        # the rate marker, not the unit/normalizer, decides
+        assert metric_direction("hit_ratio") == "higher"
+        assert metric_direction("jobs_per_round") == "higher"
 
     def test_unknown(self):
         assert metric_direction("flux_capacitance") == "unknown"
+
+    def test_markers_match_whole_tokens_only(self):
+        """Regression: substring matching misread unrelated words.
+
+        ``precision`` used to match the lower-better marker ``pre``,
+        ``suppressed`` matched ``pre`` too, ``timed`` matched ``time``
+        and ``algorithms`` matched ``ms`` — all flipping or inventing a
+        better-direction for metrics the markers never meant.
+        """
+        assert metric_direction("precision") == "higher"
+        assert metric_direction("recall") == "higher"
+        assert metric_direction("accuracy") == "higher"
+        assert metric_direction("25/suppressed") == "unknown"
+        assert metric_direction("7/suppressed frac") == "unknown"
+        assert metric_direction("24/timed reps") == "unknown"
+        assert metric_direction("algorithms") == "unknown"
+        assert metric_direction("run ms") == "lower"
+        assert metric_direction("121/pre") == "lower"
+        assert metric_direction("pre/(Dlog²N)") == "lower"
+        assert metric_direction("msgs dedup") == "lower"
+
+    #: Expected direction for every distinct column / extra key the
+    #: committed benchmark artifacts actually produce (a name's column
+    #: is everything after the last "/"; extras have no "/"). Names not
+    #: listed here must classify "unknown". The exhaustive sweep below
+    #: runs this table against benchmarks/results/ so a new artifact
+    #: whose column names misclassify fails loudly here.
+    COLUMN_DIRECTIONS = {
+        # timings and counts where smaller is better
+        "ms": "lower",
+        "best ms": "lower",
+        "run ms": "lower",
+        "numpy_ms": "lower",
+        "reference_ms": "lower",
+        "rounds": "lower",
+        "total rounds": "lower",
+        "total_rounds": "lower",
+        "batch_rounds": "lower",
+        "solo_rounds": "lower",
+        "measured rounds": "lower",
+        "dilation (rounds)": "lower",
+        "min layers": "unknown",
+        "overhead": "lower",
+        "durability_overhead": "lower",
+        "observability_overhead": "lower",
+        "messages": "lower",
+        "msgs dedup": "lower",
+        "msgs uniform": "lower",
+        "failed trials": "lower",
+        "pre": "lower",
+        "pre/(Dlog²N)": "lower",
+        "ratio": "lower",
+        "hard ratio": "lower",
+        "packet ratio": "lower",
+        "timed reps": "unknown",
+        # rates and scores where bigger is better
+        "speedup": "higher",
+        "wall_speedup": "higher",
+        "phase_wall_speedup": "higher",
+        "round_speedup": "higher",
+        "jobs_per_round": "higher",
+        "verified": "higher",
+        # quantities with no universal better-direction. ("batch_size"
+        # and "executions" are omitted: direction runs over the full
+        # name, and the e19 row label "one-at-a-time" contributes a
+        # genuine "time" token, so those columns classify per-row.)
+        "events": "unknown",
+        "layers": "unknown",
+        "length": "unknown",
+        "suppressed": "unknown",
+        "suppressed frac": "unknown",
+        "value": "unknown",
+        "workers": "unknown",
+    }
+
+    def test_every_committed_metric_name(self, pytestconfig):
+        """Table-driven sweep over every metric in benchmarks/results/."""
+        results = (
+            pytestconfig.rootpath / "benchmarks" / "results"
+        )
+        if not results.is_dir():
+            pytest.skip("no committed benchmark results")
+        names = set()
+        for path in sorted(results.glob("*.json")):
+            if path.stem.endswith(".trace"):
+                continue
+            try:
+                names.update(extract_metrics(load_result(path)))
+            except (ValueError, json.JSONDecodeError):
+                continue
+        assert names, "benchmarks/results/ held no parsable artifacts"
+        mismatches = []
+        for name in sorted(names):
+            column = name.rsplit("/", 1)[-1] if "/" in name else name
+            expected = self.COLUMN_DIRECTIONS.get(column)
+            if expected is None:
+                continue
+            got = metric_direction(name)
+            if got != expected:
+                mismatches.append(f"{name}: {got} != {expected}")
+        assert not mismatches, "\n".join(mismatches)
 
 
 class TestExtractMetrics:

@@ -192,6 +192,37 @@ class TestLatencyStats:
         assert stats["jobs_per_sec"] == 0.0
         assert stats["queue_latency_s"]["count"] == 0
 
+    def test_quarantined_and_rejected_are_terminal(self):
+        """Regression: every TERMINAL_KINDS member closes the lifecycle.
+
+        ``latency_stats`` used to recognise only done/failed, so a
+        stream ending in ``quarantined`` (or ``rejected``) left the job
+        out of the e2e histogram and — worse — out of the observed
+        window, inflating ``jobs_per_sec``.
+        """
+        events = [
+            self._event("submitted", "j0001", 0.0),
+            self._event("submitted", "j0002", 0.0),
+            self._event("submitted", "j0003", 1.0),
+            self._event("rejected", "j0003", 1.5),
+            self._event("batched", "j0001", 2.0, batch="b0001"),
+            self._event("batched", "j0002", 2.0, batch="b0001"),
+            self._event("done", "j0001", 4.0, batch="b0001"),
+            # the stream's *last* event is a quarantine
+            self._event("quarantined", "j0002", 20.0),
+        ]
+        stats = latency_stats(events)
+        assert stats["completed"] == 1
+        assert stats["failed"] == 0
+        assert stats["quarantined"] == 1
+        assert stats["rejected"] == 1
+        # all three jobs closed an e2e latency ...
+        assert stats["e2e_latency_s"]["count"] == 3
+        assert stats["e2e_latency_s"]["max"] == pytest.approx(20.0)
+        # ... and the window runs to the final terminal event
+        assert stats["window_s"] == pytest.approx(20.0)
+        assert stats["jobs_per_sec"] == pytest.approx(1 / 20.0)
+
 
 class TestServiceIntegration:
     def _serve(self, events):
@@ -257,3 +288,52 @@ class TestServiceIntegration:
     def test_invalid_events_argument(self):
         with pytest.raises(ValueError):
             SchedulerService(events="not-a-mode")
+
+    def test_quarantined_last_job_closes_latency_window(self, tmp_path):
+        """Regression: a serve whose *last* job is quarantined.
+
+        The poison job's ``quarantined`` event is the final event of the
+        stream; it must close that job's e2e latency and extend the
+        throughput window (the pre-fix replay ignored it entirely, so
+        the window ended at the previous ``done`` and the quarantined
+        job simply vanished from the stats).
+        """
+        from repro.faults import InjectedCrash, armed, disarm
+        from repro.service import JobState
+
+        network = topology.grid_graph(4, 4)
+        disarm()
+        try:
+            attempts = 0
+            while attempts < 2:
+                service = SchedulerService.recover(
+                    directory=tmp_path,
+                    poison_threshold=2,
+                    solo_cache=SoloRunCache(),
+                )
+                if not service.jobs():
+                    service.submit(network, BFS(0, hops=3))
+                try:
+                    with armed("batch.post_journal", hit=1):
+                        service.drain()
+                except InjectedCrash:
+                    attempts += 1
+        finally:
+            disarm()
+
+        recovered = SchedulerService.recover(
+            directory=tmp_path,
+            poison_threshold=2,
+            solo_cache=SoloRunCache(),
+            events="memory",
+        )
+        [job] = recovered.jobs()
+        assert job.state is JobState.QUARANTINED
+        assert recovered.events.events[-1].kind == "quarantined"
+
+        stats = latency_stats(recovered.events.events)
+        assert stats["quarantined"] == 1
+        assert stats["completed"] == 0
+        latency = recovered.stats()["latency"]
+        assert latency["quarantined"] == 1
+        recovered.shutdown(drain=False)

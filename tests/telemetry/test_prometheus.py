@@ -1,5 +1,7 @@
 """Tests for the Prometheus text exposition."""
 
+import re
+
 from repro.telemetry import MetricsRegistry, prometheus_text
 
 
@@ -49,3 +51,68 @@ class TestPrometheusText:
             if not line.startswith("#"):
                 name, value = line.rsplit(" ", 1)
                 float(value)  # parses as a number
+
+
+class TestNonFiniteValues:
+    """Regression: the exposition format spells non-finite values
+    ``NaN`` / ``+Inf`` / ``-Inf``; Python's ``repr`` (``nan`` / ``inf``
+    / ``-inf``) is rejected by Prometheus text parsers."""
+
+    #: Sample values a Prometheus text parser accepts (Go's ParseFloat
+    #: plus the spec's canonical spellings are case-sensitive in
+    #: client_golang expfmt for the special values).
+    _VALUE = re.compile(r"^(NaN|[+-]Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$")
+
+    def test_nan_gauge(self):
+        text = prometheus_text({"gauges": {"ratio": float("nan")}})
+        assert "repro_ratio NaN" in text
+        assert "nan" not in text  # never the Python lowercase repr
+
+    def test_infinities(self):
+        text = prometheus_text(
+            {"gauges": {"up": float("inf"), "down": float("-inf")}}
+        )
+        assert "repro_up +Inf" in text
+        assert "repro_down -Inf" in text
+        assert "inf" not in text
+
+    def test_non_finite_histogram_fields(self):
+        stats = {
+            "count": 2,
+            "total": float("inf"),
+            "p50": float("nan"),
+            "min": float("-inf"),
+            "max": float("inf"),
+        }
+        text = prometheus_text({"histograms": {"h": stats}})
+        assert 'repro_h{quantile="0.5"} NaN' in text
+        assert "repro_h_sum +Inf" in text
+        assert "repro_h_min -Inf" in text
+        assert "repro_h_max +Inf" in text
+
+    def test_every_sample_value_conforms(self):
+        snapshot = {
+            "counters": {"c": 3},
+            "gauges": {
+                "nan": float("nan"),
+                "pos": float("inf"),
+                "neg": float("-inf"),
+                "big": 1e18,
+                "frac": 0.25,
+            },
+        }
+        for line in prometheus_text(snapshot).splitlines():
+            if line.startswith("#"):
+                continue
+            _, value = line.rsplit(" ", 1)
+            assert self._VALUE.match(value), value
+            # and Python itself round-trips every spelling
+            float(value)
+
+    def test_finite_values_unchanged(self):
+        text = prometheus_text(
+            {"gauges": {"a": 2.0, "b": 0.53, "c": -7}}
+        )
+        assert "repro_a 2\n" in text
+        assert "repro_b 0.53" in text
+        assert "repro_c -7" in text

@@ -14,8 +14,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import BFS, FixedPattern, HopBroadcast, PathToken, random_pattern
-from repro.clustering import build_clustering
+from repro.clustering import build_clustering, extend_clustering
 from repro.congest import topology
+from repro.errors import CoverageError
 from repro.core import (
     Workload,
     greedy_schedule,
@@ -116,7 +117,18 @@ def test_cluster_copies_any_delays(seed, k, dedup, delay_data):
             offsets[key] = delay_data.draw(st.integers(0, 5))
         return offsets[key]
 
-    execution = run_cluster_copies(work, clustering, delay_of, dedup=dedup)
+    # Coverage is a w.h.p. guarantee, not a certainty: a fixed 12-layer
+    # clustering can leave some ball uncovered for unlucky seeds. Mirror
+    # what PrivateScheduler._ensure_coverage does — extend and retry —
+    # instead of treating the probabilistic shortfall as a failure.
+    for _ in range(3):
+        try:
+            execution = run_cluster_copies(work, clustering, delay_of, dedup=dedup)
+            break
+        except CoverageError:
+            clustering = extend_clustering(clustering, clustering.num_layers)
+    else:
+        execution = run_cluster_copies(work, clustering, delay_of, dedup=dedup)
     assert verify_outputs(work, execution.outputs) == []
 
 
