@@ -469,6 +469,7 @@ def _submit_cli(args) -> None:
 
 def _serve_cli(args) -> int:
     import json
+    import signal as signal_mod
     from pathlib import Path
 
     from repro import __version__
@@ -477,75 +478,128 @@ def _serve_cli(args) -> int:
     from repro.parallel import ParallelRunner
     from repro.service import (
         AdmissionPolicy,
-        EventLog,
-        JobJournal,
-        RunRegistry,
-        SchedulerService,
+        ServeLoop,
+        ShardedSchedulerService,
         parse_algorithm,
         parse_network,
     )
 
     base = Path(args.dir)
     spool = _spool_dir(base)
-    specs = sorted(spool.glob("s*.json")) if spool.exists() else []
-    journal = JobJournal(base / "journal.jsonl", fsync=args.fsync)
-    pending = journal.state.pending()
+    follow = getattr(args, "follow", False)
+
+    # Pre-flight without opening (and thus repairing) any journal:
+    # unfinished jobs from a crashed serve belong to --resume.
+    pending = ShardedSchedulerService.pending_jobs(base)
     if pending and not getattr(args, "resume", False):
-        preview = ", ".join(pending[:5]) + ("..." if len(pending) > 5 else "")
+        flat = [jid for ids in pending.values() for jid in ids]
+        preview = ", ".join(flat[:5]) + ("..." if len(flat) > 5 else "")
         print(
-            f"{len(pending)} journaled job(s) from a previous serve are "
+            f"{len(flat)} journaled job(s) from a previous serve are "
             f"unfinished ({preview}); re-run with --resume to recover "
-            f"them, or delete {base / 'journal.jsonl'} to discard."
+            f"them, or delete the journals under {base} to discard."
         )
         return 1
     resuming = bool(pending) and getattr(args, "resume", False)
-    if not specs and not resuming:
+    specs = sorted(spool.glob("s*.json")) if spool.exists() else []
+    if not specs and not resuming and not follow:
         print(f"nothing to serve: no spooled jobs under {spool}")
         return 0
 
     policy = AdmissionPolicy(
-        round_budget=args.budget, park_over_budget=args.park
+        round_budget=args.budget,
+        park_over_budget=args.park,
+        max_shard_depth=getattr(args, "max_shard_depth", None),
+        park_over_depth=args.park,
     )
     kwargs = dict(
         scheduler=_service_scheduler(args.scheduler),
         batch_size=args.batch_size,
         policy=policy,
-        registry=RunRegistry(base / "registry"),
-        runner=ParallelRunner(args.workers),
+        # One pool for the whole serve: each drain wave maps batches
+        # from *all* shards across it at once.
+        runner=ParallelRunner(args.workers, persistent=True),
         schedule_seed=args.seed,
-        events=EventLog(base / "events.jsonl"),
-        journal=journal,
         transport=args.transport,
+        fsync=args.fsync,
     )
     if resuming:
-        service = SchedulerService.recover(**kwargs)
+        service = ShardedSchedulerService.recover(base, **kwargs)
         recovered = sum(
             1 for job in service.jobs() if job.meta.get("recovered")
         )
-        print(f"recovered {recovered} journaled job(s) from {journal.path}")
+        print(
+            f"recovered {recovered} journaled job(s) from "
+            f"{len(service.shards)} shard journal(s) under {base}"
+        )
     else:
-        service = SchedulerService(**kwargs)
+        service = ShardedSchedulerService(directory=base, **kwargs)
     state = _read_state(base)
     # Spool files already journaled by a crashed serve belong to
     # recovery, not resubmission; everything else is submitted fresh.
-    journaled_spools = {
-        entry.get("spool")
-        for entry in journal.state.jobs.values()
-        if entry.get("spool")
-    }
+    seen_spools = set(service.journaled_spools())
     spool_of = {}
-    for path in specs:
-        record = json.loads(path.read_text())
-        if record["id"] in journaled_spools:
-            continue
-        job = service.submit(
-            parse_network(record["net"]),
-            parse_algorithm(record["algo"]),
-            master_seed=record.get("seed", 0),
-            spec=record,
-        )
-        spool_of[job.job_id] = record
-    service.shutdown(drain=True)
+
+    def poll() -> int:
+        submitted = 0
+        for path in sorted(spool.glob("s*.json")) if spool.exists() else []:
+            record = json.loads(path.read_text())
+            if record["id"] in seen_spools:
+                continue
+            seen_spools.add(record["id"])
+            job = service.submit(
+                parse_network(record["net"]),
+                parse_algorithm(record["algo"]),
+                master_seed=record.get("seed", 0),
+                spec=record,
+            )
+            spool_of[job.job_id] = record
+            submitted += 1
+        return submitted
+
+    def sync_state() -> None:
+        for job in service.jobs():
+            record = spool_of.get(job.job_id)
+            if record is None:
+                spool_id = job.meta.get("spool")
+                if spool_id is None:
+                    continue
+                record = {
+                    "id": spool_id,
+                    "net": job.meta.get("net", "?"),
+                    "algo": job.meta.get("algo", "?"),
+                    "seed": job.master_seed,
+                }
+            entry = job.describe()
+            entry["net"] = record["net"]
+            entry["algo"] = record["algo"]
+            entry["seed"] = record.get("seed", 0)
+            entry["repro_version"] = __version__
+            state["jobs"][record["id"]] = entry
+            if job.terminal:
+                (spool / f"{record['id']}.json").unlink(missing_ok=True)
+        state["version"] = __version__
+        state["stats"] = service.stats()
+        atomic_write_text(base / "state.json", json.dumps(state, indent=2))
+
+    def checkpoint() -> None:
+        sync_state()
+        # Compact each shard's surviving history into one checkpoint
+        # record: the next serve replays O(live jobs), not
+        # O(everything ever journaled).
+        service.checkpoint()
+
+    loop = ServeLoop(
+        service,
+        poll=poll,
+        checkpoint=checkpoint,
+        poll_interval=getattr(args, "poll_interval", 0.5),
+        checkpoint_every=getattr(args, "checkpoint_every", 10.0),
+    )
+    stop_signal = loop.run(follow=follow)
+    # A signal stop leaves queued jobs journaled for --resume; drain was
+    # already graceful (the in-flight wave settled before the loop broke).
+    service.shutdown(drain=False)
 
     rows = []
     for job in service.jobs():
@@ -560,14 +614,6 @@ def _serve_cli(args) -> int:
                 "algo": job.meta.get("algo", "?"),
                 "seed": job.master_seed,
             }
-        entry = job.describe()
-        entry["net"] = record["net"]
-        entry["algo"] = record["algo"]
-        entry["seed"] = record.get("seed", 0)
-        entry["repro_version"] = __version__
-        state["jobs"][record["id"]] = entry
-        if job.terminal:
-            (spool / f"{record['id']}.json").unlink(missing_ok=True)
         rows.append(
             [
                 record["id"],
@@ -579,14 +625,7 @@ def _serve_cli(args) -> int:
                 job.reason or "-",
             ]
         )
-    state["version"] = __version__
     stats = service.stats()
-    state["stats"] = stats
-    atomic_write_text(base / "state.json", json.dumps(state, indent=2))
-    # Compact the surviving history into one checkpoint record: the next
-    # serve replays O(live jobs), not O(everything ever journaled).
-    journal.checkpoint()
-    journal.close()
 
     print(format_table(["job", "algorithm", "state", "served by", "note"], rows))
     quarantined = stats["jobs"].get("quarantined", 0)
@@ -594,7 +633,8 @@ def _serve_cli(args) -> int:
     print(
         f"\n{stats['jobs']['done']} done / {stats['jobs']['failed']} failed / "
         f"{stats['jobs']['rejected']} rejected / {stats['jobs']['parked']} parked"
-        f"{extra} in {stats['batches']} batches; registry {stats['registry']}"
+        f"{extra} in {stats['batches']} batches across "
+        f"{len(service.shards)} shard(s); registry {stats['registry']}"
     )
     latency = stats.get("latency")
     if latency and latency["e2e_latency_s"]["count"]:
@@ -603,8 +643,19 @@ def _serve_cli(args) -> int:
             f"e2e latency p50={e2e['p50'] * 1e3:.1f}ms "
             f"p90={e2e['p90'] * 1e3:.1f}ms p99={e2e['p99'] * 1e3:.1f}ms; "
             f"{latency['jobs_per_sec']:.1f} jobs/s "
-            f"({latency['events']} events -> {base / 'events.jsonl'})"
+            f"({latency['events']} events -> {base / 'shards'})"
         )
+    if stop_signal is not None:
+        name = signal_mod.Signals(stop_signal).name
+        queued = stats["queue_depth"]
+        tail = (
+            f"; {queued} queued job(s) journaled — resume with --resume"
+            if queued
+            else ""
+        )
+        print(f"stopped by {name}: in-flight wave settled, journals "
+              f"checkpointed{tail}")
+        return 0
     return 1 if stats["jobs"]["failed"] or quarantined else 0
 
 
@@ -926,8 +977,8 @@ def main(argv=None) -> int:
         )
         parser.add_argument(
             "--resume", action="store_true",
-            help="recover unfinished jobs from the write-ahead journal "
-            "left by a crashed serve (idempotent; acknowledged "
+            help="recover unfinished jobs from the per-shard write-ahead "
+            "journals left by a crashed serve (idempotent; acknowledged "
             "completions are never re-executed)",
         )
         parser.add_argument(
@@ -935,6 +986,33 @@ def main(argv=None) -> int:
             help="journal durability: 'always' fsyncs every record "
             "(power-loss safe), 'batch' flushes to the OS (kill -9 "
             "safe, default), 'never' is buffered",
+        )
+        parser.add_argument(
+            "--follow", action="store_true",
+            help="keep serving: poll the spool for newly submitted jobs "
+            "instead of exiting once drained; stop with SIGTERM/SIGINT "
+            "(the in-flight wave settles and the journals checkpoint "
+            "before exit)",
+        )
+        parser.add_argument(
+            "--poll-interval", type=float, default=0.5,
+            dest="poll_interval",
+            help="idle seconds between spool polls in --follow mode "
+            "(default: 0.5)",
+        )
+        parser.add_argument(
+            "--checkpoint-every", type=float, default=10.0,
+            dest="checkpoint_every",
+            help="seconds between periodic journal checkpoints while "
+            "serving (default: 10)",
+        )
+        parser.add_argument(
+            "--max-shard-depth", type=int, default=None,
+            dest="max_shard_depth",
+            help="per-network backpressure: cap each shard's backlog; "
+            "submissions to a shard at capacity are shed — or parked "
+            "with --park, to be released as the shard drains "
+            "(default: uncapped)",
         )
         return _serve_cli(parser.parse_args(argv[1:]))
 

@@ -69,6 +69,15 @@ class ParallelRunner:
     recorder:
         Telemetry sink for pool counters (defaults to the zero-overhead
         :data:`~repro.telemetry.NULL_RECORDER`).
+    persistent:
+        Keep one ``ProcessPoolExecutor`` alive across :meth:`map` calls
+        instead of spinning a fresh pool per call. A long-running serve
+        loop maps one wave of batches per drain iteration; paying the
+        worker fork/spawn cost once per *process* instead of once per
+        *wave* is what makes that affordable. Call :meth:`close` (or use
+        the runner as a context manager) to shut the pool down; a pool
+        broken by a dead worker is discarded so the next map starts
+        fresh.
 
     The runner guarantees *bit-identical results to serial execution*
     for deterministic task functions: tasks are self-contained (each
@@ -81,9 +90,12 @@ class ParallelRunner:
         self,
         workers: Optional[int] = None,
         recorder: Recorder = NULL_RECORDER,
+        persistent: bool = False,
     ):
         self.workers = resolve_workers(workers)
         self.recorder = recorder
+        self.persistent = bool(persistent)
+        self._pool = None
 
     def _serial(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         if self.recorder.enabled:
@@ -118,14 +130,44 @@ class ParallelRunner:
         recorder = self.recorder
         if recorder.enabled:
             recorder.gauge("pool.workers", self.workers)
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool, transient = self._pool, False
+        else:
+            pool, transient = (
+                ProcessPoolExecutor(max_workers=self.workers), True
+            )
         with recorder.span("pool.map", category="parallel", tasks=len(items)):
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            try:
                 futures = [
                     pool.submit(_run_pickled, fn, payload) for payload in payloads
                 ]
                 if recorder.enabled:
                     recorder.counter("pool.tasks", len(futures))
                 return [future.result() for future in futures]
+            except Exception:
+                if not transient:
+                    # A dead worker poisons the whole executor; drop it
+                    # so the next map starts with a healthy pool.
+                    self.close()
+                raise
+            finally:
+                if transient:
+                    pool.shutdown()
+
+    def close(self) -> None:
+        """Shut down a persistent pool (no-op otherwise)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelRunner(workers={self.workers})"

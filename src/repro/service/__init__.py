@@ -25,15 +25,25 @@ so resubmissions never re-execute.
   against the registry) after a crash — see the ``Durability &
   recovery`` section of ``docs/SERVICE.md`` and :data:`CRASH_POINTS`
   for the injection points that keep the contract tested;
+* :class:`ShardedSchedulerService` / :func:`shard_key` — per-network
+  shards, each with its own queue, journal segment, and event log,
+  drained concurrently over one process pool, with cross-shard
+  ``stats()`` merged by the documented metric rules and per-shard
+  backpressure via :class:`AdmissionPolicy` (``max_shard_depth``);
+* :class:`ServeLoop` — the poll → drain → checkpoint daemon behind
+  ``python -m repro serve --follow``: graceful SIGTERM/SIGINT (finish
+  the in-flight wave, checkpoint, exit), periodic journal compaction;
 * :mod:`repro.service.specs` — the ``kind:key=value`` spec language of
   the ``python -m repro serve|submit|status`` CLI.
 """
 
 from .admission import AdmissionDecision, AdmissionPolicy
+from .daemon import ServeLoop
 from .events import (
     FSYNC_POLICIES,
     EventLog,
     JobEvent,
+    LatencyAccumulator,
     latency_stats,
     read_events,
 )
@@ -41,6 +51,7 @@ from .jobs import Job, JobResult, JobState, job_fingerprint
 from .journal import JobJournal, JournalState, read_journal
 from .registry import RunArtifact, RunRegistry
 from .service import CRASH_POINTS, JobQueue, SchedulerService, ServiceClosed
+from .sharding import LEGACY_SHARD, ShardedSchedulerService, shard_key
 from .specs import parse_algorithm, parse_network
 
 __all__ = [
@@ -56,14 +67,19 @@ __all__ = [
     "JobResult",
     "JobState",
     "JournalState",
+    "LEGACY_SHARD",
+    "LatencyAccumulator",
     "RunArtifact",
     "RunRegistry",
     "SchedulerService",
+    "ServeLoop",
     "ServiceClosed",
+    "ShardedSchedulerService",
     "job_fingerprint",
     "latency_stats",
     "parse_algorithm",
     "parse_network",
     "read_events",
     "read_journal",
+    "shard_key",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "EventLog",
     "FSYNC_POLICIES",
     "JobEvent",
+    "LatencyAccumulator",
     "check_fsync",
     "latency_stats",
     "read_events",
@@ -279,6 +280,101 @@ def read_events(path: Union[str, Path]) -> List[JobEvent]:
     return events
 
 
+@dataclass
+class LatencyAccumulator:
+    """Mergeable latency sketches derived from lifecycle events.
+
+    The per-shard half of cross-shard ``stats()`` aggregation: each
+    shard replays its own event log into one accumulator
+    (:meth:`from_events`) and the shards merge associatively
+    (:meth:`merge`) by the documented
+    :class:`~repro.telemetry.metrics.MetricsRegistry` rules — histogram
+    sketches add bucket-wise, terminal counters add, and the observed
+    window combines by min(first submit) / max(last terminal). Because
+    every job lives in exactly one shard, merging the per-shard
+    accumulators yields exactly the accumulator of the concatenated
+    event stream.
+    """
+
+    queue_hist: HistogramStats = field(default_factory=HistogramStats)
+    e2e_hist: HistogramStats = field(default_factory=HistogramStats)
+    terminals: Dict[str, int] = field(
+        default_factory=lambda: {
+            kind: 0 for kind in ("done", "failed", "quarantined", "rejected")
+        }
+    )
+    events: int = 0
+    first_ts: Optional[float] = None
+    last_terminal_ts: Optional[float] = None
+
+    @classmethod
+    def from_events(cls, events: Iterable[JobEvent]) -> "LatencyAccumulator":
+        """Replay one event stream (one shard's log) into an accumulator."""
+        acc = cls()
+        submitted: Dict[str, float] = {}
+        first_batched: Dict[str, float] = {}
+        for event in events:
+            acc.events += 1
+            if event.kind == "submitted":
+                submitted[event.job_id] = event.ts
+                if acc.first_ts is None or event.ts < acc.first_ts:
+                    acc.first_ts = event.ts
+            elif event.kind == "batched":
+                if event.job_id not in first_batched:
+                    first_batched[event.job_id] = event.ts
+                    start = submitted.get(event.job_id)
+                    if start is not None:
+                        acc.queue_hist.observe(max(event.ts - start, 0.0))
+            elif event.kind in TERMINAL_KINDS:
+                acc.terminals[event.kind] += 1
+                start = submitted.get(event.job_id)
+                if start is not None:
+                    acc.e2e_hist.observe(max(event.ts - start, 0.0))
+                if (
+                    acc.last_terminal_ts is None
+                    or event.ts > acc.last_terminal_ts
+                ):
+                    acc.last_terminal_ts = event.ts
+        return acc
+
+    def merge(self, other: "LatencyAccumulator") -> "LatencyAccumulator":
+        """Fold another shard's accumulator into this one (in place)."""
+        self.queue_hist.merge(other.queue_hist)
+        self.e2e_hist.merge(other.e2e_hist)
+        for kind, count in other.terminals.items():
+            self.terminals[kind] = self.terminals.get(kind, 0) + count
+        self.events += other.events
+        if other.first_ts is not None and (
+            self.first_ts is None or other.first_ts < self.first_ts
+        ):
+            self.first_ts = other.first_ts
+        if other.last_terminal_ts is not None and (
+            self.last_terminal_ts is None
+            or other.last_terminal_ts > self.last_terminal_ts
+        ):
+            self.last_terminal_ts = other.last_terminal_ts
+        return self
+
+    def stats(self) -> Dict[str, Any]:
+        """The JSON-friendly summary :func:`latency_stats` documents."""
+        completed = self.terminals["done"]
+        window = 0.0
+        if self.first_ts is not None and self.last_terminal_ts is not None:
+            window = max(self.last_terminal_ts - self.first_ts, 0.0)
+        jobs_per_sec = completed / window if window > 0 else 0.0
+        return {
+            "queue_latency_s": self.queue_hist.as_dict(),
+            "e2e_latency_s": self.e2e_hist.as_dict(),
+            "jobs_per_sec": jobs_per_sec,
+            "completed": completed,
+            "failed": self.terminals["failed"],
+            "quarantined": self.terminals["quarantined"],
+            "rejected": self.terminals["rejected"],
+            "window_s": window,
+            "events": self.events,
+        }
+
+
 def latency_stats(events: Iterable[JobEvent]) -> Dict[str, Any]:
     """Derive serving telemetry from a lifecycle event stream.
 
@@ -305,49 +401,9 @@ def latency_stats(events: Iterable[JobEvent]) -> Dict[str, Any]:
     jobs count toward ``jobs_per_sec``. Jobs served straight from the
     registry (no ``batched`` event) count toward e2e latency and
     throughput but not queue latency.
+
+    Implemented as :meth:`LatencyAccumulator.from_events` followed by
+    :meth:`LatencyAccumulator.stats`; a sharded service computes the
+    same summary by merging per-shard accumulators instead.
     """
-    submitted: Dict[str, float] = {}
-    first_batched: Dict[str, float] = {}
-    queue_hist = HistogramStats()
-    e2e_hist = HistogramStats()
-    terminals = {kind: 0 for kind in ("done", "failed", "quarantined", "rejected")}
-    count = 0
-    first_ts: Optional[float] = None
-    last_terminal_ts: Optional[float] = None
-
-    for event in events:
-        count += 1
-        if event.kind == "submitted":
-            submitted[event.job_id] = event.ts
-            if first_ts is None or event.ts < first_ts:
-                first_ts = event.ts
-        elif event.kind == "batched":
-            if event.job_id not in first_batched:
-                first_batched[event.job_id] = event.ts
-                start = submitted.get(event.job_id)
-                if start is not None:
-                    queue_hist.observe(max(event.ts - start, 0.0))
-        elif event.kind in TERMINAL_KINDS:
-            terminals[event.kind] += 1
-            start = submitted.get(event.job_id)
-            if start is not None:
-                e2e_hist.observe(max(event.ts - start, 0.0))
-            if last_terminal_ts is None or event.ts > last_terminal_ts:
-                last_terminal_ts = event.ts
-    completed = terminals["done"]
-
-    window = 0.0
-    if first_ts is not None and last_terminal_ts is not None:
-        window = max(last_terminal_ts - first_ts, 0.0)
-    jobs_per_sec = completed / window if window > 0 else 0.0
-    return {
-        "queue_latency_s": queue_hist.as_dict(),
-        "e2e_latency_s": e2e_hist.as_dict(),
-        "jobs_per_sec": jobs_per_sec,
-        "completed": completed,
-        "failed": terminals["failed"],
-        "quarantined": terminals["quarantined"],
-        "rejected": terminals["rejected"],
-        "window_s": window,
-        "events": count,
-    }
+    return LatencyAccumulator.from_events(events).stats()

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from .._util import stable_digest
 from ..congest.network import Network
@@ -135,6 +135,13 @@ class Job:
     result: Optional[JobResult] = None
     #: Extra provenance the service stamps on (batch id, scheduler seed).
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: Installed by the owning :class:`~repro.service.service.JobQueue`
+    #: so it can maintain incremental per-state counts without
+    #: rescanning every job; fired as ``observer(job, old, new)`` on
+    #: each :meth:`transition`.
+    _observer: Optional[Callable[["Job", JobState, JobState], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def terminal(self) -> bool:
@@ -163,9 +170,12 @@ class Job:
                 f"job {self.job_id} is {self.state.value} and cannot become "
                 f"{state.value}"
             )
+        old = self.state
         self.state = state
         if reason:
             self.reason = reason
+        if self._observer is not None and old is not state:
+            self._observer(self, old, state)
 
     def describe(self) -> Dict[str, Any]:
         """JSON-friendly status record (what the CLI prints/persists)."""

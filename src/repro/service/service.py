@@ -56,8 +56,19 @@ from __future__ import annotations
 
 import copy
 import time
+from collections import deque
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..congest.message import default_message_bits
 from ..congest.network import Network
@@ -113,11 +124,37 @@ class ServiceClosed(RuntimeError):
 
 
 class JobQueue:
-    """FIFO job store with compatibility-aware batch selection."""
+    """FIFO job store with compatibility-aware batch selection.
+
+    Batch selection is O(batch), not O(pending): queued jobs are
+    indexed by their *compatibility key* — the interned network
+    identity plus ``(master_seed, message_bits)``, exactly the
+    partition :meth:`~repro.service.jobs.Job.compatible_with` induces —
+    so :meth:`next_batch` pops the anchor's bucket instead of rescanning
+    the whole pending FIFO. Per-state counts (and the parked set) are
+    maintained incrementally through the job transition observer, so
+    :attr:`backlog` / :meth:`by_state` / :meth:`parked` stop iterating
+    every job ever seen on each stats poll.
+    """
 
     def __init__(self) -> None:
         self.jobs: Dict[str, Job] = {}
-        self._pending: List[str] = []
+        #: Global FIFO of queued job ids; ids popped through a bucket
+        #: are skipped lazily when they surface at the head.
+        self._pending: Deque[str] = deque()
+        self._popped: set = set()
+        #: Compatibility-key index: each bucket is the pending FIFO
+        #: restricted to one key, in the same relative order.
+        self._buckets: Dict[Tuple[int, int, Optional[int]], Deque[str]] = {}
+        self._key_of: Dict[str, Tuple[int, int, Optional[int]]] = {}
+        #: Interned distinct networks (by ``is`` / ``==``), giving each
+        #: compatibility class a stable small-integer handle.
+        self._networks: List[Any] = []
+        self._net_index: Dict[int, int] = {}
+        self._retained: List[Any] = []
+        self._depth = 0
+        self._counts: Dict[JobState, int] = {state: 0 for state in JobState}
+        self._parked: Dict[str, Job] = {}
         self._counter = 0
 
     # ------------------------------------------------------------------
@@ -127,32 +164,77 @@ class JobQueue:
         self._counter += 1
         return f"j{self._counter:04d}"
 
+    def _intern_network(self, network: Any) -> int:
+        # id() is a safe cache key because every mapped object is kept
+        # alive in _retained, so a live id can never be recycled.
+        idx = self._net_index.get(id(network))
+        if idx is not None:
+            return idx
+        for known_idx, known in enumerate(self._networks):
+            if known is network or known == network:
+                idx = known_idx
+                break
+        else:
+            self._networks.append(network)
+            idx = len(self._networks) - 1
+        self._net_index[id(network)] = idx
+        self._retained.append(network)
+        return idx
+
+    def _compat_key(self, job: Job) -> Tuple[int, int, Optional[int]]:
+        return (
+            self._intern_network(job.network),
+            job.master_seed,
+            job.message_bits,
+        )
+
+    def _enqueue(self, job: Job) -> None:
+        key = self._compat_key(job)
+        self._key_of[job.job_id] = key
+        self._pending.append(job.job_id)
+        self._buckets.setdefault(key, deque()).append(job.job_id)
+        self._depth += 1
+
+    def _on_transition(self, job: Job, old: JobState, new: JobState) -> None:
+        self._counts[old] -= 1
+        self._counts[new] += 1
+        if old is JobState.PARKED:
+            self._parked.pop(job.job_id, None)
+        if new is JobState.PARKED:
+            self._parked[job.job_id] = job
+
     def add(self, job: Job) -> None:
         """Register a job; queued jobs also enter the pending FIFO."""
+        previous = self.jobs.get(job.job_id)
+        if previous is not None:
+            self._counts[previous.state] -= 1
+            self._parked.pop(previous.job_id, None)
         self.jobs[job.job_id] = job
+        self._counts[job.state] += 1
+        job._observer = self._on_transition
         if job.state is JobState.QUEUED:
-            self._pending.append(job.job_id)
+            self._enqueue(job)
+        elif job.state is JobState.PARKED:
+            self._parked[job.job_id] = job
 
     def requeue(self, job: Job) -> None:
         """Put a parked job back into the pending FIFO."""
         job.transition(JobState.QUEUED)
-        self._pending.append(job.job_id)
+        self._enqueue(job)
 
     @property
     def depth(self) -> int:
         """Jobs waiting to be batched (queued only)."""
-        return len(self._pending)
+        return self._depth
 
     @property
     def backlog(self) -> int:
         """Jobs the service still owes work: queued + parked."""
-        return self.depth + sum(
-            1 for job in self.jobs.values() if job.state is JobState.PARKED
-        )
+        return self._depth + len(self._parked)
 
     def parked(self) -> List[Job]:
         """Every job currently parked by admission control."""
-        return [j for j in self.jobs.values() if j.state is JobState.PARKED]
+        return list(self._parked.values())
 
     def next_batch(self, batch_size: int) -> List[Job]:
         """Pop up to ``batch_size`` mutually compatible queued jobs.
@@ -161,23 +243,31 @@ class JobQueue:
         in FIFO order iff :meth:`~repro.service.jobs.Job.compatible_with`
         the anchor (same network / master seed / message budget).
         Incompatible jobs keep their queue position for a later batch.
+        The anchor's compatibility bucket *is* the pending FIFO filtered
+        to jobs compatible with it, so popping the bucket selects the
+        identical batch the old full rescan did, in O(batch).
         """
-        if not self._pending or batch_size < 1:
+        if batch_size < 1:
             return []
-        anchor = self.jobs[self._pending[0]]
+        while self._pending and self._pending[0] in self._popped:
+            self._popped.discard(self._pending.popleft())
+        if not self._pending:
+            return []
+        bucket = self._buckets[self._key_of[self._pending[0]]]
         batch: List[Job] = []
-        remaining: List[str] = []
-        for job_id in self._pending:
-            job = self.jobs[job_id]
-            if len(batch) < batch_size and job.compatible_with(anchor):
-                batch.append(job)
-            else:
-                remaining.append(job_id)
-        self._pending = remaining
+        while bucket and len(batch) < batch_size:
+            job_id = bucket.popleft()
+            self._popped.add(job_id)
+            self._depth -= 1
+            batch.append(self.jobs[job_id])
         return batch
 
     def by_state(self) -> Dict[str, int]:
         """Job counts per lifecycle state (all states always present)."""
+        return {state.value: self._counts[state] for state in JobState}
+
+    def recount(self) -> Dict[str, int]:
+        """Full O(jobs) recount of :meth:`by_state` (test oracle)."""
         counts = {state.value: 0 for state in JobState}
         for job in self.jobs.values():
             counts[job.state.value] += 1
@@ -318,6 +408,10 @@ class SchedulerService:
         self.retry_backoff_max = retry_backoff_max
         self.poison_threshold = poison_threshold
         self._sleep = time.sleep  # injectable for backoff tests
+        #: Installed by :class:`~repro.service.sharding.ShardedSchedulerService`
+        #: so admission's global queue-depth gate sees the backlog across
+        #: every shard while the per-shard depth gate sees this queue.
+        self._total_backlog: Optional[Callable[[], int]] = None
         self.queue = JobQueue()
         #: Reports of every workload execution (batches and solo
         #: retries), in execution order — the raw material for
@@ -443,10 +537,18 @@ class SchedulerService:
 
         probe = self._probe(job)
         job.params = measure_params([probe])
-        decision = self.policy.check(job.params, self.queue.backlog)
+        decision = self.policy.check(
+            job.params, self._admission_backlog(), shard_depth=self.queue.backlog
+        )
         self._admit(job, decision)
         self._gauge_depth()
         return job
+
+    def _admission_backlog(self) -> int:
+        """Queue depth the *global* admission gate judges against."""
+        if self._total_backlog is not None:
+            return self._total_backlog()
+        return self.queue.backlog
 
     def _admit(self, job: Job, decision) -> None:
         """Journal and apply one admission decision (WAL order)."""
@@ -462,6 +564,8 @@ class SchedulerService:
             crash_point("admission.post_journal")
             job.state = JobState.PARKED
             job.reason = decision.reason
+            if decision.cause:
+                job.meta["park_cause"] = decision.cause
             if recorder.enabled:
                 recorder.counter("service.parked")
         else:
@@ -539,10 +643,19 @@ class SchedulerService:
     # parked jobs
     # ------------------------------------------------------------------
 
-    def release_parked(self) -> List[Job]:
-        """Re-queue every parked job (e.g. after raising the budget)."""
+    def release_parked(self, cause: Optional[str] = None) -> List[Job]:
+        """Re-queue parked jobs (e.g. after raising the budget).
+
+        With ``cause`` (an :class:`~repro.service.admission
+        .AdmissionDecision` cause such as ``"depth"``), only jobs parked
+        for that reason are released — the serve loop uses this to free
+        backpressure-parked jobs once their shard drained without also
+        releasing jobs parked to wait for a bigger round budget.
+        """
         released = []
         for job in self.queue.parked():
+            if cause is not None and job.meta.get("park_cause") != cause:
+                continue
             # WAL order like every other transition: the record lands
             # before parked→queued is applied, so a crash here recovers
             # the job as queued instead of silently re-parking it.
@@ -1067,7 +1180,11 @@ class SchedulerService:
             # restart with a raised budget releases parked jobs instead
             # of stranding them parked forever (and re-parks them,
             # journaled again, when the budget still says no).
-            decision = self.policy.check(job.params, self.queue.backlog)
+            decision = self.policy.check(
+                job.params,
+                self._admission_backlog(),
+                shard_depth=self.queue.backlog,
+            )
             self._admit(job, decision)
             return
         job.state = JobState.QUEUED

@@ -168,7 +168,10 @@ class TestObservabilityCli:
         code, out = self._serve(capsys, tmp_path)
         assert code == 0
         assert "e2e latency p50=" in out and "jobs/s" in out
-        events = (tmp_path / "events.jsonl").read_text().splitlines()
+        # Events spool per shard; one network here means one shard log.
+        spools = sorted((tmp_path / "shards").glob("*/events.jsonl"))
+        assert len(spools) == 1
+        events = spools[0].read_text().splitlines()
         kinds = [json.loads(line)["kind"] for line in events]
         assert kinds.count("submitted") == 3
         assert kinds.count("done") == 3
@@ -251,10 +254,10 @@ class TestCrashRecoveryCli:
         self._spool(capsys, tmp_path, 2)
         code, _ = _run(capsys, "serve", "--dir", str(tmp_path))
         assert code == 0
-        journal = tmp_path / "journal.jsonl"
-        assert journal.exists()
+        journals = sorted((tmp_path / "shards").glob("*/journal.jsonl"))
+        assert len(journals) == 1  # one network -> one shard segment
         # a clean serve ends compacted: one checkpoint record
-        lines = journal.read_text().splitlines()
+        lines = journals[0].read_text().splitlines()
         assert len(lines) == 1 and '"checkpoint"' in lines[0]
 
     def test_serve_refuses_dirty_journal_without_resume(

@@ -1,0 +1,254 @@
+"""ServeLoop: poll/drain/checkpoint cadence and graceful signal stop.
+
+Unit tests drive the loop with a stub service and injected clock/sleep
+so every schedule decision is deterministic; the subprocess test runs
+the real ``python -m repro serve --follow`` daemon, SIGTERMs it
+mid-serve, and asserts the contract the CLI promises: exit code 0, the
+in-flight work settled, journals checkpointed, and a follow-up
+``serve --resume`` + ``status --json`` reaching all-done.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServeLoop
+
+
+class StubService:
+    """Scripted service: each drain pops the next wave of job counts."""
+
+    def __init__(self, waves=()):
+        self.waves = list(waves)
+        self.drains = 0
+        self.releases = 0
+        self.release_batches = []
+        self.stop_seen = None
+
+    def drain(self, stop=None):
+        self.drains += 1
+        if stop is not None:
+            self.stop_seen = stop()
+        if self.waves:
+            return [object()] * self.waves.pop(0)
+        return []
+
+    def release_parked(self, cause=None):
+        self.releases += 1
+        batch = self.release_batches.pop(0) if self.release_batches else []
+        return batch
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class TestServeLoopUnit:
+    def test_drains_until_idle_then_exits_without_follow(self):
+        service = StubService(waves=[3, 2])
+        polls = iter([2, 3, 0, 0, 0])
+        loop = ServeLoop(service, poll=lambda: next(polls))
+        assert loop.run(follow=False) is None
+        assert loop.processed == 5
+        assert loop.polled == 5
+        # idle iteration: poll 0 + drain 0 -> exit
+        assert service.drains == 3
+
+    def test_follow_idles_then_picks_up_new_work(self):
+        service = StubService(waves=[1, 0, 2])
+        clock = FakeClock()
+        polls = iter([1, 0, 2])
+
+        def poll():
+            try:
+                return next(polls)
+            except StopIteration:
+                loop.request_stop()
+                return 0
+
+        loop = ServeLoop(
+            service,
+            poll=poll,
+            poll_interval=0.5,
+            checkpoint_every=None,
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        loop.run(follow=True)
+        assert loop.processed == 3
+        # the idle iteration slept one poll interval before repolling
+        assert clock.now == pytest.approx(0.5)
+
+    def test_released_jobs_drain_before_any_idle_sleep(self):
+        service = StubService(waves=[2, 1])
+        service.release_batches = [["parked-job"], []]
+        clock = FakeClock()
+        stops = iter([2, 0])
+
+        def poll():
+            try:
+                return next(stops)
+            except StopIteration:
+                loop.request_stop()
+                return 0
+
+        loop = ServeLoop(
+            service,
+            poll=poll,
+            checkpoint_every=None,
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        loop.run(follow=True)
+        # release returned a job -> the loop re-drained immediately,
+        # never sleeping between the release and the next drain.
+        assert loop.released == 1
+        assert service.drains >= 2
+        assert clock.now == 0.0
+
+    def test_checkpoint_cadence_and_final_checkpoint(self):
+        service = StubService(waves=[1] * 5)
+        clock = FakeClock()
+        checkpoints = []
+
+        def poll():
+            clock.now += 4.0  # each iteration takes 4s of fake time
+            return 0
+
+        loop = ServeLoop(
+            service,
+            poll=poll,
+            checkpoint=lambda: checkpoints.append(clock.now),
+            checkpoint_every=10.0,
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        loop.run(follow=False)
+        # periodic checkpoints while draining, plus exactly one final
+        assert loop.checkpoints == len(checkpoints)
+        assert len(checkpoints) >= 2
+        assert checkpoints[-1] == clock.now
+
+    def test_request_stop_finishes_wave_and_reports_signal(self):
+        service = StubService(waves=[1, 1, 1])
+
+        def poll():
+            if service.drains == 1:
+                loop.request_stop(signal.SIGTERM)
+            return 0
+
+        loop = ServeLoop(service, poll=poll, checkpoint_every=None)
+        assert loop.run(follow=True) == signal.SIGTERM
+        # the drain after the stop request saw the stop predicate true
+        assert service.stop_seen is True
+
+    def test_stop_predicate_threaded_into_drain(self):
+        service = StubService(waves=[1])
+        loop = ServeLoop(service, checkpoint_every=None)
+        loop.run(follow=False)
+        assert service.stop_seen is False
+
+    def test_sigterm_handler_installed_and_restored(self):
+        service = StubService(waves=[])
+        loop = ServeLoop(service, checkpoint_every=None)
+        before_term = signal.getsignal(signal.SIGTERM)
+        before_int = signal.getsignal(signal.SIGINT)
+        loop.run(follow=False)
+        assert signal.getsignal(signal.SIGTERM) is before_term
+        assert signal.getsignal(signal.SIGINT) is before_int
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeLoop(StubService(), poll_interval=0)
+        with pytest.raises(ValueError):
+            ServeLoop(StubService(), checkpoint_every=0)
+
+
+@pytest.mark.slow
+class TestServeFollowSubprocess:
+    """The real daemon: spool, follow, SIGTERM, resume, all done."""
+
+    def _env(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def _cli(self, *argv, cwd):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            cwd=cwd,
+            timeout=120,
+        )
+
+    def test_follow_sigterm_exits_zero_and_resume_finishes(self, tmp_path):
+        for spec in ("ring:6", "ring:8", "grid:3x3"):
+            out = self._cli(
+                "submit", "--dir", str(tmp_path), "--net", spec,
+                "--algo", "bfs:source=0,hops=2", "--count", "2",
+                cwd=tmp_path,
+            )
+            assert out.returncode == 0, out.stderr
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--dir", str(tmp_path), "--follow",
+                "--poll-interval", "0.1", "--checkpoint-every", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=self._env(),
+            cwd=tmp_path,
+        )
+        try:
+            # Handlers are installed before the first poll, so any
+            # on-disk evidence of serving means SIGTERM is graceful.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if (tmp_path / "shards").exists():
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert proc.poll() is None, proc.communicate()
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, (stdout, stderr)
+        assert "stopped by SIGTERM" in stdout
+
+        # Whatever the signal left unfinished, --resume completes; with
+        # nothing pending it is a no-op serve.
+        out = self._cli("serve", "--dir", str(tmp_path), "--resume",
+                        cwd=tmp_path)
+        assert out.returncode == 0, (out.stdout, out.stderr)
+
+        status = self._cli("status", "--dir", str(tmp_path), "--json",
+                           cwd=tmp_path)
+        assert status.returncode == 0, status.stdout
+        payload = json.loads(status.stdout)
+        assert len(payload["jobs"]) == 6
+        assert all(
+            entry["state"] == "done" for entry in payload["jobs"].values()
+        )
+        assert payload["stats"]["jobs"]["done"] == 6
