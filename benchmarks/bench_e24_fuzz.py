@@ -1,0 +1,98 @@
+"""E24 — fuzzing throughput: the oracle as a sustained correctness instrument.
+
+Claims measured:
+
+* **zero divergences** — a fixed-seed stream of :data:`BUDGET` generated
+  scenarios (every topology kind, every algorithm family, faulted and
+  fault-free, both transports, the sharded service) passes the
+  differential oracle with no divergence (asserted — this is the same
+  gate ``python -m repro fuzz --budget 200 --seed 0`` runs in CI);
+* **scenario throughput** — scenarios/second and oracle checks/second
+  are reported so the nightly budget can be sized: the per-scenario
+  cost stays small because generated instances are deliberately tiny
+  (≤ 16 nodes, ≤ 4 algorithms) — mass, not mass per scenario;
+* **floor** — at least :data:`MIN_RATE` scenarios/s (asserted loosely;
+  the oracle runs each fault-free scenario through two transports, up
+  to two schedulers, and a sharded service drain, so a collapse here
+  means a hot-path regression upstream, not fuzzing overhead).
+"""
+
+import time
+
+import pytest
+
+from repro.fuzz import DifferentialOracle, ScenarioGenerator
+
+from conftest import emit
+
+#: Scenarios in the gated stream (matches the CI fuzz gate).
+BUDGET = 200
+
+#: Generator seed (fixed: the stream is part of the contract).
+SEED = 0
+
+#: Loose scenarios/s floor — an order of magnitude under measured (~150/s).
+MIN_RATE = 5.0
+
+
+def _check_slice(seed, start, count):
+    generator = ScenarioGenerator(seed)
+    oracle = DifferentialOracle(fuzz_seed=seed)
+    for index in range(start, start + count):
+        oracle.check(generator.generate(index))
+
+
+@pytest.mark.benchmark(group="e24")
+def test_e24_fuzz_throughput(benchmark, results_dir):
+    generator = ScenarioGenerator(SEED)
+    oracle = DifferentialOracle(fuzz_seed=SEED)
+
+    started = time.perf_counter()
+    checks = 0
+    divergent = []
+    faulted = 0
+    for index in range(BUDGET):
+        scenario = generator.generate(index)
+        faulted += scenario.faults is not None
+        report = oracle.check(scenario)
+        checks += report.checks
+        if not report.ok:
+            divergent.append((index, report))
+    elapsed = time.perf_counter() - started
+    rate = BUDGET / elapsed
+
+    rows = [
+        ("scenarios", BUDGET),
+        ("faulted scenarios", faulted),
+        ("oracle checks", checks),
+        ("divergences", len(divergent)),
+        ("elapsed (s)", f"{elapsed:.2f}"),
+        ("scenarios/s", f"{rate:.1f}"),
+        ("checks/s", f"{checks / elapsed:.1f}"),
+    ]
+    emit(
+        results_dir,
+        "e24_fuzz",
+        ("metric", "value"),
+        rows,
+        notes=(
+            f"differential fuzz stream, seed={SEED}: generator -> oracle "
+            "(solo vs scheduled, both transports, sharded service drain)"
+        ),
+        extra={
+            "budget": BUDGET,
+            "checks": checks,
+            "divergences": len(divergent),
+            "scenarios_per_s": rate,
+        },
+    )
+
+    assert not divergent, [
+        str(d) for _i, report in divergent for d in report.divergences
+    ]
+    assert rate >= MIN_RATE, f"fuzz throughput collapsed: {rate:.1f}/s"
+
+    # one representative timing for pytest-benchmark: a 20-scenario slice
+    benchmark.pedantic(
+        lambda: _check_slice(SEED, 0, 20), rounds=1, iterations=1
+    )

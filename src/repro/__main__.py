@@ -433,8 +433,7 @@ def _submit_cli(args) -> None:
     from repro.service import parse_algorithm, parse_network
 
     # Validate the specs before spooling anything.
-    parse_network(args.net)
-    parse_algorithm(args.algo)
+    parse_algorithm(args.algo, network=parse_network(args.net))
     spool = _spool_dir(args.dir)
     spool.mkdir(parents=True, exist_ok=True)
     # Ids continue across serve runs: count both waiting spool files and
@@ -547,9 +546,10 @@ def _serve_cli(args) -> int:
             if record["id"] in seen_spools:
                 continue
             seen_spools.add(record["id"])
+            network = parse_network(record["net"])
             job = service.submit(
-                parse_network(record["net"]),
-                parse_algorithm(record["algo"]),
+                network,
+                parse_algorithm(record["algo"], network=network),
                 master_seed=record.get("seed", 0),
                 spec=record,
             )
@@ -899,6 +899,105 @@ SCENARIOS = {
 }
 
 
+def _fuzz_check_index(task):
+    # Module-level so --jobs can fan indices out over a process pool;
+    # scenario i depends only on (seed, i), so workers need no state.
+    seed, index = task
+    from repro.fuzz import DifferentialOracle, ScenarioGenerator
+
+    oracle = DifferentialOracle(fuzz_seed=seed)
+    return index, oracle.check(ScenarioGenerator(seed).generate(index))
+
+
+def _fuzz_cli(args) -> int:
+    import json
+    import time as _time
+    from pathlib import Path
+
+    from repro.fuzz import (
+        Corpus,
+        DifferentialOracle,
+        ScenarioGenerator,
+        Shrinker,
+    )
+
+    oracle = DifferentialOracle(fuzz_seed=args.seed)
+    corpus = Corpus(Path(args.corpus)) if args.corpus else None
+
+    if args.replay:
+        if corpus is None:
+            print("fuzz --replay needs --corpus DIR", file=sys.stderr)
+            return 2
+        failures = 0
+        pairs = corpus.replay(oracle)
+        for entry, report in pairs:
+            status = "ok" if report.ok else "DIVERGES"
+            print(f"{entry.path.name}: {status}")
+            for divergence in report.divergences:
+                print(f"  {divergence}")
+                failures += 1
+        print(f"replayed {len(pairs)} reproducers, {failures} divergences")
+        return 1 if failures else 0
+
+    indices = [args.only] if args.only is not None else list(range(args.budget))
+    started = _time.perf_counter()
+    reports = []
+    tasks = [(args.seed, index) for index in indices]
+    if args.jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            stream = pool.map(_fuzz_check_index, tasks, chunksize=4)
+            for index, report in stream:
+                reports.append((index, report))
+                if (
+                    args.time_limit
+                    and _time.perf_counter() - started > args.time_limit
+                ):
+                    break
+    else:
+        for task in tasks:
+            index, report = _fuzz_check_index(task)
+            reports.append((index, report))
+            if (
+                args.time_limit
+                and _time.perf_counter() - started > args.time_limit
+            ):
+                break
+
+    checks = sum(report.checks for _, report in reports)
+    divergent = [(i, r) for i, r in reports if not r.ok]
+    elapsed = _time.perf_counter() - started
+    print(
+        f"fuzz: {len(reports)} scenarios, {checks} checks, "
+        f"{len(divergent)} divergent, {elapsed:.1f}s "
+        f"(seed={args.seed})"
+    )
+    shrinker = Shrinker(oracle)
+    for index, report in divergent:
+        divergence = report.divergences[0]
+        print(f"\nscenario {index} ({report.scenario.fingerprint()}):")
+        for entry in report.divergences:
+            print(f"  {entry}")
+        print(
+            f"  reproduce: python -m repro fuzz "
+            f"--seed {args.seed} --only {index}"
+        )
+        if args.no_shrink:
+            continue
+        shrunk = shrinker.shrink(report.scenario, divergence)
+        print(
+            f"  shrunk in {shrunk.steps} steps "
+            f"({shrunk.attempts} attempts) to "
+            f"{shrunk.scenario.fingerprint()}:"
+        )
+        print(f"    {json.dumps(shrunk.scenario.to_dict())}")
+        if corpus is not None:
+            path = corpus.add(shrunk.scenario, shrunk.divergence)
+            print(f"  saved reproducer: {path}")
+    return 1 if divergent else 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -1194,6 +1293,50 @@ def main(argv=None) -> int:
             args.drops = "0,0.02" if args.quick else "0,0.02,0.05"
         _chaos(args)
         return 0
+
+    if argv and argv[0] == "fuzz":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro fuzz",
+            description=(
+                "Mass differential fuzzing: generate scenarios, run them "
+                "every which way (solo, scheduled, both transports, "
+                "through the sharded service), cross-check, shrink any "
+                "divergence to a minimal reproducer. Exit 1 on divergence."
+            ),
+        )
+        parser.add_argument(
+            "--budget", type=int, default=200,
+            help="number of scenarios to generate (default: 200)",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=0,
+            help="generator seed (default: 0)",
+        )
+        parser.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (default: 1)",
+        )
+        parser.add_argument(
+            "--corpus", default=None,
+            help="reproducer directory: save shrunk finds / --replay source",
+        )
+        parser.add_argument(
+            "--replay", action="store_true",
+            help="replay the --corpus reproducers instead of generating",
+        )
+        parser.add_argument(
+            "--only", type=int, default=None, metavar="INDEX",
+            help="check a single scenario index (reproduction)",
+        )
+        parser.add_argument(
+            "--time-limit", type=float, default=None, metavar="SECONDS",
+            help="stop generating after this much wall-clock time",
+        )
+        parser.add_argument(
+            "--no-shrink", action="store_true",
+            help="report divergences without minimizing them",
+        )
+        return _fuzz_cli(parser.parse_args(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -18,6 +18,7 @@ knowing ``n`` or ``D``).
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..congest.network import Network
@@ -25,7 +26,10 @@ from ..congest.program import Algorithm, NodeContext, NodeProgram
 
 __all__ = ["Aggregation", "SUM", "MIN", "MAX"]
 
-SUM = ("sum", lambda a, b: a + b)
+# operator.add rather than a lambda: lambdas render with a memory
+# address, which would make SUM-aggregation jobs unfingerprintable
+# (registry bypass) and unspeakable in the spec language.
+SUM = ("sum", operator.add)
 MIN = ("min", min)
 MAX = ("max", max)
 

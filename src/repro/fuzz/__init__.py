@@ -1,0 +1,41 @@
+"""Mass scenario fuzzing through the service (ROADMAP item 5).
+
+A seeded generator mass-produces (topology, algorithm mix, fault plan,
+scheduler, transport, seeds) scenarios expressed in the service spec
+language; a differential oracle runs each one every which way — solo,
+scheduled, both transports, through the sharded service — and
+cross-checks the outcomes; a shrinker minimizes any divergence to a
+tiny reproducer; a corpus replays found reproducers as regression
+tests. ``python -m repro fuzz`` drives the pipeline; docs/FUZZING.md
+has the workflow.
+"""
+
+from .corpus import Corpus, CorpusEntry
+from .inject import INJECT_ENV, from_env, injector
+from .oracle import DifferentialOracle, Divergence, OracleReport
+from .scenario import (
+    ALGORITHM_FAMILIES,
+    TOPOLOGY_KINDS,
+    BuiltScenario,
+    Scenario,
+    ScenarioGenerator,
+)
+from .shrink import Shrinker, ShrinkResult
+
+__all__ = [
+    "ALGORITHM_FAMILIES",
+    "BuiltScenario",
+    "Corpus",
+    "CorpusEntry",
+    "DifferentialOracle",
+    "Divergence",
+    "INJECT_ENV",
+    "OracleReport",
+    "Scenario",
+    "ScenarioGenerator",
+    "ShrinkResult",
+    "Shrinker",
+    "TOPOLOGY_KINDS",
+    "from_env",
+    "injector",
+]

@@ -1,0 +1,96 @@
+"""The regression corpus: found reproducers, replayed forever after.
+
+Every shrunk divergence is written to a corpus directory as one small
+JSON file named by the scenario fingerprint. The committed seed corpus
+(``tests/fuzz/corpus/``) is replayed by the test suite and by the fast
+``fuzz --replay`` CI step, so once a bug's minimal reproducer lands it
+can never silently regress; a fuzzing run pointed at the same directory
+(``fuzz --corpus``) appends new finds in the same format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .._util import atomic_write_text
+from .oracle import DifferentialOracle, Divergence, OracleReport
+from .scenario import Scenario
+
+__all__ = ["Corpus", "CorpusEntry"]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One reproducer on disk."""
+
+    scenario: Scenario
+    check: Optional[str]
+    detail: str
+    path: Path
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serializable payload written to the corpus file."""
+        payload: Dict[str, Any] = {"scenario": self.scenario.to_dict()}
+        if self.check:
+            payload["check"] = self.check
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    @classmethod
+    def from_file(cls, path: Path) -> "CorpusEntry":
+        payload = json.loads(path.read_text())
+        unknown = sorted(set(payload) - {"scenario", "check", "detail"})
+        if unknown:
+            raise ValueError(
+                f"corpus file {path.name} has unknown fields {unknown}"
+            )
+        return cls(
+            scenario=Scenario.from_dict(payload["scenario"]),
+            check=payload.get("check"),
+            detail=payload.get("detail", ""),
+            path=path,
+        )
+
+
+class Corpus:
+    """A directory of reproducer JSON files, addressed by fingerprint."""
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+
+    def add(
+        self,
+        scenario: Scenario,
+        divergence: Optional[Divergence] = None,
+        detail: str = "",
+    ) -> Path:
+        """Persist a reproducer; returns the file it landed in."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"scenario-{scenario.fingerprint()}.json"
+        entry = CorpusEntry(
+            scenario=scenario,
+            check=divergence.check if divergence is not None else None,
+            detail=detail or (divergence.detail if divergence else ""),
+            path=path,
+        )
+        atomic_write_text(path, json.dumps(entry.to_dict(), indent=2) + "\n")
+        return path
+
+    def entries(self) -> List[CorpusEntry]:
+        """All reproducers, sorted by file name (deterministic order)."""
+        if not self.directory.is_dir():
+            return []
+        return [
+            CorpusEntry.from_file(path)
+            for path in sorted(self.directory.glob("scenario-*.json"))
+        ]
+
+    def replay(
+        self, oracle: DifferentialOracle
+    ) -> List[Tuple[CorpusEntry, OracleReport]]:
+        """Re-check every reproducer; pairs each with its fresh report."""
+        return [(entry, oracle.check(entry.scenario)) for entry in self.entries()]

@@ -1,0 +1,91 @@
+"""Test-only bug injection for exercising the fuzz pipeline end to end.
+
+The oracle's red path (catch → shrink → corpus → exit 1) has to be
+tested against a *real* divergence, but main must stay divergence-free.
+So, mirroring :mod:`repro.faults.crashpoints`, injection is a dormant
+hook: :func:`from_env` returns ``None`` unless ``REPRO_FUZZ_INJECT``
+names a mode, and tests (or a CLI subprocess) arm it explicitly. An
+injector is a post-processing function ``(result, workload) -> result``
+applied to every *scheduled* run before the oracle's checks — never to
+the solo reference runs, so the injected defect always shows up as a
+scheduled-vs-solo divergence, exactly like a genuine scheduler bug.
+
+Modes:
+
+``drop-output``
+    Delete every output of the lexicographically last algorithm id —
+    the shape of the PR-3 ``solo_run`` option-dropping bug, caught by
+    the oracle's missing-key check.
+``wrong-output``
+    Replace the highest node's output of the last algorithm with a
+    sentinel — a silent corruption, caught by value comparison.
+``short-report``
+    Report a schedule length below ``max(C, D)`` — an impossible
+    schedule, caught by the lower-bound check.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Any, Callable, Optional
+
+__all__ = ["INJECT_ENV", "INJECT_MODES", "from_env", "injector"]
+
+INJECT_ENV = "REPRO_FUZZ_INJECT"
+
+Injector = Callable[[Any, Any], Any]
+
+
+def _last_algorithm_id(result) -> Optional[str]:
+    ids = sorted({aid for (aid, _node) in result.outputs})
+    return ids[-1] if ids else None
+
+
+def _drop_output(result, workload):
+    victim = _last_algorithm_id(result)
+    outputs = {
+        key: value
+        for key, value in result.outputs.items()
+        if key[0] != victim
+    }
+    return replace(result, outputs=outputs)
+
+
+def _wrong_output(result, workload):
+    victim = _last_algorithm_id(result)
+    if victim is None:
+        return result
+    node = max(node for (aid, node) in result.outputs if aid == victim)
+    outputs = dict(result.outputs)
+    outputs[(victim, node)] = "<injected>"
+    return replace(result, outputs=outputs)
+
+
+def _short_report(result, workload):
+    report = replace(result.report, length_rounds=0)
+    return replace(result, report=report)
+
+
+INJECT_MODES = {
+    "drop-output": _drop_output,
+    "wrong-output": _wrong_output,
+    "short-report": _short_report,
+}
+
+
+def injector(mode: str) -> Injector:
+    """The injector for ``mode`` (ValueError on unknown modes)."""
+    try:
+        return INJECT_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown inject mode {mode!r} "
+            f"(expected {'/'.join(sorted(INJECT_MODES))})"
+        ) from None
+
+
+def from_env() -> Optional[Injector]:
+    """The armed injector, or ``None`` when ``REPRO_FUZZ_INJECT`` is unset."""
+    mode = os.environ.get(INJECT_ENV, "").strip()
+    return injector(mode) if mode else None

@@ -1,0 +1,206 @@
+"""Greedy scenario minimization: from a diverging scenario to a tiny one.
+
+Classic delta debugging, specialized to the scenario shape. Each pass
+proposes candidate scenarios — drop an algorithm, drop a scheduler,
+drop a transport, simplify or remove the fault plan, shrink the
+topology along a per-kind ladder, zero the seeds — and accepts the
+first candidate that (a) still produces a divergence with the *same
+check name* and (b) is strictly smaller under a lexicographic size
+metric. Passes repeat until none accepts.
+
+The strictly-decreasing metric is what makes shrinking terminate, and
+greedy-until-fixed-point is what makes it idempotent: re-shrinking a
+minimal reproducer proposes the same candidates, none of which can be
+accepted again. Candidates that no longer build (an algorithm naming a
+node the smaller topology lost) simply fail re-verification and are
+skipped — every accepted step is re-verified with the real oracle, so
+the final reproducer is guaranteed to still diverge.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Tuple
+
+from .oracle import DifferentialOracle, Divergence
+from .scenario import Scenario
+
+__all__ = ["Shrinker", "ShrinkResult"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimal reproducer and how it was reached."""
+
+    scenario: Scenario
+    divergence: Divergence
+    steps: int
+    attempts: int
+
+
+def _scenario_size(scenario: Scenario) -> Tuple[int, ...]:
+    """Lexicographic size: what shrinking must strictly decrease."""
+    numbers = [int(n) for n in re.findall(r"\d+", scenario.network)]
+    return (
+        len(scenario.algorithms),
+        sum(numbers),
+        0 if scenario.faults is None else 1 + len(scenario.faults),
+        len(scenario.schedulers),
+        len(scenario.transports),
+        sum(len(spec) for spec in scenario.algorithms),
+        abs(scenario.master_seed),
+        abs(scenario.schedule_seed),
+    )
+
+
+def _shrink_int(value: int, floor: int) -> List[int]:
+    """Candidate smaller values, biggest jumps first."""
+    candidates = []
+    for smaller in (floor, (value + floor) // 2, value - 1):
+        if floor <= smaller < value and smaller not in candidates:
+            candidates.append(smaller)
+    return candidates
+
+
+def _network_candidates(spec: str) -> Iterator[str]:
+    """Smaller networks of the same kind, respecting each kind's floor."""
+    kind, _, rest = spec.partition(":")
+    floors = {
+        "path": 2, "ring": 3, "complete": 2, "star": 2, "tree": 0,
+        "hypercube": 1,
+    }
+    if kind in floors:
+        for smaller in _shrink_int(int(rest), floors[kind]):
+            yield f"{kind}:{smaller}"
+        return
+    planar_floors = {
+        "grid": (1, 1), "torus": (3, 3), "layered": (1, 1),
+        "lollipop": (3, 1),
+    }
+    if kind in planar_floors:
+        a, _, b = rest.partition("x")
+        a, b = int(a), int(b)
+        floor_a, floor_b = planar_floors[kind]
+        for smaller in _shrink_int(a, floor_a):
+            yield f"{kind}:{smaller}x{b}"
+        for smaller in _shrink_int(b, floor_b):
+            yield f"{kind}:{a}x{smaller}"
+        return
+    if kind == "regular":
+        fields = dict(part.split("=") for part in rest.split(","))
+        n, degree = int(fields["n"]), int(fields["degree"])
+        for smaller in _shrink_int(n, degree + 1):
+            if smaller * degree % 2 == 0:
+                yield f"regular:n={smaller},degree={degree},seed={fields.get('seed', '0')}"
+        return
+    if kind == "gnp":
+        fields = dict(part.split("=") for part in rest.split(","))
+        for smaller in _shrink_int(int(fields["n"]), 2):
+            yield (
+                f"gnp:n={smaller},p={fields['p']},"
+                f"seed={fields.get('seed', '0')}"
+            )
+
+
+def _fault_candidates(spec: str) -> Iterator[Optional[str]]:
+    """Simpler fault plans: none at all, then each field dropped."""
+    yield None
+    _, _, rest = spec.partition(":")
+    fields = [part for part in rest.split(",") if part]
+    for index, field in enumerate(fields):
+        if field.startswith("seed="):
+            continue
+        # Structured faults shrink item by item before vanishing.
+        key, _, value = field.partition("=")
+        items = value.split("+")
+        if key in ("outages", "crashes", "edgedrop") and len(items) > 1:
+            for drop in range(len(items)):
+                kept = "+".join(items[:drop] + items[drop + 1:])
+                yield "faults:" + ",".join(
+                    fields[:index] + [f"{key}={kept}"] + fields[index + 1:]
+                )
+        remaining = fields[:index] + fields[index + 1:]
+        if any(not part.startswith("seed=") for part in remaining):
+            yield "faults:" + ",".join(remaining)
+
+
+class Shrinker:
+    """Minimizes a diverging scenario while preserving its divergence."""
+
+    def __init__(self, oracle: DifferentialOracle, max_attempts: int = 400):
+        self.oracle = oracle
+        self.max_attempts = max_attempts
+
+    def _reverify(
+        self, candidate: Scenario, check: str
+    ) -> Optional[Divergence]:
+        try:
+            report = self.oracle.check(candidate)
+        except Exception:
+            return None
+        for divergence in report.divergences:
+            if divergence.check == check:
+                return divergence
+        return None
+
+    def _candidates(self, scenario: Scenario) -> Iterator[Scenario]:
+        for index in range(len(scenario.algorithms)):
+            if len(scenario.algorithms) > 1:
+                yield replace(
+                    scenario,
+                    algorithms=scenario.algorithms[:index]
+                    + scenario.algorithms[index + 1:],
+                )
+        if scenario.faults is not None:
+            for faults in _fault_candidates(scenario.faults):
+                yield replace(scenario, faults=faults)
+        for network in _network_candidates(scenario.network):
+            yield replace(scenario, network=network)
+        for index in range(len(scenario.schedulers)):
+            if len(scenario.schedulers) > 1:
+                yield replace(
+                    scenario,
+                    schedulers=scenario.schedulers[:index]
+                    + scenario.schedulers[index + 1:],
+                )
+        if len(scenario.transports) > 1:
+            for keep in scenario.transports:
+                yield replace(scenario, transports=(keep,))
+        for smaller in _shrink_int(scenario.master_seed, 0):
+            yield replace(scenario, master_seed=smaller)
+        for smaller in _shrink_int(scenario.schedule_seed, 0):
+            yield replace(scenario, schedule_seed=smaller)
+
+    def shrink(
+        self, scenario: Scenario, divergence: Divergence
+    ) -> ShrinkResult:
+        """Greedily minimize ``scenario`` preserving ``divergence.check``."""
+        current = scenario
+        current_divergence = divergence
+        steps = 0
+        attempts = 0
+        improved = True
+        while improved and attempts < self.max_attempts:
+            improved = False
+            size = _scenario_size(current)
+            for candidate in self._candidates(current):
+                if attempts >= self.max_attempts:
+                    break
+                if _scenario_size(candidate) >= size:
+                    continue
+                attempts += 1
+                found = self._reverify(candidate, divergence.check)
+                if found is not None:
+                    note = f"shrunk from {scenario.fingerprint()}"
+                    current = replace(candidate, note=note)
+                    current_divergence = found
+                    steps += 1
+                    improved = True
+                    break
+        return ShrinkResult(
+            scenario=current,
+            divergence=current_divergence,
+            steps=steps,
+            attempts=attempts,
+        )

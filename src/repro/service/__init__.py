@@ -52,7 +52,14 @@ from .journal import JobJournal, JournalState, read_journal
 from .registry import RunArtifact, RunRegistry
 from .service import CRASH_POINTS, JobQueue, SchedulerService, ServiceClosed
 from .sharding import LEGACY_SHARD, ShardedSchedulerService, shard_key
-from .specs import parse_algorithm, parse_network
+from .specs import (
+    format_fault_plan,
+    parse_algorithm,
+    parse_fault_plan,
+    parse_network,
+    parse_scheduler,
+    parse_transport,
+)
 
 __all__ = [
     "AdmissionDecision",
@@ -75,10 +82,14 @@ __all__ = [
     "ServeLoop",
     "ServiceClosed",
     "ShardedSchedulerService",
+    "format_fault_plan",
     "job_fingerprint",
     "latency_stats",
     "parse_algorithm",
+    "parse_fault_plan",
     "parse_network",
+    "parse_scheduler",
+    "parse_transport",
     "read_events",
     "read_journal",
     "shard_key",

@@ -286,6 +286,16 @@ def _execute_payload(
     return result, time.perf_counter() - start
 
 
+def _provenance(job: Job) -> Dict[str, Any]:
+    # Fuzz provenance stamped at submission (spec["scenario"] /
+    # spec["fuzz_seed"]); empty for ordinary jobs.
+    return {
+        key: job.meta[key]
+        for key in ("scenario", "fuzz_seed")
+        if key in job.meta
+    }
+
+
 class SchedulerService:
     """Accepts jobs, batches them, executes, and persists results.
 
@@ -482,7 +492,10 @@ class SchedulerService:
         if spec is not None:
             if "id" in spec:
                 job.meta["spool"] = spec["id"]
-            for key in ("net", "algo"):
+            # "scenario"/"fuzz_seed" are the fuzzer's provenance stamps:
+            # they ride into the failure events below so a divergence in
+            # a serve log names the scenario that reproduces it.
+            for key in ("net", "algo", "scenario", "fuzz_seed"):
                 if key in spec:
                     job.meta[key] = spec[key]
         if self.journal is not None:
@@ -862,6 +875,7 @@ class SchedulerService:
                     queue_depth=self.queue.depth,
                     attempt=job.attempts + 1,
                     reason=last_reason,
+                    **_provenance(job),
                 )
             job.attempts += 1
             workload = Workload(
@@ -913,6 +927,7 @@ class SchedulerService:
                 batch=batch_id,
                 queue_depth=self.queue.depth,
                 reason=last_reason,
+                **_provenance(job),
             )
 
     def _complete(

@@ -1,0 +1,111 @@
+"""The ``python -m repro fuzz`` CLI: green path, red path, replay."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestGreenPath:
+    def test_small_budget_exits_zero(self, capsys):
+        assert main(["fuzz", "--budget", "12", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "12 scenarios" in out
+        assert "0 divergent" in out
+
+    def test_only_reruns_one_index(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--only", "7"]) == 0
+        assert "1 scenarios" in capsys.readouterr().out
+
+    def test_time_limit_stops_early(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz", "--budget", "100000", "--seed", "0",
+                    "--time-limit", "0.2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "100000 scenarios" not in out
+
+
+class TestRedPath:
+    def test_injected_bug_caught_shrunk_and_saved(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FUZZ_INJECT", "drop-output")
+        corpus_dir = tmp_path / "corpus"
+        code = main(
+            [
+                "fuzz", "--budget", "2", "--seed", "0",
+                "--corpus", str(corpus_dir),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "divergent" in out
+        assert "shrunk in" in out
+        assert "--only" in out  # reproduction command printed
+        saved = list(corpus_dir.glob("scenario-*.json"))
+        assert saved
+        # the saved reproducer is minimal: a single algorithm
+        payload = json.loads(saved[0].read_text())
+        assert len(payload["scenario"]["algorithms"]) == 1
+
+    def test_saved_reproducer_replays_red_then_green(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        corpus_dir = tmp_path / "corpus"
+        monkeypatch.setenv("REPRO_FUZZ_INJECT", "drop-output")
+        assert (
+            main(
+                [
+                    "fuzz", "--budget", "1", "--seed", "0",
+                    "--corpus", str(corpus_dir),
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+        assert (
+            main(["fuzz", "--replay", "--corpus", str(corpus_dir)]) == 1
+        )
+        assert "DIVERGES" in capsys.readouterr().out
+        monkeypatch.delenv("REPRO_FUZZ_INJECT")
+        assert (
+            main(["fuzz", "--replay", "--corpus", str(corpus_dir)]) == 0
+        )
+        assert "0 divergences" in capsys.readouterr().out
+
+    def test_no_shrink_skips_minimization(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_INJECT", "drop-output")
+        assert (
+            main(["fuzz", "--budget", "1", "--seed", "0", "--no-shrink"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "shrunk in" not in out
+
+
+class TestReplay:
+    def test_replay_requires_corpus(self, capsys):
+        assert main(["fuzz", "--replay"]) == 2
+
+    def test_replay_committed_seed_corpus(self, capsys):
+        from tests.fuzz.test_corpus import SEED_CORPUS
+
+        assert (
+            main(["fuzz", "--replay", "--corpus", str(SEED_CORPUS)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 divergences" in out
+
+
+@pytest.mark.slow
+class TestParallel:
+    def test_jobs_fan_out_matches_serial(self, capsys):
+        assert main(["fuzz", "--budget", "8", "--seed", "4", "--jobs", "2"]) == 0
+        assert "8 scenarios" in capsys.readouterr().out

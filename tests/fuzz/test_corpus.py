@@ -1,0 +1,105 @@
+"""The corpus: persistence round-trips and the committed regression set."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    Corpus,
+    DifferentialOracle,
+    ScenarioGenerator,
+    Shrinker,
+    injector,
+)
+
+SEED_CORPUS = Path(__file__).parent / "corpus"
+
+
+class TestPersistence:
+    def test_add_entries_round_trip(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        scenario = ScenarioGenerator(0).generate(3)
+        path = corpus.add(scenario, detail="hand-added")
+        assert path.name == f"scenario-{scenario.fingerprint()}.json"
+        [entry] = corpus.entries()
+        assert entry.scenario == scenario
+        assert entry.detail == "hand-added"
+
+    def test_unknown_top_level_field_rejected(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        scenario = ScenarioGenerator(0).generate(0)
+        path = corpus.add(scenario)
+        payload = json.loads(path.read_text())
+        payload["severity"] = "high"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="severity"):
+            corpus.entries()
+
+    def test_empty_directory_is_empty_corpus(self, tmp_path):
+        assert Corpus(tmp_path / "nothing-here").entries() == []
+
+    def test_entries_sorted_deterministically(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        for index in (5, 1, 9):
+            corpus.add(ScenarioGenerator(0).generate(index))
+        names = [entry.path.name for entry in corpus.entries()]
+        assert names == sorted(names)
+
+
+class TestSeedCorpus:
+    """The committed reproducers: one per previously fixed bug."""
+
+    def test_seed_corpus_present(self):
+        entries = Corpus(SEED_CORPUS).entries()
+        assert len(entries) >= 3
+        notes = " ".join(entry.scenario.note for entry in entries)
+        assert "option-dropping" in notes
+        assert "halt-vs-delayed-delivery" in notes
+        assert "bound violation" in notes
+
+    def test_seed_corpus_replays_green(self):
+        # The guarded bugs are fixed: every reproducer must pass, and
+        # stay passing forever (this is the regression gate CI runs).
+        pairs = Corpus(SEED_CORPUS).replay(DifferentialOracle())
+        for entry, report in pairs:
+            assert report.ok, (
+                entry.path.name,
+                [str(d) for d in report.divergences],
+            )
+
+    def test_seed_corpus_names_its_guarding_checks(self):
+        checks = {entry.check for entry in Corpus(SEED_CORPUS).entries()}
+        assert {"outputs", "fault-determinism", "bounds"} <= checks
+
+    @pytest.mark.parametrize(
+        "mode,check",
+        [("drop-output", "outputs"), ("short-report", "bounds")],
+    )
+    def test_guarding_checks_fire_on_analogous_bugs(self, mode, check):
+        # Proof the oracle *would have caught* the original bugs: inject
+        # each bug's failure shape and replay the same corpus — the
+        # entry guarded by that check must now go red.
+        oracle = DifferentialOracle(inject=injector(mode))
+        pairs = Corpus(SEED_CORPUS).replay(oracle)
+        fired = {
+            d.check for _entry, report in pairs for d in report.divergences
+        }
+        assert check in fired
+
+
+class TestFoundReproducers:
+    def test_shrunk_find_replays_red_until_fixed(self, tmp_path):
+        buggy = DifferentialOracle(inject=injector("drop-output"))
+        scenario = ScenarioGenerator(0).generate(0)
+        report = buggy.check(scenario)
+        assert not report.ok
+        shrunk = Shrinker(buggy).shrink(scenario, report.divergences[0])
+        corpus = Corpus(tmp_path)
+        corpus.add(shrunk.scenario, shrunk.divergence)
+        # red while the bug exists...
+        red = corpus.replay(buggy)
+        assert any(not rep.ok for _e, rep in red)
+        # ...green once it is fixed (injection removed)
+        green = corpus.replay(DifferentialOracle())
+        assert all(rep.ok for _e, rep in green)

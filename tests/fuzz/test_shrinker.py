@@ -1,0 +1,124 @@
+"""Shrinker invariants: still diverges, terminates, idempotent, smaller."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz import DifferentialOracle, ScenarioGenerator, Shrinker, injector
+from repro.fuzz.shrink import (
+    _fault_candidates,
+    _network_candidates,
+    _scenario_size,
+)
+
+
+def _diverging(oracle, index, seed=0):
+    scenario = ScenarioGenerator(seed).generate(index)
+    report = oracle.check(scenario)
+    assert not report.ok
+    return scenario, report.divergences[0]
+
+
+class TestInvariants:
+    @given(index=st.sampled_from([0, 1, 3, 4, 6, 9]))
+    @settings(max_examples=6, deadline=None)
+    def test_shrunk_still_diverges_and_is_no_bigger(self, index):
+        oracle = DifferentialOracle(inject=injector("drop-output"))
+        scenario, divergence = _diverging(oracle, index)
+        result = Shrinker(oracle).shrink(scenario, divergence)
+        assert result.divergence.check == divergence.check
+        assert _scenario_size(result.scenario) <= _scenario_size(scenario)
+        report = oracle.check(result.scenario)
+        assert divergence.check in {d.check for d in report.divergences}
+
+    def test_terminates_within_attempt_budget(self):
+        oracle = DifferentialOracle(inject=injector("drop-output"))
+        scenario, divergence = _diverging(oracle, 9)
+        shrinker = Shrinker(oracle, max_attempts=50)
+        result = shrinker.shrink(scenario, divergence)
+        assert result.attempts <= 50
+
+    def test_idempotent(self):
+        oracle = DifferentialOracle(inject=injector("drop-output"))
+        scenario, divergence = _diverging(oracle, 9)
+        shrinker = Shrinker(oracle)
+        first = shrinker.shrink(scenario, divergence)
+        second = shrinker.shrink(first.scenario, first.divergence)
+        assert second.scenario == first.scenario
+        assert second.steps == 0
+
+    def test_bounds_divergence_shrinks_too(self):
+        oracle = DifferentialOracle(inject=injector("short-report"))
+        scenario, divergence = _diverging(oracle, 0)
+        assert divergence.check == "bounds"
+        result = Shrinker(oracle).shrink(scenario, divergence)
+        assert result.divergence.check == "bounds"
+        assert len(result.scenario.algorithms) == 1
+
+    def test_minimizes_hard(self):
+        # drop-output divergence survives down to one algorithm on one
+        # scheduler with one transport and zeroed seeds.
+        oracle = DifferentialOracle(inject=injector("drop-output"))
+        scenario, divergence = _diverging(oracle, 9)
+        result = Shrinker(oracle).shrink(scenario, divergence)
+        assert len(result.scenario.algorithms) == 1
+        assert len(result.scenario.schedulers) == 1
+        assert len(result.scenario.transports) == 1
+        assert result.scenario.master_seed == 0
+        assert result.scenario.schedule_seed == 0
+
+
+class TestCandidateLadders:
+    @pytest.mark.parametrize(
+        "spec,floor",
+        [
+            ("path:9", "path:2"),
+            ("ring:8", "ring:3"),
+            ("complete:5", "complete:2"),
+            ("torus:3x4", "torus:3x3"),
+            ("lollipop:4x3", "lollipop:3x1"),
+        ],
+    )
+    def test_network_ladders_respect_floors(self, spec, floor):
+        from repro.service.specs import parse_network
+
+        seen = set()
+        frontier = {spec}
+        while frontier:
+            current = frontier.pop()
+            for candidate in _network_candidates(current):
+                parse_network(candidate)  # every rung must build
+                if candidate not in seen:
+                    seen.add(candidate)
+                    frontier.add(candidate)
+        assert floor in seen
+        assert spec not in seen  # candidates are strictly different
+
+    def test_regular_candidates_keep_degree_parity(self):
+        for candidate in _network_candidates("regular:n=8,degree=3,seed=2"):
+            fields = dict(
+                part.split("=")
+                for part in candidate.split(":", 1)[1].split(",")
+            )
+            assert int(fields["n"]) * int(fields["degree"]) % 2 == 0
+
+    def test_fault_candidates_offer_removal_first(self):
+        candidates = list(
+            _fault_candidates("faults:seed=3,drop=0.1,crashes=1@2+3@1")
+        )
+        assert candidates[0] is None
+        assert "faults:seed=3,drop=0.1,crashes=1@2" in candidates
+        assert "faults:seed=3,drop=0.1,crashes=3@1" in candidates
+        assert "faults:seed=3,drop=0.1" in candidates
+
+    def test_size_metric_orders_algorithm_count_first(self):
+        from repro.fuzz import Scenario
+
+        big = Scenario(
+            network="path:3",
+            algorithms=("bfs:source=0,hops=1", "flooding:source=0,token=1"),
+        )
+        small = Scenario(
+            network="path:9", algorithms=("bfs:source=0,hops=1",)
+        )
+        assert _scenario_size(small) < _scenario_size(big)
